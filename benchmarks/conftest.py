@@ -1,0 +1,37 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures: it runs
+the experiment once (``benchmark.pedantic(..., rounds=1)``), prints the
+rows/series the paper reports, saves the rendering under
+``benchmarks/results/`` and asserts the paper's qualitative claims.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.cme import SamplingCME
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def locality():
+    """One memoized analyzer shared by all benchmarks."""
+    return SamplingCME(max_points=512)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_and_print(results_dir: pathlib.Path, name: str, text: str) -> None:
+    """Persist a rendering and echo it to stdout (-s shows it live)."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)

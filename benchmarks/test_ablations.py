@@ -1,0 +1,131 @@
+"""Ablations of design choices beyond the paper's figures.
+
+Three studies quantify the design decisions DESIGN.md calls out:
+
+* **CME backend** — RMCA driven by the sampled solver vs the closed-form
+  analytic model: do the cheap equations reach the same schedules?
+* **Node ordering** — the SMS ordering of Section 4.3 vs plain program
+  order: how much II does the ordering save?
+* **Sampling budget** — miss-ratio estimates at different ``max_points``
+  budgets: how quickly does the estimator converge?
+"""
+
+import pytest
+
+from repro.analysis.compare import run_cell
+from repro.cme import AnalyticCME, EquationCME, SamplingCME
+from repro.harness.report import format_table
+from repro.machine import four_cluster, two_cluster
+from repro.scheduler import BaselineScheduler, SchedulerConfig
+from repro.workloads import spec_suite
+
+from conftest import save_and_print
+
+KERNELS = ("tomcatv", "su2cor", "hydro2d", "turb3d", "applu")
+
+
+def test_cme_backend_ablation(benchmark, results_dir, locality):
+    """RMCA driven by all three locality backends: the sampled functional
+    simulation (the paper's practical solver), the exact per-access miss
+    equations, and the closed-form analytic model."""
+
+    def run():
+        rows = []
+        analytic = AnalyticCME()
+        equations = EquationCME(max_points=512)
+        for kernel in spec_suite(list(KERNELS)):
+            sampled = run_cell(kernel, four_cluster(), "rmca", 0.0, locality)
+            exact = run_cell(kernel, four_cluster(), "rmca", 0.0, equations)
+            closed = run_cell(kernel, four_cluster(), "rmca", 0.0, analytic)
+            rows.append(
+                (
+                    kernel.name,
+                    sampled.total_cycles,
+                    exact.total_cycles,
+                    closed.total_cycles,
+                    closed.total_cycles / sampled.total_cycles,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["kernel", "sampled CME", "equation CME", "analytic CME",
+         "analytic/sampled"],
+        rows,
+    )
+    save_and_print(results_dir, "ablation_cme_backend", table)
+    # The equation backend is exact w.r.t. the sampled one (same window,
+    # LRU-exact interference condition) so schedules must match.
+    for row in rows:
+        assert row[2] == row[1], f"{row[0]}: equations diverge from sampling"
+    mean_ratio = sum(row[4] for row in rows) / len(rows)
+    # The analytic model is rougher but must stay in the same regime.
+    assert 0.7 <= mean_ratio <= 1.4, f"backends diverge: {mean_ratio:.2f}"
+
+
+def test_ordering_ablation(benchmark, results_dir):
+    """SMS ordering vs program order: II and schedule quality."""
+
+    def run():
+        rows = []
+        for kernel in spec_suite(list(KERNELS)):
+            sms = BaselineScheduler(
+                SchedulerConfig(use_sms_ordering=True)
+            ).schedule(kernel, two_cluster())
+            prog = BaselineScheduler(
+                SchedulerConfig(use_sms_ordering=False)
+            ).schedule(kernel, two_cluster())
+            sms.validate()
+            prog.validate()
+            rows.append(
+                (kernel.name, sms.mii, sms.ii, prog.ii,
+                 sms.n_communications, prog.n_communications)
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(
+        ["kernel", "MII", "II (SMS)", "II (program order)",
+         "comms (SMS)", "comms (program order)"],
+        rows,
+    )
+    save_and_print(results_dir, "ablation_ordering", table)
+    sms_ii = sum(row[2] for row in rows)
+    prog_ii = sum(row[3] for row in rows)
+    # The ordering never loses on aggregate II.
+    assert sms_ii <= prog_ii
+
+
+def test_sampling_budget_ablation(benchmark, results_dir):
+    """Miss-ratio estimates converge with the sampling budget."""
+
+    def run():
+        kernel = spec_suite(["tomcatv"])[0]
+        cache = four_cluster().cluster(0).cache
+        ops = kernel.loop.memory_operations
+        rows = []
+        reference = SamplingCME(max_points=4096)
+        ref_ratios = {
+            op.name: reference.miss_ratio(kernel.loop, op, ops, cache)
+            for op in ops
+        }
+        for budget in (64, 256, 1024, 4096):
+            cme = SamplingCME(max_points=budget)
+            error = max(
+                abs(
+                    cme.miss_ratio(kernel.loop, op, ops, cache)
+                    - ref_ratios[op.name]
+                )
+                for op in ops
+            )
+            rows.append((budget, round(error, 4)))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = format_table(["max_points", "max abs ratio error"], rows)
+    save_and_print(results_dir, "ablation_sampling_budget", table)
+    errors = [row[1] for row in rows]
+    assert errors[-1] == 0.0           # the reference budget itself
+    assert errors[-2] <= errors[0] + 1e-9  # more samples never much worse
+    assert errors[1] <= 0.25           # 256 points already close

@@ -1,0 +1,87 @@
+"""Figure 5: unbounded buses — register/memory bus latency sweep.
+
+Regenerates both panels ((a) 2 clusters, (b) 4 clusters) over the full
+SPECfp95-style suite: LRB × LMB ∈ {1,2,4}², thresholds {1.00, 0.75,
+0.25, 0.00}, Baseline vs RMCA, all bars normalized to Unified and split
+into compute + stall.
+
+Asserted paper claims:
+
+* RMCA never loses to Baseline on the averaged bars (same bus config and
+  threshold),
+* lowering the threshold trades compute (grows) for stall (shrinks),
+* at threshold 0.00 the clustered stall time is almost zero,
+* at threshold 0.00 the clustered machines are comparable to Unified.
+"""
+
+import pytest
+
+from repro.harness.charts import render_figure
+from repro.harness.sweep import DEFAULT_THRESHOLDS, figure5
+
+from conftest import save_and_print
+
+LATENCIES = (1, 2, 4)
+
+
+@pytest.mark.parametrize("n_clusters", [2, 4])
+def test_figure5(benchmark, results_dir, locality, n_clusters):
+    figure = benchmark.pedantic(
+        figure5,
+        kwargs=dict(
+            n_clusters=n_clusters,
+            latencies=LATENCIES,
+            thresholds=DEFAULT_THRESHOLDS,
+            locality=locality,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_and_print(
+        results_dir, f"fig5_{n_clusters}cluster", render_figure(figure)
+    )
+
+    clustered_groups = [g for g in figure.groups if g != "unified"]
+
+    # High thresholds (misses exposed): RMCA <= Baseline everywhere.
+    # Low thresholds: the paper itself observes that with unbounded buses
+    # "both Baseline and RMCA strategies achieve similar performance,
+    # since the latency of cache misses is hidden" — so require parity
+    # within 15% rather than a strict win.
+    for lrb in LATENCIES:
+        for lmb in LATENCIES:
+            for threshold in DEFAULT_THRESHOLDS:
+                base = figure.bar(
+                    f"LRB={lrb},LMB={lmb} baseline", "baseline", threshold
+                )
+                rmca = figure.bar(
+                    f"LRB={lrb},LMB={lmb} rmca", "rmca", threshold
+                )
+                slack = 1.02 if threshold >= 0.5 else 1.15
+                assert rmca.norm_total <= base.norm_total * slack, (
+                    f"RMCA worse at LRB={lrb} LMB={lmb} thr={threshold}"
+                )
+
+    # Threshold trade-off on every clustered group: compute grows, stall
+    # shrinks, as the threshold falls from 1.00 to 0.00.
+    for group in clustered_groups:
+        bars = {bar.threshold: bar for bar in figure.bars_in_group(group)}
+        assert bars[0.0].norm_compute >= bars[1.0].norm_compute - 1e-9
+        assert bars[0.0].norm_stall <= bars[1.0].norm_stall + 1e-9
+
+    # Threshold 0.00: stall almost zero for the RMCA clustered bars.
+    for group in clustered_groups:
+        if "rmca" not in group:
+            continue
+        bar = next(
+            b for b in figure.bars_in_group(group) if b.threshold == 0.0
+        )
+        assert bar.norm_stall <= 0.15, f"stall not hidden in {group}"
+
+    # Threshold 0.00: clustered totals comparable to Unified (within 40%
+    # — the clustered machines pay bus latency but enjoy 2x/4x cache
+    # bandwidth, so some configurations even win).
+    unified_ref = figure.bar("unified", "baseline", 1.0)
+    for lmb in LATENCIES:
+        rmca = figure.bar(f"LRB=1,LMB={lmb} rmca", "rmca", 0.0)
+        assert rmca.norm_total <= unified_ref.norm_total * 1.4

@@ -1,0 +1,68 @@
+"""Table 1: multiVLIWprocessor configurations and operation latencies.
+
+Regenerates the configuration table and asserts its structural
+invariants: three 12-way-issue machines sharing 64 registers and 8KB of
+L1 capacity, partitioned 1/2/4 ways.
+"""
+
+from repro.harness.report import format_table
+from repro.ir.operations import OpClass
+from repro.machine import four_cluster, two_cluster, unified
+
+from conftest import save_and_print
+
+
+def _render_table1() -> str:
+    rows = []
+    for factory in (unified, two_cluster, four_cluster):
+        machine = factory()
+        desc = machine.describe()
+        rows.append(
+            (
+                desc["name"],
+                desc["clusters"],
+                f"{desc['int_units_per_cluster']}I/"
+                f"{desc['fp_units_per_cluster']}F/"
+                f"{desc['mem_units_per_cluster']}M",
+                desc["registers_per_cluster"],
+                desc["cache_per_cluster"],
+                desc["issue_width"],
+            )
+        )
+    config = format_table(
+        ["config", "clusters", "FUs/cluster", "regs/cluster",
+         "L1 bytes/cluster", "issue width"],
+        rows,
+    )
+    machine = unified()
+    latencies = format_table(
+        ["operation", "latency"],
+        [(oc.value, machine.latency(oc)) for oc in OpClass],
+    )
+    return (
+        "Table 1: machine configurations\n" + config
+        + "\n\nOperation latencies (local-cache hit for load)\n" + latencies
+        + f"\nmain memory: {machine.main_memory_latency} cycles"
+    )
+
+
+def test_table1(benchmark, results_dir):
+    text = benchmark.pedantic(_render_table1, rounds=1, iterations=1)
+    save_and_print(results_dir, "table1", text)
+
+    for factory, n, fu, regs, cache in (
+        (unified, 1, 4, 64, 8192),
+        (two_cluster, 2, 2, 32, 4096),
+        (four_cluster, 4, 1, 16, 2048),
+    ):
+        machine = factory()
+        assert machine.n_clusters == n
+        assert machine.issue_width == 12
+        assert machine.total_registers == 64
+        assert machine.total_cache_size == 8 * 1024
+        cluster = machine.cluster(0)
+        assert cluster.n_integer == cluster.n_fp == cluster.n_memory == fu
+        assert cluster.n_registers == regs
+        assert cluster.cache.size == cache
+        assert cluster.cache.associativity == 1
+        assert cluster.cache.mshr_entries == 10

@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Writing your own kernel with the builder DSL.
+
+Builds a 2-D correlation kernel with a loop-carried accumulator, shows
+the locality analysis (per-load miss ratios, group-reuse structure) and
+how the two schedulers partition it across clusters, including the
+binding-prefetch decision at different thresholds.
+
+Usage::
+
+    python examples/custom_kernel.py
+"""
+
+from repro import LoopBuilder, SamplingCME, make_scheduler, simulate, two_cluster
+from repro.cme import analyze_reuse
+
+
+def build_kernel():
+    """Correlation of two images, row-window accumulation.
+
+    ``ACC = ACC + IMG[j][i] * TPL[j][i]; OUT[j][i] = IMG[j][i+1] - IMG[j][i-1]``
+    """
+    n = 48
+    b = LoopBuilder("correlate")
+    j = b.dim("j", 1, n - 1)
+    i = b.dim("i", 1, n - 1)
+    img = b.array("IMG", (n, n))
+    tpl = b.array("TPL", (n, n))
+    out = b.array("OUT", (n, n))
+
+    centre = b.load(img, [b.aff(j=1), b.aff(i=1)], name="ld_img")
+    east = b.load(img, [b.aff(j=1), b.aff(1, i=1)], name="ld_east")
+    west = b.load(img, [b.aff(j=1), b.aff(-1, i=1)], name="ld_west")
+    t = b.load(tpl, [b.aff(j=1), b.aff(i=1)], name="ld_tpl")
+
+    prod = b.fmul(centre, t, name="mul")
+    acc = b.fadd(b.prev_value("acc", distance=1), prod, dest="acc", name="accum")
+    grad = b.fsub(east, west, name="grad")
+    b.store(out, [b.aff(j=1), b.aff(i=1)], grad, name="st_out")
+    return b.build()
+
+
+def main():
+    kernel = build_kernel()
+    machine = two_cluster()
+    locality = SamplingCME(max_points=1024)
+    loop = kernel.loop
+
+    print(f"kernel: {loop}")
+    print()
+
+    # Reuse structure: which loads are uniformly generated with which.
+    infos = analyze_reuse(loop.refs, loop, machine.cluster(0).cache.line_size)
+    print("reuse analysis (per memory reference):")
+    for op, info in zip(loop.memory_operations, infos):
+        leaders = [loop.memory_operations[g].name for g in info.group_leaders]
+        print(
+            f"  {op.name:8s} stride={info.stride:+4d}B "
+            f"temporal={info.temporal} spatial={info.spatial} "
+            f"reuses-from={leaders or '-'}"
+        )
+    print()
+
+    # Miss ratios if all memory ops shared one local cache.
+    cache = machine.cluster(0).cache
+    print(f"miss ratios with all refs in one {cache.size}B cache:")
+    for op in loop.memory_operations:
+        ratio = locality.miss_ratio(loop, op, loop.memory_operations, cache)
+        print(f"  {op.name:8s} {ratio:.2f}")
+    print()
+
+    for threshold in (1.0, 0.25):
+        for name in ("baseline", "rmca"):
+            scheduler = make_scheduler(name, threshold=threshold, locality=locality)
+            schedule = scheduler.schedule(kernel, machine)
+            schedule.validate()
+            result = simulate(schedule)
+            assignment = {
+                op.name: schedule.cluster_of(op.name)
+                for op in loop.memory_operations
+            }
+            prefetched = schedule.prefetched_loads()
+            print(
+                f"{name:8s} thr={threshold:4.2f}: II={schedule.ii} "
+                f"total={result.total_cycles:6d} "
+                f"(stall {result.stall_cycles}) "
+                f"mem clusters={assignment} prefetched={prefetched or '-'}"
+            )
+    print()
+    print(
+        "RMCA keeps the IMG loads together (group reuse) while the baseline"
+        " splits by register edges; lowering the threshold trades compute"
+        " cycles for stall cycles via binding prefetching."
+    )
+
+
+if __name__ == "__main__":
+    main()

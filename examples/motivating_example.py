@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""The paper's Section 3 motivating example, end to end.
+
+The loop ``DO I = 1,N,2: A(I) = B(I)*C(I) + B(I+1)*C(I+1)`` runs on the
+2-cluster machine of Section 3 with B and C placed one cache-image apart
+so they ping-pong in a direct-mapped cache.  Two things are reproduced:
+
+1. the paper's *hand-crafted* Figure 3 schedules — the register-optimal
+   partition (a) at II=3 where every load misses, and the locality-aware
+   partition (b) at II=4 where the ping-pong disappears — simulated and
+   compared against the paper's closed forms
+   ``total(a) = NTIMES*(15N+9)`` and ``total(b) = NTIMES*(10N+8)``;
+2. what the actual schedulers do on the same kernel: RMCA discovers the
+   per-array grouping of (b) on its own.
+
+Usage::
+
+    python examples/motivating_example.py
+"""
+
+from repro import SamplingCME, make_scheduler, simulate
+from repro.workloads import (
+    figure3a_schedule,
+    figure3b_schedule,
+    motivating_kernel,
+    motivating_machine,
+    paper_total_cycles_a,
+    paper_total_cycles_b,
+)
+
+
+def show(schedule, label):
+    result = simulate(schedule)
+    print(f"--- {label} ---")
+    print(schedule.format_reservation_table())
+    print(
+        f"II={schedule.ii}  SC={schedule.stage_count}  "
+        f"comms/iter={schedule.n_communications}"
+    )
+    print(
+        f"cycles: total={result.total_cycles} "
+        f"(compute={result.compute_cycles}, stall={result.stall_cycles})"
+    )
+    print()
+    return result.total_cycles
+
+
+def main():
+    kernel = motivating_kernel()
+    machine = motivating_machine()
+    niter = kernel.loop.n_iterations
+    print(f"kernel: {kernel.loop} (NITER={niter})")
+    print(f"machine: {machine.name}")
+    print()
+
+    total_a = show(figure3a_schedule(kernel, machine), "Figure 3(a): register-optimal")
+    total_b = show(figure3b_schedule(kernel, machine), "Figure 3(b): locality-aware")
+
+    print(f"paper closed form (a): {paper_total_cycles_a(niter)}   measured: {total_a}")
+    print(f"paper closed form (b): {paper_total_cycles_b(niter)}   measured: {total_b}")
+    print(
+        f"measured speedup b-over-a: {total_a / total_b:.2f}x "
+        f"(paper's estimate: {paper_total_cycles_a(niter) / paper_total_cycles_b(niter):.2f}x)"
+    )
+    print()
+
+    # What the real schedulers produce on the same input.
+    locality = SamplingCME(max_points=1024)
+    for name in ("baseline", "rmca"):
+        scheduler = make_scheduler(name, threshold=1.0, locality=locality)
+        schedule = scheduler.schedule(kernel, machine)
+        schedule.validate()
+        clusters = {
+            op: schedule.cluster_of(op) for op in ("ld1", "ld2", "ld3", "ld4")
+        }
+        total = simulate(schedule).total_cycles
+        print(f"{name:8s}: II={schedule.ii} total={total} load clusters {clusters}")
+    print()
+    print(
+        "RMCA groups the B loads (ld1, ld3) and the C loads (ld2, ld4) per"
+        " cluster, removing the ping-pong, exactly as Figure 3(b) argues."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""Loop unrolling × binding prefetching — the paper's deferred optimization.
+
+Section 4.3 notes that a load with spatial locality is prefetched (or
+not) as a whole even though only its line-boundary instances miss, and
+that unrolling can split it into an always-missing copy and always-
+hitting copies.  This example unrolls a streaming kernel, shows the
+per-copy miss ratios the locality analysis reports, and compares the
+resulting schedules.
+
+Usage::
+
+    python examples/unrolling_study.py
+"""
+
+from repro import (
+    BusConfig,
+    LoopBuilder,
+    SamplingCME,
+    make_scheduler,
+    simulate,
+    two_cluster,
+    unroll,
+)
+from repro.scheduler.lifetimes import max_live
+
+N = 128
+
+
+def build_kernel():
+    b = LoopBuilder("stream")
+    i = b.dim("i", 0, N)
+    x = b.array("X", (N,))
+    y = b.array("Y", (N,))
+    out = b.array("OUT", (N,))
+    xi = b.load(x, [b.aff(i=1)], name="ld_x")
+    yi = b.load(y, [b.aff(i=1)], name="ld_y")
+    t = b.fmul(xi, yi, name="mul")
+    b.store(out, [b.aff(i=1)], t, name="st")
+    return b.build()
+
+
+def main():
+    kernel = build_kernel()
+    machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+    locality = SamplingCME(max_points=1024)
+    cache = machine.cluster(0).cache
+
+    unrolled = unroll(kernel, 4)
+    print(f"original: {kernel.loop}")
+    print(f"unrolled: {unrolled.loop}")
+    print()
+
+    print("per-copy miss ratios (all copies sharing one cache):")
+    ops = unrolled.loop.memory_operations
+    for op in ops:
+        if op.is_load:
+            ratio = locality.miss_ratio(unrolled.loop, op, ops, cache)
+            print(f"  {op.name:10s} {ratio:.2f}")
+    print("-> the leading copy carries the line-boundary miss;")
+    print("   the followers ride its line ('one misses, the rest hit').")
+    print()
+
+    print(f"{'variant':28s} {'II':>3s} {'prefetched':>10s} "
+          f"{'MaxLive':>7s} {'stall':>6s} {'cycles/elem':>11s}")
+    for label, variant, threshold in (
+        ("rolled, no prefetch", kernel, 1.0),
+        ("rolled, prefetch all", kernel, 0.0),
+        ("unrolled x4, no prefetch", unrolled, 1.0),
+        ("unrolled x4, selective", unrolled, 0.5),
+    ):
+        engine = make_scheduler("rmca", threshold, locality)
+        schedule = engine.schedule(variant, machine)
+        result = simulate(schedule)
+        print(
+            f"{label:28s} {schedule.ii:3d} "
+            f"{len(schedule.prefetched_loads()):10d} "
+            f"{max_live(schedule):7d} {result.stall_cycles:6d} "
+            f"{result.total_cycles / N:11.3f}"
+        )
+    print()
+    print(
+        "Selective prefetching after unrolling cuts register pressure"
+        " roughly in half relative to prefetching the rolled load, at the"
+        " cost of residual stall: the followers' data actually arrives"
+        " with the leader's in-flight fill, an effect the tag-level"
+        " hit/miss model does not show."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+"""Scheduler comparison helpers.
+
+Wraps the schedule→simulate pipeline for one kernel × machine ×
+scheduler × threshold cell and provides the normalization the paper's
+figures use (cycles relative to the Unified configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..ir.builder import Kernel
+from ..machine.config import MachineConfig
+from ..scheduler.base import SchedulerConfig
+from ..scheduler.baseline import BaselineScheduler
+from ..scheduler.result import Schedule
+from ..scheduler.rmca import RMCAScheduler
+from ..simulator.executor import simulate
+from ..simulator.stats import SimulationResult
+
+__all__ = ["RunResult", "run_cell", "make_scheduler", "normalized_cycles"]
+
+_SCHEDULERS = ("baseline", "rmca")
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """One (kernel, machine, scheduler, threshold) experiment cell."""
+
+    kernel: str
+    machine: str
+    scheduler: str
+    threshold: float
+    schedule: Schedule
+    simulation: SimulationResult
+
+    @property
+    def total_cycles(self) -> int:
+        return self.simulation.total_cycles
+
+    @property
+    def compute_cycles(self) -> int:
+        return self.simulation.compute_cycles
+
+    @property
+    def stall_cycles(self) -> int:
+        return self.simulation.stall_cycles
+
+
+def make_scheduler(
+    name: str,
+    threshold: float = 1.0,
+    locality: Optional[LocalityAnalyzer] = None,
+):
+    """Instantiate a scheduler by its paper name (``baseline``/``rmca``).
+
+    Both schedulers receive the locality analyzer: the figures apply the
+    miss-threshold binding-prefetch step to Baseline too (its bars also
+    sweep the threshold); only *cluster selection* differs.
+    """
+    if name not in _SCHEDULERS:
+        raise KeyError(f"unknown scheduler {name!r}; choose from {_SCHEDULERS}")
+    analyzer = locality if locality is not None else default_analyzer()
+    config = SchedulerConfig(threshold=threshold)
+    if name == "rmca":
+        return RMCAScheduler(analyzer, config)
+    return BaselineScheduler(config=config, locality=analyzer)
+
+
+def run_cell(
+    kernel: Kernel,
+    machine: MachineConfig,
+    scheduler: str,
+    threshold: float = 1.0,
+    locality: Optional[LocalityAnalyzer] = None,
+    n_iterations: Optional[int] = None,
+    n_times: Optional[int] = None,
+) -> RunResult:
+    """Schedule and simulate one experiment cell."""
+    engine = make_scheduler(scheduler, threshold, locality)
+    schedule = engine.schedule(kernel, machine)
+    result = simulate(schedule, n_iterations=n_iterations, n_times=n_times)
+    return RunResult(
+        kernel=kernel.name,
+        machine=machine.name,
+        scheduler=scheduler,
+        threshold=threshold,
+        schedule=schedule,
+        simulation=result,
+    )
+
+
+def normalized_cycles(
+    results: Sequence[RunResult],
+    baselines: Dict[str, int],
+) -> List[Dict[str, float]]:
+    """Normalize each result's cycles to its kernel's baseline total.
+
+    ``baselines`` maps kernel name → the Unified-configuration total for
+    that kernel (the paper normalizes every bar to Unified).  Returns one
+    record per result with normalized compute / stall / total.
+    """
+    records = []
+    for result in results:
+        reference = baselines[result.kernel]
+        if reference <= 0:
+            raise ValueError(f"non-positive baseline for {result.kernel!r}")
+        records.append(
+            {
+                "kernel": result.kernel,
+                "machine": result.machine,
+                "scheduler": result.scheduler,
+                "threshold": result.threshold,
+                "norm_compute": result.compute_cycles / reference,
+                "norm_stall": result.stall_cycles / reference,
+                "norm_total": result.total_cycles / reference,
+            }
+        )
+    return records

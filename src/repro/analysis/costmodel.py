@@ -1,0 +1,131 @@
+"""Closed-form cycle model of Section 2.2.
+
+The paper models a modulo-scheduled loop's execution as::
+
+    NCYCLE_total   = NCYCLE_compute + NCYCLE_stall
+    NCYCLE_compute = NTIMES * (NITER + SC - 1) * II
+
+and the latency of one memory access as::
+
+    LAT = LAT_cache
+        + MISS_LC * ( NC_waiting_entry + NC_waiting_bus + LAT_memory_bus
+                      + (MISS_RC ? LAT_main_memory : LAT_cache) )
+
+This module provides those formulas directly (useful for analytical
+what-ifs and for validating the simulator) plus a *static stall
+predictor* that combines a schedule with locality-analyzer miss ratios to
+estimate NCYCLE_stall without running the simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..cme.locality import LocalityAnalyzer
+from ..machine.config import MachineConfig
+from ..scheduler.result import Schedule
+
+__all__ = [
+    "ncycle_compute",
+    "memory_access_latency",
+    "CyclePrediction",
+    "predict_cycles",
+]
+
+
+def ncycle_compute(ii: int, stage_count: int, niter: int, ntimes: int = 1) -> int:
+    """``NTIMES * (NITER + SC - 1) * II`` — the static part of the model."""
+    if ii < 1 or stage_count < 1:
+        raise ValueError("II and SC must be >= 1")
+    if niter < 0 or ntimes < 0:
+        raise ValueError("iteration counts cannot be negative")
+    return ntimes * (niter + stage_count - 1) * ii
+
+
+def memory_access_latency(
+    cache_latency: int,
+    miss_local: bool,
+    miss_remote: bool,
+    memory_bus_latency: int,
+    main_memory_latency: int,
+    waiting_entry: int = 0,
+    waiting_bus: int = 0,
+) -> int:
+    """The paper's LAT_MemAccess composition for one access.
+
+    ``miss_local`` / ``miss_remote`` are the MISS_LC / MISS_RC binaries:
+    an access that hits locally costs only ``cache_latency``; a local
+    miss adds MSHR and bus waiting plus the transfer, then either a
+    remote-cache access (``miss_remote=False``) or main memory.
+    """
+    total = cache_latency
+    if miss_local:
+        fill = main_memory_latency if miss_remote else cache_latency
+        total += waiting_entry + waiting_bus + memory_bus_latency + fill
+    return total
+
+
+@dataclass(frozen=True)
+class CyclePrediction:
+    """Statically predicted cycle breakdown for one schedule."""
+
+    compute_cycles: int
+    stall_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.compute_cycles + self.stall_cycles
+
+    @property
+    def stall_fraction(self) -> float:
+        total = self.total_cycles
+        return self.stall_cycles / total if total else 0.0
+
+
+def predict_cycles(
+    schedule: Schedule,
+    locality: LocalityAnalyzer,
+    niter: Optional[int] = None,
+    ntimes: Optional[int] = None,
+) -> CyclePrediction:
+    """Estimate the cycle breakdown of a schedule without simulating.
+
+    Compute cycles come straight from the closed form.  Stall cycles are
+    estimated per load: a load scheduled with the hit latency stalls its
+    consumers by ``miss_ratio * (miss_latency - hit_latency)`` per
+    iteration (the expected underestimation), where the miss ratio is the
+    locality analyzer's estimate for the load among the memory operations
+    co-located in its cluster.  Loads already scheduled with the miss
+    latency contribute nothing, mirroring the binding-prefetch rationale
+    of Section 4.3.  Bus/MSHR contention is not predicted (the paper's
+    scheduler cannot know it either) so the prediction is a lower bound
+    under bandwidth saturation.
+    """
+    loop = schedule.kernel.loop
+    machine = schedule.machine
+    niter = loop.n_iterations if niter is None else niter
+    ntimes = loop.n_times if ntimes is None else ntimes
+    compute = ncycle_compute(schedule.ii, schedule.stage_count, niter, ntimes)
+
+    stall_per_iter = 0.0
+    for name, placement in schedule.placements.items():
+        op = loop.operation(name)
+        if not op.is_load:
+            continue
+        has_consumer = any(
+            edge.kind == "flow" for edge in schedule.kernel.ddg.out_edges(name)
+        )
+        if not has_consumer:
+            continue
+        extra = machine.miss_latency - placement.assumed_latency
+        if extra <= 0:
+            continue  # binding-prefetched: consumers already wait it out
+        cluster_ops = schedule.memory_ops_in_cluster(placement.cluster)
+        cache = machine.cluster(placement.cluster).cache
+        ratio = locality.miss_ratio(loop, op, cluster_ops, cache)
+        stall_per_iter += ratio * extra
+    return CyclePrediction(
+        compute_cycles=compute,
+        stall_cycles=stall_per_iter * niter * ntimes,
+    )

@@ -1,0 +1,80 @@
+"""Schedule quality metrics.
+
+Quantities the paper's discussion revolves around: inter-cluster
+communications per iteration, workload balance across clusters, II
+inflation over the MII, bus occupancy and register pressure.  All are
+pure functions of a :class:`~repro.scheduler.result.Schedule`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from ..ir.operations import FUType
+from ..scheduler.lifetimes import cluster_pressures
+from ..scheduler.result import Schedule
+
+__all__ = ["ScheduleMetrics", "schedule_metrics", "workload_balance"]
+
+
+def workload_balance(schedule: Schedule) -> float:
+    """Ratio min/max of per-cluster operation counts (1.0 = perfectly
+    balanced; 0.0 = some cluster is empty).  Single-cluster machines are
+    balanced by definition."""
+    machine = schedule.machine
+    if machine.n_clusters == 1:
+        return 1.0
+    counts = [0] * machine.n_clusters
+    for placement in schedule.placements.values():
+        counts[placement.cluster] += 1
+    top = max(counts)
+    return min(counts) / top if top else 1.0
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """One schedule's static quality summary."""
+
+    ii: int
+    mii: int
+    stage_count: int
+    comms_per_iteration: float
+    balance: float
+    max_pressure: int
+    bus_busy_fraction: float
+    ipc: float
+
+    @property
+    def ii_inflation(self) -> float:
+        """II over the lower bound (1.0 = optimal)."""
+        return self.ii / self.mii if self.mii else float("inf")
+
+
+def schedule_metrics(schedule: Schedule) -> ScheduleMetrics:
+    """Compute all static metrics for a schedule."""
+    machine = schedule.machine
+    n_ops = len(schedule.placements)
+    busy = 0
+    for comm in schedule.communications:
+        busy += comm.latency
+    bus_capacity = (
+        float("inf")
+        if machine.register_bus.count is None
+        else machine.register_bus.count * schedule.ii
+    )
+    bus_fraction = 0.0 if bus_capacity == float("inf") else busy / bus_capacity
+    if machine.register_bus.count is None and schedule.communications:
+        # For unbounded pools report the fraction of one hypothetical bus.
+        bus_fraction = busy / schedule.ii
+    pressures = cluster_pressures(schedule)
+    return ScheduleMetrics(
+        ii=schedule.ii,
+        mii=schedule.mii,
+        stage_count=schedule.stage_count,
+        comms_per_iteration=schedule.comms_per_iteration(),
+        balance=workload_balance(schedule),
+        max_pressure=max(pressures.values(), default=0),
+        bus_busy_fraction=bus_fraction,
+        ipc=n_ops / schedule.ii if schedule.ii else 0.0,
+    )

@@ -1,0 +1,196 @@
+"""Command-line interface.
+
+Exposes the main experiments without writing Python::
+
+    python -m repro.cli table1
+    python -m repro.cli suite
+    python -m repro.cli schedule tomcatv --machine 2-cluster --scheduler rmca
+    python -m repro.cli simulate swim --machine 4-cluster --threshold 0.25
+    python -m repro.cli figure5 --clusters 2 --latencies 1 4 --out fig5.json
+    python -m repro.cli figure6 --clusters 4 --csv fig6.csv
+
+Every command prints its table/chart to stdout; the figure commands can
+additionally persist the raw records (``--csv`` / ``--out`` JSON).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.compare import make_scheduler
+from .cme import SamplingCME
+from .harness.charts import render_figure
+from .harness.io import figure_to_csv, figure_to_json
+from .harness.report import format_table
+from .harness.sweep import figure5, figure6
+from .machine import ALL_PRESETS, preset
+from .simulator import simulate
+from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Modulo Scheduling for a Fully-Distributed "
+            "Clustered VLIW Architecture' (MICRO-33, 2000)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="print the Table 1 machine configurations")
+    sub.add_parser("suite", help="print the workload suite statistics")
+
+    for name, help_text in (
+        ("schedule", "modulo-schedule a kernel and print the kernel table"),
+        ("simulate", "schedule and simulate a kernel"),
+    ):
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument("kernel", choices=sorted(SPEC_KERNELS))
+        cmd.add_argument(
+            "--machine", default="2-cluster", choices=sorted(ALL_PRESETS)
+        )
+        cmd.add_argument(
+            "--scheduler", default="rmca", choices=("baseline", "rmca")
+        )
+        cmd.add_argument("--threshold", type=float, default=1.0)
+        cmd.add_argument("--max-points", type=int, default=512)
+
+    for name in ("figure5", "figure6"):
+        cmd = sub.add_parser(name, help=f"regenerate {name} of the paper")
+        cmd.add_argument("--clusters", type=int, default=2, choices=(2, 4))
+        cmd.add_argument(
+            "--thresholds", type=float, nargs="+",
+            default=[1.0, 0.75, 0.25, 0.0],
+        )
+        cmd.add_argument("--kernels", nargs="+", choices=sorted(SPEC_KERNELS))
+        cmd.add_argument("--max-points", type=int, default=512)
+        cmd.add_argument("--csv", help="write per-kernel records as CSV")
+        cmd.add_argument("--out", help="write the figure as JSON")
+        if name == "figure5":
+            cmd.add_argument(
+                "--latencies", type=int, nargs="+", default=[1, 2, 4]
+            )
+        else:
+            cmd.add_argument(
+                "--bus-counts", type=int, nargs="+", default=[1, 2]
+            )
+            cmd.add_argument(
+                "--bus-latencies", type=int, nargs="+", default=[1, 4]
+            )
+    return parser
+
+
+def _cmd_table1() -> int:
+    rows = []
+    for name in ("unified", "2-cluster", "4-cluster", "heterogeneous"):
+        machine = preset(name)
+        desc = machine.describe()
+        rows.append(
+            (
+                name,
+                desc["clusters"],
+                desc["issue_width"],
+                desc["total_registers"],
+                desc["total_cache"],
+            )
+        )
+    print(
+        format_table(
+            ["config", "clusters", "issue width", "registers", "L1 bytes"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_suite() -> int:
+    rows = [
+        (name, s["dims"], s["operations"], s["memory_operations"],
+         s["niter"], s["ntimes"])
+        for name, s in suite_stats().items()
+    ]
+    print(
+        format_table(
+            ["kernel", "dims", "ops", "mem ops", "NITER", "NTIMES"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace, run_simulation: bool) -> int:
+    kernel = kernel_by_name(args.kernel)
+    machine = preset(args.machine)
+    locality = SamplingCME(max_points=args.max_points)
+    engine = make_scheduler(args.scheduler, args.threshold, locality)
+    schedule = engine.schedule(kernel, machine)
+    schedule.validate()
+    print(schedule.format_reservation_table())
+    print(
+        f"II={schedule.ii} (MII={schedule.mii})  SC={schedule.stage_count}  "
+        f"comms/iter={schedule.n_communications}  "
+        f"prefetched={schedule.prefetched_loads() or '-'}"
+    )
+    if run_simulation:
+        result = simulate(schedule)
+        print(
+            f"cycles: total={result.total_cycles} "
+            f"(compute={result.compute_cycles}, stall={result.stall_cycles})"
+        )
+        print(f"memory: {result.memory.as_dict()}")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, which: str) -> int:
+    locality = SamplingCME(max_points=args.max_points)
+    kernels = (
+        None
+        if not args.kernels
+        else [kernel_by_name(name) for name in args.kernels]
+    )
+    if which == "figure5":
+        figure = figure5(
+            n_clusters=args.clusters,
+            latencies=tuple(args.latencies),
+            thresholds=tuple(args.thresholds),
+            kernels=kernels,
+            locality=locality,
+        )
+    else:
+        figure = figure6(
+            n_clusters=args.clusters,
+            bus_counts=tuple(args.bus_counts),
+            bus_latencies=tuple(args.bus_latencies),
+            thresholds=tuple(args.thresholds),
+            kernels=kernels,
+            locality=locality,
+        )
+    print(render_figure(figure))
+    if args.csv:
+        print(f"records written to {figure_to_csv(figure, args.csv)}")
+    if args.out:
+        print(f"figure written to {figure_to_json(figure, args.out)}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "table1":
+        return _cmd_table1()
+    if args.command == "suite":
+        return _cmd_suite()
+    if args.command == "schedule":
+        return _cmd_schedule(args, run_simulation=False)
+    if args.command == "simulate":
+        return _cmd_schedule(args, run_simulation=True)
+    if args.command in ("figure5", "figure6"):
+        return _cmd_figure(args, args.command)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Cache Miss Equations: reuse analysis and miss estimators."""
+
+from .analytic import AnalyticCME
+from .equations import EquationCME, MissBreakdown
+from .locality import LocalityAnalyzer, default_analyzer
+from .reuse import (
+    ReuseInfo,
+    analyze_reuse,
+    group_pairs,
+    innermost_stride,
+    self_spatial,
+    self_temporal,
+)
+from .sampling import MissEstimate, SamplingCME
+
+__all__ = [
+    "AnalyticCME",
+    "EquationCME",
+    "LocalityAnalyzer",
+    "MissBreakdown",
+    "MissEstimate",
+    "ReuseInfo",
+    "SamplingCME",
+    "analyze_reuse",
+    "default_analyzer",
+    "group_pairs",
+    "innermost_stride",
+    "self_spatial",
+    "self_temporal",
+]

@@ -1,0 +1,157 @@
+"""Analytic (closed-form) miss estimation for direct-mapped caches.
+
+A light-weight analytic counterpart to the sampled solver, in the spirit
+of the original Cache Miss Equations [9] restricted to the reference
+patterns our kernels use.  Per reference the model composes:
+
+* **compulsory/self misses** — ``stride / line_size`` for spatially-reusing
+  streams (clamped to 1 for non-unit strides past the line size), 0 for
+  temporally-reusing references,
+* **group-reuse discounts** — a follower of a uniformly generated leader
+  at distance < line trails in the leader's lines and only misses on the
+  fraction of iterations where its access enters a new line,
+* **conflict (interference) misses** — a pairwise ping-pong test: two
+  references whose addresses map to the same cache set at (nearly) every
+  iteration evict each other in a direct-mapped cache, forcing both to
+  miss on every access, exactly the pathology of the motivating example.
+
+The analytic model is intentionally simpler than the exact CME; the
+ablation benchmark (`benchmarks/test_ablations.py`) quantifies its
+agreement with the sampled solver, and the schedulers accept either
+backend through the same protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..ir.loop import Loop
+from ..ir.operations import Operation
+from ..machine.config import CacheConfig
+from .reuse import group_pairs, innermost_stride
+
+__all__ = ["AnalyticCME"]
+
+#: Fraction of set-overlap probes that must collide before two streams are
+#: considered ping-pong conflicting.
+_CONFLICT_FRACTION = 0.5
+_PROBE_POINTS = 64
+
+
+class AnalyticCME:
+    """Closed-form locality analyzer (direct-mapped focus)."""
+
+    name = "analytic"
+
+    def __init__(self):
+        self._memo: Dict[Tuple, Dict[str, float]] = {}
+
+    # ------------------------------------------------------------------
+    def per_op_miss_ratio(
+        self,
+        loop: Loop,
+        ops: Sequence[Operation],
+        cache: CacheConfig,
+    ) -> Dict[str, float]:
+        """Estimated steady-state miss ratio for every memory op in ``ops``."""
+        mem_ops = [op for op in loop.operations if op in tuple(ops) and op.is_memory]
+        key = (
+            id(loop),
+            tuple(op.name for op in mem_ops),
+            cache.size,
+            cache.line_size,
+            cache.associativity,
+        )
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        ratios = self._estimate(loop, mem_ops, cache)
+        self._memo[key] = ratios
+        return ratios
+
+    def _estimate(
+        self,
+        loop: Loop,
+        ops: List[Operation],
+        cache: CacheConfig,
+    ) -> Dict[str, float]:
+        refs = [loop.ref_of(op) for op in ops]
+        line = cache.line_size
+
+        # Base: self reuse only.
+        ratios: Dict[str, float] = {}
+        for op, ref in zip(ops, refs):
+            stride = abs(innermost_stride(ref, loop))
+            if stride == 0:
+                ratios[op.name] = 0.0
+            elif stride < line:
+                ratios[op.name] = stride / line
+            else:
+                ratios[op.name] = 1.0
+
+        # Group reuse: follower rides the leader's lines.
+        for leader, follower, gap in group_pairs(refs, loop, line):
+            if gap >= line:
+                continue
+            lead_op, follow_op = ops[leader], ops[follower]
+            stride = abs(innermost_stride(refs[follower], loop))
+            if stride == 0:
+                ratios[follow_op.name] = 0.0
+            else:
+                # The follower only misses when it crosses into a line the
+                # leader has not yet touched — at most the boundary fraction.
+                boundary = gap / line * (stride / line)
+                ratios[follow_op.name] = min(ratios[follow_op.name], boundary)
+
+        # Conflicts: pairwise ping-pong detection overrides reuse.
+        conflicting = self._conflict_sets(loop, refs, cache)
+        for index in conflicting:
+            ratios[ops[index].name] = 1.0
+        return ratios
+
+    def _conflict_sets(
+        self,
+        loop: Loop,
+        refs: Sequence,
+        cache: CacheConfig,
+    ) -> List[int]:
+        """Indices of references involved in a ping-pong conflict."""
+        if cache.associativity > 1:
+            return []  # pathological ping-pong needs direct mapping
+        points = list(loop.iteration_points(limit=_PROBE_POINTS))
+        conflicting: List[int] = []
+        for i in range(len(refs)):
+            for j in range(i + 1, len(refs)):
+                if refs[i].array.name == refs[j].array.name:
+                    continue  # same-array refs covered by group analysis
+                collisions = 0
+                for point in points:
+                    set_i = cache.set_index(refs[i].address(point))
+                    set_j = cache.set_index(refs[j].address(point))
+                    if set_i == set_j:
+                        collisions += 1
+                if points and collisions / len(points) >= _CONFLICT_FRACTION:
+                    conflicting.extend((i, j))
+        return sorted(set(conflicting))
+
+    # ------------------------------------------------------------------
+    # LocalityAnalyzer protocol
+    # ------------------------------------------------------------------
+    def miss_count(
+        self,
+        loop: Loop,
+        ops: Sequence[Operation],
+        cache: CacheConfig,
+    ) -> float:
+        """Expected misses per full innermost-loop execution."""
+        ratios = self.per_op_miss_ratio(loop, ops, cache)
+        return sum(ratios.values()) * loop.n_iterations
+
+    def miss_ratio(
+        self,
+        loop: Loop,
+        op: Operation,
+        ops: Sequence[Operation],
+        cache: CacheConfig,
+    ) -> float:
+        return self.per_op_miss_ratio(loop, ops, cache).get(op.name, 0.0)

@@ -1,0 +1,52 @@
+"""Scheduler-facing locality-analysis protocol.
+
+The schedulers only need two statistics (Section 4.2 of the paper):
+
+* the number of misses incurred by a *set* of memory references sharing
+  one cache configuration, and
+* the miss ratio of one particular memory instruction within that set.
+
+Any object implementing :class:`LocalityAnalyzer` can drive the RMCA
+scheduler; the package ships the sampled solver (primary, the paper's
+practical choice) and a closed-form analytic model (ablation).
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, Sequence, runtime_checkable
+
+from ..ir.loop import Loop
+from ..ir.operations import Operation
+from ..machine.config import CacheConfig
+from .analytic import AnalyticCME
+from .sampling import SamplingCME
+
+__all__ = ["LocalityAnalyzer", "default_analyzer"]
+
+
+@runtime_checkable
+class LocalityAnalyzer(Protocol):
+    """Protocol both CME backends implement."""
+
+    name: str
+
+    def miss_count(
+        self, loop: Loop, ops: Sequence[Operation], cache: CacheConfig
+    ) -> float:
+        """Misses incurred by ``ops`` sharing one cache over ``loop``."""
+        ...
+
+    def miss_ratio(
+        self,
+        loop: Loop,
+        op: Operation,
+        ops: Sequence[Operation],
+        cache: CacheConfig,
+    ) -> float:
+        """Miss ratio of ``op`` when co-located with ``ops``."""
+        ...
+
+
+def default_analyzer(max_points: int = 2048) -> SamplingCME:
+    """The analyzer used throughout the paper's experiments."""
+    return SamplingCME(max_points=max_points)

@@ -1,0 +1,34 @@
+"""Experiment harness: sweeps, tables, ASCII charts."""
+
+from .charts import render_bar, render_figure
+from .io import figure_to_csv, figure_to_json, load_records, records_to_csv, records_to_json
+from .report import figure_table, format_float, format_table
+from .sweep import (
+    DEFAULT_THRESHOLDS,
+    Bar,
+    FigureData,
+    figure5,
+    figure6,
+    suite_bar,
+    unified_reference,
+)
+
+__all__ = [
+    "Bar",
+    "DEFAULT_THRESHOLDS",
+    "FigureData",
+    "figure5",
+    "figure6",
+    "figure_table",
+    "figure_to_csv",
+    "figure_to_json",
+    "load_records",
+    "records_to_csv",
+    "records_to_json",
+    "format_float",
+    "format_table",
+    "render_bar",
+    "render_figure",
+    "suite_bar",
+    "unified_reference",
+]

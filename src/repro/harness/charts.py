@@ -1,0 +1,44 @@
+"""ASCII stacked-bar rendering of figure data.
+
+Approximates the paper's stacked compute/stall bar charts in plain text:
+the compute part renders as ``#`` and the stall part as ``.``, scaled to
+a fixed character width, one bar per line, grouped as in the figure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .sweep import Bar, FigureData
+
+__all__ = ["render_bar", "render_figure"]
+
+
+def render_bar(bar: Bar, scale: float, width: int = 50) -> str:
+    """One stacked bar line.  ``scale`` is the value rendered full-width."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    compute_chars = round(bar.norm_compute / scale * width)
+    total_chars = round(bar.norm_total / scale * width)
+    stall_chars = max(0, total_chars - compute_chars)
+    body = "#" * compute_chars + "." * stall_chars
+    return (
+        f"thr={bar.threshold:4.2f} |{body.ljust(width)}| "
+        f"{bar.norm_total:.3f} ({bar.norm_compute:.3f}+{bar.norm_stall:.3f})"
+    )
+
+
+def render_figure(
+    figure: FigureData, width: int = 50, max_scale: Optional[float] = None
+) -> str:
+    """Render all groups of a figure as stacked ASCII bars."""
+    if not figure.bars:
+        return figure.title + "\n(no bars)"
+    scale = max_scale or max(bar.norm_total for bar in figure.bars)
+    lines: List[str] = [figure.title, f"(full width = {scale:.3f}x unified)"]
+    for group in figure.groups:
+        lines.append("")
+        lines.append(group)
+        for bar in figure.bars_in_group(group):
+            lines.append("  " + render_bar(bar, scale, width))
+    return "\n".join(lines)

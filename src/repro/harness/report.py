@@ -1,0 +1,58 @@
+"""Plain-text tables for experiment output.
+
+Every benchmark prints the rows the paper's tables/figures report; these
+helpers keep the formatting consistent and dependency-free.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_float", "figure_table"]
+
+
+def format_float(value: object, digits: int = 3) -> str:
+    """Uniform float rendering (ints and strings pass through)."""
+    if isinstance(value, bool) or not isinstance(value, float):
+        return str(value)
+    return f"{value:.{digits}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    digits: int = 3,
+) -> str:
+    """Render an ASCII table with a header rule and aligned columns."""
+    rendered = [[format_float(cell, digits) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, header has {len(headers)}"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths)).rstrip()
+
+    out = [line(list(headers)), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def figure_table(figure, digits: int = 3) -> str:
+    """Tabulate a :class:`~repro.harness.sweep.FigureData`'s bars."""
+    headers = ["group", "scheduler", "threshold", "compute", "stall", "total"]
+    rows = [
+        (
+            bar.group,
+            bar.scheduler,
+            bar.threshold,
+            bar.norm_compute,
+            bar.norm_stall,
+            bar.norm_total,
+        )
+        for bar in figure.bars
+    ]
+    return f"{figure.title}\n" + format_table(headers, rows, digits)

@@ -1,0 +1,273 @@
+"""Experiment sweeps reproducing the paper's evaluation (Section 5).
+
+The two figure generators mirror the paper's methodology:
+
+* every cell schedules all suite kernels with one scheduler and one
+  miss threshold on one machine, simulates them, and normalizes each
+  kernel's total cycles to the Unified reference (threshold 1.00),
+* bars average the normalized compute and stall components over kernels
+  (the paper reports "normalized number of cycles averaged for all
+  benchmarks" with each bar split into compute and stall).
+
+:func:`figure5` sweeps register-bus × memory-bus latencies with an
+*unbounded* number of buses (Section 5.2); :func:`figure6` fixes
+2 register buses @ 1 cycle and sweeps the number and latency of memory
+buses (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..analysis.compare import RunResult, run_cell
+from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..ir.builder import Kernel
+from ..machine.config import BusConfig, MachineConfig
+from ..machine.presets import four_cluster, two_cluster, unified
+from ..workloads.suite import spec_suite
+
+__all__ = [
+    "Bar",
+    "FigureData",
+    "DEFAULT_THRESHOLDS",
+    "unified_reference",
+    "suite_bar",
+    "figure5",
+    "figure6",
+]
+
+DEFAULT_THRESHOLDS: Tuple[float, ...] = (1.0, 0.75, 0.25, 0.0)
+
+_CLUSTER_PRESETS = {2: two_cluster, 4: four_cluster}
+
+
+@dataclass(frozen=True)
+class Bar:
+    """One averaged bar of a figure (compute + stall, normalized)."""
+
+    group: str
+    scheduler: str
+    threshold: float
+    norm_compute: float
+    norm_stall: float
+
+    @property
+    def norm_total(self) -> float:
+        return self.norm_compute + self.norm_stall
+
+    @property
+    def label(self) -> str:
+        return f"{self.group} {self.scheduler} thr={self.threshold:.2f}"
+
+
+@dataclass
+class FigureData:
+    """All bars of one figure plus the raw per-kernel records."""
+
+    title: str
+    bars: List[Bar] = field(default_factory=list)
+    records: List[Dict[str, object]] = field(default_factory=list)
+
+    def bars_in_group(self, group: str) -> List[Bar]:
+        return [bar for bar in self.bars if bar.group == group]
+
+    def bar(self, group: str, scheduler: str, threshold: float) -> Bar:
+        for candidate in self.bars:
+            if (
+                candidate.group == group
+                and candidate.scheduler == scheduler
+                and abs(candidate.threshold - threshold) < 1e-9
+            ):
+                return candidate
+        raise KeyError(f"no bar ({group!r}, {scheduler!r}, {threshold})")
+
+    @property
+    def groups(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for bar in self.bars:
+            seen.setdefault(bar.group, None)
+        return list(seen)
+
+
+def unified_reference(
+    kernels: Sequence[Kernel],
+    locality: Optional[LocalityAnalyzer] = None,
+    memory_bus: Optional[BusConfig] = None,
+) -> Dict[str, int]:
+    """Per-kernel total cycles on Unified at threshold 1.00.
+
+    This is the figures' normalization denominator.  The memory bus
+    defaults to an unbounded 1-cycle pool so the reference measures the
+    machine, not bus starvation; pass an explicit bus to reproduce a
+    bandwidth-limited reference.
+    """
+    locality = locality if locality is not None else default_analyzer()
+    machine = unified(memory_bus=memory_bus or BusConfig(count=None, latency=1))
+    totals: Dict[str, int] = {}
+    for kernel in kernels:
+        result = run_cell(kernel, machine, "baseline", 1.0, locality)
+        totals[kernel.name] = result.total_cycles
+    return totals
+
+
+def suite_bar(
+    group: str,
+    kernels: Sequence[Kernel],
+    machine: MachineConfig,
+    scheduler: str,
+    threshold: float,
+    locality: LocalityAnalyzer,
+    reference: Dict[str, int],
+) -> Tuple[Bar, List[Dict[str, object]]]:
+    """Run one bar's cells and average the normalized components."""
+    records: List[Dict[str, object]] = []
+    compute_sum = 0.0
+    stall_sum = 0.0
+    for kernel in kernels:
+        result = run_cell(kernel, machine, scheduler, threshold, locality)
+        denom = reference[kernel.name]
+        compute_sum += result.compute_cycles / denom
+        stall_sum += result.stall_cycles / denom
+        records.append(
+            {
+                "group": group,
+                **result.simulation.as_dict(),
+                "norm_compute": result.compute_cycles / denom,
+                "norm_stall": result.stall_cycles / denom,
+                "norm_total": result.total_cycles / denom,
+            }
+        )
+    n = len(kernels)
+    bar = Bar(
+        group=group,
+        scheduler=scheduler,
+        threshold=threshold,
+        norm_compute=compute_sum / n,
+        norm_stall=stall_sum / n,
+    )
+    return bar, records
+
+
+def _unified_bars(
+    kernels: Sequence[Kernel],
+    thresholds: Sequence[float],
+    locality: LocalityAnalyzer,
+    reference: Dict[str, int],
+    memory_bus: BusConfig,
+    figure: FigureData,
+) -> None:
+    machine = unified(memory_bus=memory_bus)
+    for threshold in thresholds:
+        bar, records = suite_bar(
+            "unified", kernels, machine, "baseline", threshold, locality, reference
+        )
+        figure.bars.append(bar)
+        figure.records.extend(records)
+
+
+def figure5(
+    n_clusters: int = 2,
+    latencies: Sequence[int] = (1, 2, 4),
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    kernels: Optional[Sequence[Kernel]] = None,
+    locality: Optional[LocalityAnalyzer] = None,
+) -> FigureData:
+    """Figure 5: unbounded buses, LRB × LMB latency sweep.
+
+    Groups are named ``LRB=x,LMB=y baseline|rmca`` plus the leading
+    ``unified`` group; each group holds one bar per threshold.
+    """
+    if n_clusters not in _CLUSTER_PRESETS:
+        raise ValueError(f"n_clusters must be one of {sorted(_CLUSTER_PRESETS)}")
+    kernels = list(kernels) if kernels is not None else spec_suite()
+    locality = locality if locality is not None else default_analyzer()
+    reference = unified_reference(kernels, locality)
+    figure = FigureData(
+        title=f"Figure 5 ({n_clusters}-cluster): unbounded buses"
+    )
+    _unified_bars(
+        kernels,
+        thresholds,
+        locality,
+        reference,
+        BusConfig(count=None, latency=1),
+        figure,
+    )
+    preset = _CLUSTER_PRESETS[n_clusters]
+    for lrb in latencies:
+        for lmb in latencies:
+            machine = preset(
+                register_bus=BusConfig(count=None, latency=lrb),
+                memory_bus=BusConfig(count=None, latency=lmb),
+            )
+            for scheduler in ("baseline", "rmca"):
+                group = f"LRB={lrb},LMB={lmb} {scheduler}"
+                for threshold in thresholds:
+                    bar, records = suite_bar(
+                        group,
+                        kernels,
+                        machine,
+                        scheduler,
+                        threshold,
+                        locality,
+                        reference,
+                    )
+                    figure.bars.append(bar)
+                    figure.records.extend(records)
+    return figure
+
+
+def figure6(
+    n_clusters: int = 2,
+    bus_counts: Sequence[int] = (1, 2),
+    bus_latencies: Sequence[int] = (1, 4),
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    kernels: Optional[Sequence[Kernel]] = None,
+    locality: Optional[LocalityAnalyzer] = None,
+) -> FigureData:
+    """Figure 6: realistic buses — 2 register buses @ 1 cycle, NMB × LMB.
+
+    Groups are named ``NMB=n,LMB=y baseline|rmca`` plus ``unified``
+    (which shares the clustered runs' single-bus memory system so the
+    comparison isolates clustering, not bus bandwidth).
+    """
+    if n_clusters not in _CLUSTER_PRESETS:
+        raise ValueError(f"n_clusters must be one of {sorted(_CLUSTER_PRESETS)}")
+    kernels = list(kernels) if kernels is not None else spec_suite()
+    locality = locality if locality is not None else default_analyzer()
+    reference = unified_reference(kernels, locality)
+    figure = FigureData(
+        title=f"Figure 6 ({n_clusters}-cluster): realistic buses"
+    )
+    _unified_bars(
+        kernels,
+        thresholds,
+        locality,
+        reference,
+        BusConfig(count=1, latency=1),
+        figure,
+    )
+    preset = _CLUSTER_PRESETS[n_clusters]
+    register_bus = BusConfig(count=2, latency=1)
+    for nmb in bus_counts:
+        for lmb in bus_latencies:
+            machine = preset(
+                register_bus=register_bus,
+                memory_bus=BusConfig(count=nmb, latency=lmb),
+            )
+            for scheduler in ("baseline", "rmca"):
+                group = f"NMB={nmb},LMB={lmb} {scheduler}"
+                for threshold in thresholds:
+                    bar, records = suite_bar(
+                        group,
+                        kernels,
+                        machine,
+                        scheduler,
+                        threshold,
+                        locality,
+                        reference,
+                    )
+                    figure.bars.append(bar)
+                    figure.records.extend(records)
+    return figure

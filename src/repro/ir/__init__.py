@@ -1,0 +1,26 @@
+"""Loop intermediate representation: operations, references, loops, DDGs."""
+
+from .builder import Kernel, LoopBuilder, Value
+from .ddg import DepEdge, DependenceGraph, build_ddg
+from .depanalysis import analyze_memory_dependences, exact_distance, may_alias
+from .loop import Loop, LoopDim
+from .operations import FUType, OpClass, Operation
+from .references import AffineExpr, Array, ArrayReference
+
+__all__ = [
+    "AffineExpr",
+    "Array",
+    "ArrayReference",
+    "DepEdge",
+    "analyze_memory_dependences",
+    "DependenceGraph",
+    "FUType",
+    "Kernel",
+    "Loop",
+    "LoopBuilder",
+    "LoopDim",
+    "OpClass",
+    "Operation",
+    "Value",
+    "build_ddg",
+]

@@ -1,0 +1,327 @@
+"""A small DSL for writing loop kernels.
+
+The SPECfp95 loops the paper schedules were produced by the ICTINEO
+compiler; here kernels are written directly::
+
+    b = LoopBuilder("saxpy")
+    i = b.dim("i", 0, 1000)
+    x = b.array("X", (1000,))
+    y = b.array("Y", (1000,))
+    xi = b.load(x, [b.aff(i=1)])
+    yi = b.load(y, [b.aff(i=1)])
+    s = b.fmul(xi, b.fconst("alpha"))
+    t = b.fadd(s, yi)
+    b.store(y, [b.aff(i=1)], t)
+    loop = b.build()
+
+``build()`` returns a :class:`~repro.ir.loop.Loop` together with its
+dependence graph, wrapped in a :class:`Kernel`.
+
+Loop-carried recurrences are expressed with :meth:`LoopBuilder.prev`::
+
+    acc = b.fadd(b.prev_value("acc", distance=1), xi, dest="acc")
+
+which makes the ``fadd`` consume its own result from ``distance``
+iterations earlier.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .ddg import DepEdge, DependenceGraph, build_ddg
+from .loop import Loop, LoopDim
+from .operations import OpClass, Operation
+from .references import AffineExpr, Array, ArrayReference
+
+__all__ = ["Value", "Kernel", "LoopBuilder"]
+
+
+@dataclass(frozen=True)
+class Value:
+    """A register value produced by an operation (or a live-in constant)."""
+
+    reg: str
+    producer: Optional[str] = None  # op name; None for live-ins
+
+
+@dataclass
+class Kernel:
+    """A loop plus its dependence graph — the scheduler's input."""
+
+    loop: Loop
+    ddg: DependenceGraph
+
+    @property
+    def name(self) -> str:
+        return self.loop.name
+
+
+class LoopBuilder:
+    """Incrementally constructs a :class:`Kernel`.
+
+    All ``emit``-style methods return a :class:`Value` for the produced
+    register (stores return ``None``).  Operation and register names are
+    generated automatically but can be overridden via ``name``/``dest``
+    keyword arguments.
+    """
+
+    def __init__(self, name: str):
+        self.name = name
+        self._dims: List[LoopDim] = []
+        self._ops: List[Operation] = []
+        self._refs: List[ArrayReference] = []
+        self._arrays: Dict[str, Array] = {}
+        self._extra_edges: List[DepEdge] = []
+        self._counters = itertools.count(1)
+        self._next_base = 0
+        self._pending_prev: Dict[str, List[Tuple[str, int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def dim(self, var: str, lower: int, upper: int, step: int = 1) -> str:
+        """Add a loop dimension (call outermost-first); returns the var name."""
+        if any(d.var == var for d in self._dims):
+            raise ValueError(f"duplicate loop variable {var!r}")
+        self._dims.append(LoopDim(var, lower, upper, step))
+        return var
+
+    def array(
+        self,
+        name: str,
+        shape: Sequence[int],
+        element_size: int = 8,
+        base: Optional[int] = None,
+        align: int = 64,
+    ) -> Array:
+        """Declare an array; bases are packed sequentially unless given.
+
+        ``base=None`` lays the array right after the previously declared
+        one (aligned to ``align`` bytes).  Passing an explicit ``base``
+        creates deliberate placements — e.g. the multiple-of-cache-size
+        distance that produces the ping-pong conflicts of Section 3.
+        """
+        if name in self._arrays:
+            raise ValueError(f"duplicate array {name!r}")
+        if base is None:
+            base = self._next_base
+        arr = Array(name, tuple(shape), element_size, base)
+        self._arrays[name] = arr
+        end = arr.base + arr.size_bytes
+        self._next_base = max(self._next_base, (end + align - 1) // align * align)
+        return arr
+
+    def aff(self, constant: int = 0, **coeffs: int) -> AffineExpr:
+        """Shorthand for :meth:`AffineExpr.of`."""
+        return AffineExpr.of(constant, **coeffs)
+
+    # ------------------------------------------------------------------
+    # Values
+    # ------------------------------------------------------------------
+    def live_in(self, reg: str) -> Value:
+        """A loop-invariant value defined before the loop (no producer)."""
+        return Value(reg=reg, producer=None)
+
+    fconst = live_in  # loop-invariant scalar: same scheduling behaviour
+
+    def prev(self, value: Value, distance: int = 1) -> Value:
+        """Use ``value`` as produced ``distance`` iterations earlier.
+
+        The returned value carries the same register; the loop-carried
+        flow edge is recorded when the consumer is emitted.
+        """
+        if value.producer is None:
+            return value  # live-ins are iteration-invariant
+        if distance < 1:
+            raise ValueError("loop-carried distance must be >= 1")
+        marker = f"__prev{distance}__{value.reg}"
+        self._pending_prev.setdefault(marker, []).append(
+            (value.producer, distance)
+        )
+        return Value(reg=marker, producer=value.producer)
+
+    def prev_value(self, reg: str, distance: int = 1) -> Value:
+        """Forward reference to a register defined later in the body.
+
+        Used for recurrences whose consumer is emitted before the
+        producer (``acc = acc + x``): the edge is resolved at ``build()``
+        time against the operation that defines ``reg``.
+        """
+        if distance < 1:
+            raise ValueError("loop-carried distance must be >= 1")
+        marker = f"__fwd{distance}__{reg}"
+        return Value(reg=marker, producer=None)
+
+    # ------------------------------------------------------------------
+    # Operation emission
+    # ------------------------------------------------------------------
+    def _fresh(self, prefix: str) -> str:
+        return f"{prefix}{next(self._counters)}"
+
+    def _emit(
+        self,
+        opclass: OpClass,
+        srcs: Sequence[Value],
+        dest: Optional[str],
+        name: Optional[str],
+        ref: Optional[ArrayReference] = None,
+    ) -> Optional[Value]:
+        op_name = name or self._fresh(opclass.value)
+        ref_index = None
+        if ref is not None:
+            ref_index = len(self._refs)
+            self._refs.append(ref)
+        if opclass.writes_register and dest is None:
+            dest = f"v_{op_name}"
+        operation = Operation(
+            name=op_name,
+            opclass=opclass,
+            dest=dest,
+            srcs=tuple(v.reg for v in srcs),
+            ref_index=ref_index,
+        )
+        self._ops.append(operation)
+        if dest is None:
+            return None
+        return Value(reg=dest, producer=op_name)
+
+    def load(
+        self,
+        array: Array,
+        subscripts: Sequence[AffineExpr],
+        name: Optional[str] = None,
+        dest: Optional[str] = None,
+    ) -> Value:
+        """Emit a load of ``array[subscripts]``."""
+        ref = ArrayReference(array, tuple(subscripts), is_store=False)
+        value = self._emit(OpClass.LOAD, [], dest, name, ref)
+        assert value is not None
+        return value
+
+    def store(
+        self,
+        array: Array,
+        subscripts: Sequence[AffineExpr],
+        value: Value,
+        name: Optional[str] = None,
+    ) -> None:
+        """Emit a store of ``value`` into ``array[subscripts]``."""
+        ref = ArrayReference(array, tuple(subscripts), is_store=True)
+        self._emit(OpClass.STORE, [value], None, name, ref)
+
+    def _binary(
+        self,
+        opclass: OpClass,
+        a: Value,
+        b: Value,
+        name: Optional[str],
+        dest: Optional[str],
+    ) -> Value:
+        value = self._emit(opclass, [a, b], dest, name)
+        assert value is not None
+        return value
+
+    def iadd(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.IADD, a, b, name, dest)
+
+    def isub(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.ISUB, a, b, name, dest)
+
+    def imul(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.IMUL, a, b, name, dest)
+
+    def fadd(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.FADD, a, b, name, dest)
+
+    def fsub(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.FSUB, a, b, name, dest)
+
+    def fmul(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.FMUL, a, b, name, dest)
+
+    def fdiv(self, a: Value, b: Value, name=None, dest=None) -> Value:
+        return self._binary(OpClass.FDIV, a, b, name, dest)
+
+    def fneg(self, a: Value, name=None, dest=None) -> Value:
+        value = self._emit(OpClass.FNEG, [a], dest, name)
+        assert value is not None
+        return value
+
+    # ------------------------------------------------------------------
+    # Explicit dependences
+    # ------------------------------------------------------------------
+    def mem_dep(self, src_op: str, dst_op: str, distance: int = 0) -> None:
+        """Add an explicit memory-ordering edge between two operations."""
+        self._extra_edges.append(DepEdge(src_op, dst_op, "mem", distance))
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build(self) -> Kernel:
+        """Validate, resolve loop-carried markers, return the kernel."""
+        if not self._dims:
+            raise ValueError(f"kernel {self.name!r} has no loop dimensions")
+        ops, carried = self._resolve_markers()
+        loop = Loop(
+            name=self.name,
+            dims=tuple(self._dims),
+            operations=tuple(ops),
+            refs=tuple(self._refs),
+        )
+        ddg = build_ddg(loop, self._extra_edges + carried)
+        return Kernel(loop=loop, ddg=ddg)
+
+    def _resolve_markers(self) -> Tuple[List[Operation], List[DepEdge]]:
+        """Replace ``__prev``/``__fwd`` source markers with real registers.
+
+        Returns the rewritten operation list and the loop-carried flow
+        edges the markers encoded.
+        """
+        defs: Dict[str, str] = {}
+        for op in self._ops:
+            if op.dest is not None:
+                defs[op.dest] = op.name
+        rewritten: List[Operation] = []
+        carried: List[DepEdge] = []
+        for op in self._ops:
+            new_srcs: List[str] = []
+            for src in op.srcs:
+                resolved, edge = self._resolve_one(src, op.name, defs)
+                new_srcs.append(resolved)
+                if edge is not None:
+                    carried.append(edge)
+            if tuple(new_srcs) != op.srcs:
+                op = Operation(
+                    name=op.name,
+                    opclass=op.opclass,
+                    dest=op.dest,
+                    srcs=tuple(new_srcs),
+                    ref_index=op.ref_index,
+                )
+            rewritten.append(op)
+        return rewritten, carried
+
+    def _resolve_one(
+        self, src: str, consumer: str, defs: Dict[str, str]
+    ) -> Tuple[str, Optional[DepEdge]]:
+        if src.startswith("__prev"):
+            head, reg = src.split("__", 2)[1:]
+            distance = int(head[len("prev"):])
+            producers = self._pending_prev.get(src, [])
+            producer = producers[0][0] if producers else defs.get(reg)
+            if producer is None:
+                raise ValueError(f"unresolved prev marker {src!r}")
+            return reg, DepEdge(producer, consumer, "flow", distance)
+        if src.startswith("__fwd"):
+            head, reg = src.split("__", 2)[1:]
+            distance = int(head[len("fwd"):])
+            producer = defs.get(reg)
+            if producer is None:
+                raise ValueError(
+                    f"prev_value({reg!r}) never defined in kernel {self.name!r}"
+                )
+            return reg, DepEdge(producer, consumer, "flow", distance)
+        return src, None

@@ -1,0 +1,201 @@
+"""Memory dependence analysis for affine references.
+
+The builder DSL lets kernels declare memory-ordering edges explicitly
+(:meth:`~repro.ir.builder.LoopBuilder.mem_dep`); this module derives them
+automatically for affine references, the way a compiler front-end would:
+
+* for every pair of references to the same array where at least one is a
+  store, decide whether two (possibly distinct) iterations can touch the
+  same address,
+* *uniformly generated* pairs are solved exactly: the per-dimension
+  constant distances must be produced by an integer iteration offset,
+  which also yields the exact dependence distance,
+* other same-array pairs fall back to a GCD (Banerjee-style) independence
+  test per dimension; pairs that cannot be disproven get a conservative
+  distance-0 edge plus a distance-1 loop-carried edge.
+
+Dependence kinds follow program order: store→load is ``mem`` (the
+scheduler serializes by a cycle), load→store is ``anti`` (same-cycle
+issue allowed in a VLIW), store→store is ``mem``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence, Tuple
+
+from .ddg import DepEdge
+from .loop import Loop
+from .references import ArrayReference
+
+__all__ = ["analyze_memory_dependences", "may_alias", "exact_distance"]
+
+#: Dependences farther apart than this many innermost iterations are
+#: dropped — they cannot constrain a modulo schedule whose II * distance
+#: already exceeds any latency.
+_MAX_RELEVANT_DISTANCE = 64
+
+
+def exact_distance(
+    a: ArrayReference, b: ArrayReference, loop: Loop
+) -> Optional[int]:
+    """Innermost-iteration offset ``d`` with ``b(i + d) == a(i)``, if any.
+
+    Only meaningful for uniformly generated pairs; returns ``None`` when
+    the references never touch the same element at a constant offset.
+    """
+    if not a.is_uniformly_generated_with(b):
+        return None
+    inner = loop.inner.var
+    distance: Optional[int] = None
+    for sub_a, sub_b in zip(a.subscripts, b.subscripts):
+        delta = sub_a.constant - sub_b.constant
+        coeff = sub_b.coeff(inner)
+        if coeff == 0:
+            if delta != 0:
+                # Constant mismatch in a dimension the innermost loop
+                # does not move: the references never coincide...
+                # unless an outer variable moves it, which uniform
+                # generation rules out for constant offsets.
+                return None
+            continue
+        if delta % coeff != 0:
+            return None
+        candidate = delta // coeff
+        if distance is None:
+            distance = candidate
+        elif distance != candidate:
+            return None
+    return 0 if distance is None else distance
+
+
+def _gcd_test(a: ArrayReference, b: ArrayReference) -> bool:
+    """GCD independence test; True when the pair *may* alias.
+
+    Per dimension, ``a_sub(i) = b_sub(j)`` has integer solutions only if
+    gcd of all variable coefficients divides the constant difference.
+    """
+    for sub_a, sub_b in zip(a.subscripts, b.subscripts):
+        coeffs = [c for _v, c in sub_a.coeffs] + [c for _v, c in sub_b.coeffs]
+        delta = sub_b.constant - sub_a.constant
+        if not coeffs:
+            if delta != 0:
+                return False
+            continue
+        divisor = math.gcd(*(abs(c) for c in coeffs))
+        if divisor and delta % divisor != 0:
+            return False
+    return True
+
+
+def may_alias(a: ArrayReference, b: ArrayReference, loop: Loop) -> bool:
+    """Can two references touch the same address at some iteration pair?"""
+    if a.array.name != b.array.name:
+        # Distinct arrays can still overlap in the flat address space
+        # when their extents collide; the builder packs them disjointly,
+        # so distinct names never alias here.
+        overlap = not (
+            a.array.base + a.array.size_bytes <= b.array.base
+            or b.array.base + b.array.size_bytes <= a.array.base
+        )
+        return overlap
+    distance = exact_distance(a, b, loop)
+    if distance is not None:
+        return True
+    if a.is_uniformly_generated_with(b):
+        # Uniform but no integer offset: provably disjoint streams.
+        return False
+    return _gcd_test(a, b)
+
+
+def _edge_kind(src_is_store: bool, dst_is_store: bool) -> str:
+    if not src_is_store and dst_is_store:
+        return "anti"
+    return "mem"
+
+
+def analyze_memory_dependences(
+    loop: Loop, max_distance: int = _MAX_RELEVANT_DISTANCE
+) -> List[DepEdge]:
+    """Derive memory dependence edges among a loop's memory operations.
+
+    Returns edges suitable for :func:`~repro.ir.ddg.build_ddg`'s
+    ``extra_edges``.  Edges beyond ``max_distance`` iterations are
+    dropped as irrelevant to modulo scheduling.
+    """
+    mem_ops = list(loop.memory_operations)
+    position = {op.name: index for index, op in enumerate(loop.operations)}
+    edges: List[DepEdge] = []
+    for i, op_a in enumerate(mem_ops):
+        ref_a = loop.ref_of(op_a)
+        for op_b in mem_ops[i:]:
+            ref_b = loop.ref_of(op_b)
+            if not (op_a.is_store or op_b.is_store):
+                continue  # load-load pairs impose no ordering
+            if op_a.name == op_b.name:
+                # A store conflicting with itself across iterations
+                # (e.g. subscripts that revisit an element).
+                if op_a.is_store:
+                    distance = _self_conflict_distance(ref_a, loop)
+                    if distance is not None and 0 < distance <= max_distance:
+                        edges.append(
+                            DepEdge(op_a.name, op_a.name, "mem", distance)
+                        )
+                continue
+            if not may_alias(ref_a, ref_b, loop):
+                continue
+            first, second = op_a, op_b
+            if position[first.name] > position[second.name]:
+                first, second = second, first
+            ref_first = loop.ref_of(first)
+            ref_second = loop.ref_of(second)
+            distance = exact_distance(ref_first, ref_second, loop)
+            if distance is None:
+                # Could not solve exactly: conservative same-iteration
+                # and next-iteration ordering.
+                edges.append(
+                    DepEdge(
+                        first.name,
+                        second.name,
+                        _edge_kind(first.is_store, second.is_store),
+                        0,
+                    )
+                )
+                edges.append(DepEdge(second.name, first.name, "mem", 1))
+                continue
+            if distance >= 0:
+                # `second` at iteration i+distance touches what `first`
+                # touched at i: first -> second carried by `distance`.
+                if distance <= max_distance:
+                    edges.append(
+                        DepEdge(
+                            first.name,
+                            second.name,
+                            _edge_kind(first.is_store, second.is_store),
+                            distance,
+                        )
+                    )
+            else:
+                # The conflict runs against program order: second(i) and
+                # first(i + |distance|): second -> first carried.
+                if -distance <= max_distance:
+                    edges.append(
+                        DepEdge(
+                            second.name,
+                            first.name,
+                            _edge_kind(second.is_store, first.is_store),
+                            -distance,
+                        )
+                    )
+    return edges
+
+
+def _self_conflict_distance(
+    ref: ArrayReference, loop: Loop
+) -> Optional[int]:
+    """Smallest positive iteration distance at which ``ref`` revisits an
+    address (None for strictly moving references)."""
+    inner = loop.inner.var
+    if all(sub.coeff(inner) == 0 for sub in ref.subscripts):
+        return 1  # invariant store: conflicts with itself every iteration
+    return None

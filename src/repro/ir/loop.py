@@ -1,0 +1,178 @@
+"""Loop-nest representation.
+
+The unit of modulo scheduling is the *innermost* loop of an affine loop
+nest.  A :class:`Loop` bundles:
+
+* the loop-nest structure (:class:`LoopDim` per nesting level, innermost
+  last),
+* the body operations in program order,
+* the memory-reference table (one :class:`ArrayReference` per memory op),
+* the data-dependence graph (built separately, see :mod:`repro.ir.ddg`).
+
+Iteration counts follow the paper's accounting: ``n_iterations`` (NITER) is
+the trip count of the innermost loop per entry, and ``n_times`` (NTIMES) is
+how many times the innermost loop is entered (the product of the outer
+trip counts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .operations import Operation
+from .references import ArrayReference
+
+__all__ = ["LoopDim", "Loop"]
+
+
+@dataclass(frozen=True)
+class LoopDim:
+    """One loop of the nest: ``for var in range(lower, upper, step)``."""
+
+    var: str
+    lower: int
+    upper: int
+    step: int = 1
+
+    def __post_init__(self) -> None:
+        if self.step == 0:
+            raise ValueError(f"loop {self.var!r} must have non-zero step")
+
+    @property
+    def trip_count(self) -> int:
+        """Number of iterations executed."""
+        span = self.upper - self.lower
+        if self.step > 0:
+            return max(0, (span + self.step - 1) // self.step)
+        return max(0, (-span + (-self.step) - 1) // (-self.step))
+
+    def values(self) -> Iterator[int]:
+        """Iterate the induction-variable values."""
+        return iter(range(self.lower, self.upper, self.step))
+
+
+@dataclass
+class Loop:
+    """An innermost loop plus its enclosing affine nest.
+
+    Parameters
+    ----------
+    name:
+        Identifier used in reports (``"tomcatv_l1"``).
+    dims:
+        Loop dimensions, outermost first; the innermost dimension is the
+        modulo-scheduled one.
+    operations:
+        Body operations in program order.
+    refs:
+        Memory-reference table; ``operations[k].ref_index`` indexes here.
+    """
+
+    name: str
+    dims: Tuple[LoopDim, ...]
+    operations: Tuple[Operation, ...]
+    refs: Tuple[ArrayReference, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.dims:
+            raise ValueError(f"loop {self.name!r} needs at least one dim")
+        names = [op.name for op in self.operations]
+        if len(set(names)) != len(names):
+            raise ValueError(f"loop {self.name!r} has duplicate op names")
+        for op in self.operations:
+            if op.ref_index is not None and not (
+                0 <= op.ref_index < len(self.refs)
+            ):
+                raise ValueError(
+                    f"op {op.name!r} ref_index {op.ref_index} out of range"
+                )
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    @property
+    def inner(self) -> LoopDim:
+        """The innermost (modulo-scheduled) dimension."""
+        return self.dims[-1]
+
+    @property
+    def outer_dims(self) -> Tuple[LoopDim, ...]:
+        """Enclosing dimensions, outermost first."""
+        return self.dims[:-1]
+
+    @property
+    def n_iterations(self) -> int:
+        """NITER: trip count of the innermost loop."""
+        return self.inner.trip_count
+
+    @property
+    def n_times(self) -> int:
+        """NTIMES: how many times the innermost loop is entered."""
+        total = 1
+        for dim in self.outer_dims:
+            total *= dim.trip_count
+        return total
+
+    @property
+    def memory_operations(self) -> Tuple[Operation, ...]:
+        """Loads and stores, in program order."""
+        return tuple(op for op in self.operations if op.is_memory)
+
+    def operation(self, name: str) -> Operation:
+        """Look an operation up by name."""
+        for op in self.operations:
+            if op.name == name:
+                return op
+        raise KeyError(f"no operation named {name!r} in loop {self.name!r}")
+
+    def ref_of(self, op: Operation) -> ArrayReference:
+        """The memory reference accessed by a memory operation."""
+        if op.ref_index is None:
+            raise ValueError(f"{op.name!r} is not a memory operation")
+        return self.refs[op.ref_index]
+
+    # ------------------------------------------------------------------
+    # Iteration-space helpers (used by CME estimators and the simulator)
+    # ------------------------------------------------------------------
+    def iteration_points(
+        self, limit: Optional[int] = None
+    ) -> Iterator[Dict[str, int]]:
+        """Yield iteration points of the whole nest in execution order.
+
+        ``limit`` truncates the stream (useful for sampling estimators).
+        """
+        count = 0
+        for point in self._walk(0, {}):
+            yield point
+            count += 1
+            if limit is not None and count >= limit:
+                return
+
+    def _walk(
+        self, depth: int, partial: Dict[str, int]
+    ) -> Iterator[Dict[str, int]]:
+        if depth == len(self.dims):
+            yield dict(partial)
+            return
+        dim = self.dims[depth]
+        for value in dim.values():
+            partial[dim.var] = value
+            yield from self._walk(depth + 1, partial)
+        partial.pop(dim.var, None)
+
+    def stats(self) -> Dict[str, int]:
+        """Basic size statistics for reports."""
+        return {
+            "operations": len(self.operations),
+            "memory_operations": len(self.memory_operations),
+            "dims": len(self.dims),
+            "niter": self.n_iterations,
+            "ntimes": self.n_times,
+        }
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        dims = ", ".join(
+            f"{d.var}[{d.lower}:{d.upper}:{d.step}]" for d in self.dims
+        )
+        return f"Loop({self.name}: {dims}, {len(self.operations)} ops)"

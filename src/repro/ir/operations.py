@@ -1,0 +1,138 @@
+"""Operation model for the loop intermediate representation.
+
+Every node scheduled by the modulo scheduler is an :class:`Operation`.
+Operations belong to an :class:`OpClass` (what the operation computes) and
+each class executes on exactly one :class:`FUType` (which functional-unit
+kind of a cluster can issue it).  The mapping mirrors the three FU kinds of
+the multiVLIWprocessor: integer arithmetic, floating-point arithmetic and
+memory access (Section 2.1 of the paper).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["FUType", "OpClass", "Operation"]
+
+
+class FUType(enum.Enum):
+    """Functional-unit kinds available inside a cluster."""
+
+    INTEGER = "integer"
+    FP = "fp"
+    MEMORY = "memory"
+
+
+class OpClass(enum.Enum):
+    """Semantic class of an operation; determines FU kind and latency."""
+
+    IADD = "iadd"
+    ISUB = "isub"
+    IMUL = "imul"
+    ICMP = "icmp"
+    SHIFT = "shift"
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    LOAD = "load"
+    STORE = "store"
+
+    @property
+    def fu_type(self) -> FUType:
+        """Functional-unit kind that issues this operation class."""
+        return _FU_OF_CLASS[self]
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores (the RMCA-special-cased operations)."""
+        return self in (OpClass.LOAD, OpClass.STORE)
+
+    @property
+    def writes_register(self) -> bool:
+        """True when the operation produces a register value."""
+        return self is not OpClass.STORE
+
+
+_FU_OF_CLASS = {
+    OpClass.IADD: FUType.INTEGER,
+    OpClass.ISUB: FUType.INTEGER,
+    OpClass.IMUL: FUType.INTEGER,
+    OpClass.ICMP: FUType.INTEGER,
+    OpClass.SHIFT: FUType.INTEGER,
+    OpClass.FADD: FUType.FP,
+    OpClass.FSUB: FUType.FP,
+    OpClass.FMUL: FUType.FP,
+    OpClass.FDIV: FUType.FP,
+    OpClass.FNEG: FUType.FP,
+    OpClass.LOAD: FUType.MEMORY,
+    OpClass.STORE: FUType.MEMORY,
+}
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One operation of a loop body.
+
+    Parameters
+    ----------
+    name:
+        Unique identifier within the loop (``"ld1"``, ``"mul2"``...).
+    opclass:
+        Semantic class; fixes the FU kind and (via the machine model) the
+        latency.
+    dest:
+        Name of the virtual register written, or ``None`` for stores.
+    srcs:
+        Names of the virtual registers read (empty for address-invariant
+        loads whose address depends only on induction variables).
+    ref_index:
+        Index into the owning loop's memory-reference table for memory
+        operations; ``None`` otherwise.
+    """
+
+    name: str
+    opclass: OpClass
+    dest: Optional[str] = None
+    srcs: Tuple[str, ...] = field(default=())
+    ref_index: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.opclass.is_memory and self.ref_index is None:
+            raise ValueError(
+                f"memory operation {self.name!r} requires a ref_index"
+            )
+        if not self.opclass.is_memory and self.ref_index is not None:
+            raise ValueError(
+                f"non-memory operation {self.name!r} cannot carry a ref_index"
+            )
+        if self.opclass is OpClass.STORE and self.dest is not None:
+            raise ValueError(f"store {self.name!r} cannot write a register")
+
+    @property
+    def fu_type(self) -> FUType:
+        """Functional-unit kind that issues this operation."""
+        return self.opclass.fu_type
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.opclass.is_memory
+
+    @property
+    def is_load(self) -> bool:
+        """True for load operations."""
+        return self.opclass is OpClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        """True for store operations."""
+        return self.opclass is OpClass.STORE
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        args = ", ".join(self.srcs)
+        head = f"{self.dest} = " if self.dest else ""
+        return f"{head}{self.opclass.value}({args}) [{self.name}]"

@@ -1,0 +1,204 @@
+"""Affine array references.
+
+The Cache Miss Equations framework (Section 4.2 of the paper) applies to
+*affine* references: array subscripts that are linear functions of the loop
+induction variables.  This module provides:
+
+* :class:`Array` — a named array with a base address and element size,
+* :class:`AffineExpr` — a linear expression ``c0 + sum(ci * iv_i)`` over the
+  induction variables of a loop nest,
+* :class:`ArrayReference` — an array plus one affine subscript expression per
+  dimension, able to produce the byte address touched at any iteration point.
+
+Addresses are plain Python integers (byte addresses in a flat address
+space), which is what both the CME estimators and the cache simulator
+consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Sequence, Tuple
+
+__all__ = ["Array", "AffineExpr", "ArrayReference"]
+
+
+@dataclass(frozen=True)
+class Array:
+    """A named array laid out contiguously in memory (row-major).
+
+    Parameters
+    ----------
+    name:
+        Array identifier (``"A"``, ``"B"``...).
+    shape:
+        Extent of each dimension, row-major; ``(n,)`` for 1-D arrays.
+    element_size:
+        Bytes per element (8 for double-precision, the paper's domain).
+    base:
+        Byte address of element 0.
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    element_size: int = 8
+    base: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.shape or any(s <= 0 for s in self.shape):
+            raise ValueError(f"array {self.name!r} needs positive extents")
+        if self.element_size <= 0:
+            raise ValueError("element_size must be positive")
+        if self.base < 0:
+            raise ValueError("base address must be non-negative")
+
+    @property
+    def n_elements(self) -> int:
+        """Total number of elements."""
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    @property
+    def size_bytes(self) -> int:
+        """Total footprint in bytes."""
+        return self.n_elements * self.element_size
+
+    def linear_index(self, indices: Sequence[int]) -> int:
+        """Row-major linearization of a multi-dimensional element index."""
+        if len(indices) != len(self.shape):
+            raise ValueError(
+                f"array {self.name!r} has {len(self.shape)} dims, "
+                f"got {len(indices)} subscripts"
+            )
+        linear = 0
+        for extent, idx in zip(self.shape, indices):
+            linear = linear * extent + idx
+        return linear
+
+    def address(self, indices: Sequence[int]) -> int:
+        """Byte address of the element at ``indices``."""
+        return self.base + self.linear_index(indices) * self.element_size
+
+
+@dataclass(frozen=True)
+class AffineExpr:
+    """Linear expression ``constant + sum(coeffs[v] * v)`` over loop vars.
+
+    ``coeffs`` maps induction-variable names to integer coefficients.
+    Instances are immutable and hashable so references can be deduplicated
+    and used as dictionary keys by the reuse analysis.
+    """
+
+    constant: int = 0
+    coeffs: Tuple[Tuple[str, int], ...] = field(default=())
+
+    @staticmethod
+    def of(constant: int = 0, **coeffs: int) -> "AffineExpr":
+        """Convenience constructor: ``AffineExpr.of(3, i=1, j=-2)``."""
+        items = tuple(sorted((v, c) for v, c in coeffs.items() if c != 0))
+        return AffineExpr(constant=constant, coeffs=items)
+
+    def coeff(self, var: str) -> int:
+        """Coefficient of ``var`` (0 if absent)."""
+        for name, value in self.coeffs:
+            if name == var:
+                return value
+        return 0
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """Names of variables with non-zero coefficients."""
+        return tuple(name for name, _ in self.coeffs)
+
+    def evaluate(self, point: Mapping[str, int]) -> int:
+        """Value of the expression at an iteration point."""
+        total = self.constant
+        for name, coef in self.coeffs:
+            total += coef * point[name]
+        return total
+
+    def shifted(self, delta: int) -> "AffineExpr":
+        """Same expression with the constant term shifted by ``delta``."""
+        return AffineExpr(constant=self.constant + delta, coeffs=self.coeffs)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = [str(self.constant)] if self.constant or not self.coeffs else []
+        for name, coef in self.coeffs:
+            parts.append(f"{coef}*{name}" if coef != 1 else name)
+        return " + ".join(parts) if parts else "0"
+
+
+@dataclass(frozen=True)
+class ArrayReference:
+    """An affine access to an array: one :class:`AffineExpr` per dimension.
+
+    ``is_store`` distinguishes read from write accesses (MSI coherence and
+    the group-reuse analysis both care).
+    """
+
+    array: Array
+    subscripts: Tuple[AffineExpr, ...]
+    is_store: bool = False
+
+    def __post_init__(self) -> None:
+        if len(self.subscripts) != len(self.array.shape):
+            raise ValueError(
+                f"reference to {self.array.name!r} needs "
+                f"{len(self.array.shape)} subscripts, got {len(self.subscripts)}"
+            )
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """All induction variables appearing in any subscript."""
+        seen: Dict[str, None] = {}
+        for expr in self.subscripts:
+            for var in expr.variables:
+                seen.setdefault(var, None)
+        return tuple(seen)
+
+    def element(self, point: Mapping[str, int]) -> Tuple[int, ...]:
+        """Element index touched at an iteration point."""
+        return tuple(expr.evaluate(point) for expr in self.subscripts)
+
+    def address(self, point: Mapping[str, int]) -> int:
+        """Byte address touched at an iteration point."""
+        return self.array.address(self.element(point))
+
+    def is_uniformly_generated_with(self, other: "ArrayReference") -> bool:
+        """True when both references differ only by constant terms.
+
+        Uniformly generated references (same array, identical coefficient
+        structure) are the candidates for *group reuse* — the property the
+        RMCA scheduler exploits when co-locating LD1/LD3 in the motivating
+        example.
+        """
+        if self.array.name != other.array.name:
+            return False
+        if len(self.subscripts) != len(other.subscripts):
+            return False
+        return all(
+            a.coeffs == b.coeffs
+            for a, b in zip(self.subscripts, other.subscripts)
+        )
+
+    def constant_distance_to(
+        self, other: "ArrayReference"
+    ) -> Tuple[int, ...]:
+        """Per-dimension constant offset between uniformly generated refs.
+
+        Raises ``ValueError`` when the references are not uniformly
+        generated.
+        """
+        if not self.is_uniformly_generated_with(other):
+            raise ValueError("references are not uniformly generated")
+        return tuple(
+            b.constant - a.constant
+            for a, b in zip(self.subscripts, other.subscripts)
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        subs = ", ".join(str(s) for s in self.subscripts)
+        kind = "store" if self.is_store else "load"
+        return f"{self.array.name}[{subs}] ({kind})"

@@ -1,0 +1,19 @@
+"""VLIW instruction encoding (the ISA of Figure 2)."""
+
+from .encoding import (
+    ClusterInstruction,
+    EncodingError,
+    FUField,
+    KernelProgram,
+    VLIWInstruction,
+    encode_kernel,
+)
+
+__all__ = [
+    "ClusterInstruction",
+    "EncodingError",
+    "FUField",
+    "KernelProgram",
+    "VLIWInstruction",
+    "encode_kernel",
+]

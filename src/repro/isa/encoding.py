@@ -1,0 +1,236 @@
+"""VLIW instruction encoding (Figure 2 of the paper).
+
+A multiVLIWprocessor instruction is the concatenation of one *cluster
+instruction* per cluster.  Each cluster instruction carries:
+
+* one operation field per functional unit of that cluster (``FUj``),
+* one IN BUS field per register bus — the local register into which the
+  IRV (Incoming Register Value) latch is stored this cycle, if any,
+* one OUT BUS field per register bus — the local register whose value is
+  driven onto the bus this cycle, if any (bypassed from the producing
+  unit when the register is written in the same cycle).
+
+:func:`encode_kernel` lowers a modulo :class:`~repro.scheduler.result.Schedule`
+into the II VLIW instructions of the kernel, assigning operations to
+concrete unit indices and communications to their IN/OUT fields.  All
+register-communication control is static, exactly as the ISA prescribes
+("no additional hardware is needed to manage and arbitrate register
+buses").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import FUType
+from ..scheduler.result import Schedule
+
+__all__ = [
+    "FUField",
+    "ClusterInstruction",
+    "VLIWInstruction",
+    "KernelProgram",
+    "EncodingError",
+    "encode_kernel",
+]
+
+#: Order in which unit fields appear inside a cluster instruction.
+_FU_ORDER = (FUType.INTEGER, FUType.FP, FUType.MEMORY)
+
+
+class EncodingError(ValueError):
+    """Raised when a schedule cannot be lowered to the VLIW ISA."""
+
+
+@dataclass(frozen=True)
+class FUField:
+    """One functional-unit slot: the operation issued, or a no-op."""
+
+    fu_type: FUType
+    unit: int
+    op: Optional[str] = None  # operation name; None encodes a no-op
+
+    def render(self) -> str:
+        return self.op if self.op is not None else "nop"
+
+
+@dataclass(frozen=True)
+class ClusterInstruction:
+    """One cluster's share of a VLIW instruction."""
+
+    cluster: int
+    fu_fields: Tuple[FUField, ...]
+    #: IN BUS fields, one per register bus: local register receiving the
+    #: IRV latch, or None.
+    in_bus: Tuple[Optional[str], ...]
+    #: OUT BUS fields, one per register bus: local register driven onto
+    #: the bus, or None.
+    out_bus: Tuple[Optional[str], ...]
+
+    @property
+    def is_nop(self) -> bool:
+        return (
+            all(f.op is None for f in self.fu_fields)
+            and all(r is None for r in self.in_bus)
+            and all(r is None for r in self.out_bus)
+        )
+
+    def render(self) -> str:
+        units = " ".join(f.render() for f in self.fu_fields)
+        buses = []
+        for index, (in_r, out_r) in enumerate(zip(self.in_bus, self.out_bus)):
+            if in_r is not None:
+                buses.append(f"in{index}->{in_r}")
+            if out_r is not None:
+                buses.append(f"out{index}<-{out_r}")
+        tail = (" | " + " ".join(buses)) if buses else ""
+        return f"[{units}{tail}]"
+
+
+@dataclass(frozen=True)
+class VLIWInstruction:
+    """One long instruction: every cluster's fields for one cycle."""
+
+    slot: int
+    clusters: Tuple[ClusterInstruction, ...]
+
+    def render(self) -> str:
+        body = "  ".join(c.render() for c in self.clusters)
+        return f"{self.slot:3d}: {body}"
+
+
+@dataclass
+class KernelProgram:
+    """The encoded kernel: II VLIW instructions, repeated every II cycles."""
+
+    schedule: Schedule
+    instructions: List[VLIWInstruction] = field(default_factory=list)
+
+    @property
+    def ii(self) -> int:
+        return len(self.instructions)
+
+    def operation_field(self, op: str) -> Tuple[int, int, FUField]:
+        """Locate the (slot, cluster, field) encoding an operation."""
+        for instruction in self.instructions:
+            for cluster_instr in instruction.clusters:
+                for fu_field in cluster_instr.fu_fields:
+                    if fu_field.op == op:
+                        return instruction.slot, cluster_instr.cluster, fu_field
+        raise KeyError(f"operation {op!r} not encoded")
+
+    def render(self) -> str:
+        header = (
+            f"; kernel of {self.schedule.kernel.name} on "
+            f"{self.schedule.machine.name}: II={self.schedule.ii}, "
+            f"SC={self.schedule.stage_count}"
+        )
+        return "\n".join([header] + [i.render() for i in self.instructions])
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Structural checks: every op encoded once, fields consistent."""
+        seen: Dict[str, int] = {}
+        for instruction in self.instructions:
+            for cluster_instr in instruction.clusters:
+                for fu_field in cluster_instr.fu_fields:
+                    if fu_field.op is not None:
+                        seen[fu_field.op] = seen.get(fu_field.op, 0) + 1
+        expected = set(self.schedule.placements)
+        if set(seen) != expected or any(n != 1 for n in seen.values()):
+            raise EncodingError(
+                f"operations encoded {seen}, expected each of {sorted(expected)} once"
+            )
+        n_buses = self.schedule.machine.register_bus.count or 0
+        for instruction in self.instructions:
+            for cluster_instr in instruction.clusters:
+                if len(cluster_instr.in_bus) != n_buses:
+                    raise EncodingError("IN BUS field count mismatch")
+                if len(cluster_instr.out_bus) != n_buses:
+                    raise EncodingError("OUT BUS field count mismatch")
+
+
+def encode_kernel(schedule: Schedule) -> KernelProgram:
+    """Lower a modulo schedule into its kernel's VLIW instructions.
+
+    Requires a bounded register-bus pool (the ISA has one IN/OUT field
+    pair per physical bus; an unbounded pool is a modeling device with no
+    encoding).  Unit indices are assigned per (slot, cluster, FU type) in
+    deterministic op-name order.
+    """
+    machine = schedule.machine
+    if machine.register_bus.count is None:
+        raise EncodingError(
+            "cannot encode for an unbounded register-bus pool; "
+            "use a machine with a concrete bus count"
+        )
+    n_buses = machine.register_bus.count
+    ii = schedule.ii
+    loop = schedule.kernel.loop
+
+    # (slot, cluster, fu_type) -> ordered ops
+    by_slot: Dict[Tuple[int, int, FUType], List[str]] = {}
+    for name, placement in schedule.placements.items():
+        op = loop.operation(name)
+        key = (placement.time % ii, placement.cluster, op.fu_type)
+        by_slot.setdefault(key, []).append(name)
+    for ops in by_slot.values():
+        ops.sort()
+
+    # (slot, cluster, bus) -> registers for IN/OUT fields.
+    out_fields: Dict[Tuple[int, int, int], str] = {}
+    in_fields: Dict[Tuple[int, int, int], str] = {}
+    for comm in schedule.communications:
+        producer = loop.operation(comm.producer)
+        if producer.dest is None:  # pragma: no cover - comms carry values
+            raise EncodingError(f"communication of value-less {comm.producer!r}")
+        out_key = (comm.start % ii, comm.src_cluster, comm.bus)
+        in_key = (comm.arrival % ii, comm.dst_cluster, comm.bus)
+        for key, table in ((out_key, out_fields), (in_key, in_fields)):
+            if key in table and table[key] != producer.dest:
+                raise EncodingError(f"bus field collision at {key}")
+        out_fields[out_key] = producer.dest
+        in_fields[in_key] = producer.dest
+
+    instructions: List[VLIWInstruction] = []
+    for slot in range(ii):
+        cluster_instrs = []
+        for cluster_id, cluster in enumerate(machine.clusters):
+            fu_fields: List[FUField] = []
+            for fu_type in _FU_ORDER:
+                ops = by_slot.get((slot, cluster_id, fu_type), [])
+                capacity = cluster.n_units(fu_type)
+                if len(ops) > capacity:
+                    raise EncodingError(
+                        f"slot {slot} cluster {cluster_id} {fu_type.value}: "
+                        f"{len(ops)} ops on {capacity} units"
+                    )
+                for unit in range(capacity):
+                    fu_fields.append(
+                        FUField(
+                            fu_type=fu_type,
+                            unit=unit,
+                            op=ops[unit] if unit < len(ops) else None,
+                        )
+                    )
+            cluster_instrs.append(
+                ClusterInstruction(
+                    cluster=cluster_id,
+                    fu_fields=tuple(fu_fields),
+                    in_bus=tuple(
+                        in_fields.get((slot, cluster_id, bus))
+                        for bus in range(n_buses)
+                    ),
+                    out_bus=tuple(
+                        out_fields.get((slot, cluster_id, bus))
+                        for bus in range(n_buses)
+                    ),
+                )
+            )
+        instructions.append(
+            VLIWInstruction(slot=slot, clusters=tuple(cluster_instrs))
+        )
+    program = KernelProgram(schedule=schedule, instructions=instructions)
+    program.validate()
+    return program

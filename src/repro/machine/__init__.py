@@ -1,0 +1,35 @@
+"""Machine model: cluster/bus/cache configuration and Table 1 presets."""
+
+from .config import (
+    DEFAULT_LATENCIES,
+    BusConfig,
+    CacheConfig,
+    ClusterConfig,
+    MachineConfig,
+)
+from .presets import (
+    ALL_PRESETS,
+    TOTAL_CACHE_BYTES,
+    TOTAL_REGISTERS,
+    four_cluster,
+    heterogeneous,
+    preset,
+    two_cluster,
+    unified,
+)
+
+__all__ = [
+    "ALL_PRESETS",
+    "BusConfig",
+    "CacheConfig",
+    "ClusterConfig",
+    "DEFAULT_LATENCIES",
+    "MachineConfig",
+    "TOTAL_CACHE_BYTES",
+    "TOTAL_REGISTERS",
+    "four_cluster",
+    "heterogeneous",
+    "preset",
+    "two_cluster",
+    "unified",
+]

@@ -1,0 +1,153 @@
+"""Table 1 machine configurations.
+
+Three 12-way-issue machines (Section 5.1):
+
+* **Unified** — one cluster, 4 FUs of each type, 64 registers, single 8KB
+  cache.  The normalization baseline.
+* **2-cluster** — 2 FUs of each type and 32 registers per cluster, 4KB
+  local cache per cluster.
+* **4-cluster** — 1 FU of each type and 16 registers per cluster, 2KB
+  local cache per cluster.
+
+All caches are direct-mapped, non-blocking (10 MSHR entries), 2-cycle hit;
+main memory is 10 cycles.  Default buses follow the "realistic" study of
+Section 5.3 (2 register buses @ 1 cycle, 1 memory bus @ 1 cycle) and can
+be overridden per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .config import BusConfig, CacheConfig, ClusterConfig, MachineConfig
+
+__all__ = [
+    "TOTAL_CACHE_BYTES",
+    "TOTAL_REGISTERS",
+    "unified",
+    "two_cluster",
+    "four_cluster",
+    "heterogeneous",
+    "preset",
+    "ALL_PRESETS",
+]
+
+TOTAL_CACHE_BYTES = 8 * 1024
+TOTAL_REGISTERS = 64
+_MAIN_MEMORY_LATENCY = 10
+
+
+def _cache(n_clusters: int) -> CacheConfig:
+    return CacheConfig(
+        size=TOTAL_CACHE_BYTES // n_clusters,
+        line_size=32,
+        associativity=1,
+        mshr_entries=10,
+        hit_latency=2,
+    )
+
+
+def _machine(
+    name: str,
+    n_clusters: int,
+    fu_per_type: int,
+    register_bus: Optional[BusConfig],
+    memory_bus: Optional[BusConfig],
+) -> MachineConfig:
+    cluster = ClusterConfig(
+        n_integer=fu_per_type,
+        n_fp=fu_per_type,
+        n_memory=fu_per_type,
+        n_registers=TOTAL_REGISTERS // n_clusters,
+        cache=_cache(n_clusters),
+    )
+    return MachineConfig(
+        name=name,
+        clusters=(cluster,) * n_clusters,
+        register_bus=register_bus or BusConfig(count=2, latency=1),
+        memory_bus=memory_bus or BusConfig(count=1, latency=1),
+        main_memory_latency=_MAIN_MEMORY_LATENCY,
+    )
+
+
+def unified(
+    register_bus: Optional[BusConfig] = None,
+    memory_bus: Optional[BusConfig] = None,
+) -> MachineConfig:
+    """Single-cluster 12-way baseline (buses exist but are never needed
+    for register traffic; the memory bus still connects cache to memory)."""
+    return _machine("unified", 1, 4, register_bus, memory_bus)
+
+
+def two_cluster(
+    register_bus: Optional[BusConfig] = None,
+    memory_bus: Optional[BusConfig] = None,
+) -> MachineConfig:
+    """2-cluster configuration: 2 FUs/type and 32 registers per cluster."""
+    return _machine("2-cluster", 2, 2, register_bus, memory_bus)
+
+
+def four_cluster(
+    register_bus: Optional[BusConfig] = None,
+    memory_bus: Optional[BusConfig] = None,
+) -> MachineConfig:
+    """4-cluster configuration: 1 FU/type and 16 registers per cluster."""
+    return _machine("4-cluster", 4, 1, register_bus, memory_bus)
+
+
+def heterogeneous(
+    register_bus: Optional[BusConfig] = None,
+    memory_bus: Optional[BusConfig] = None,
+) -> MachineConfig:
+    """A 2-cluster machine with asymmetric clusters.
+
+    The paper assumes homogeneous clusters "for the sake of simplicity"
+    but notes the techniques generalize; this preset exercises that
+    generalization: a *big* cluster (3 FUs of each type, 48 registers,
+    6KB cache) next to a *small* one (1 FU of each type, 16 registers,
+    2KB cache), still 12-way issue with 64 registers and 8KB of L1 in
+    total.
+    """
+    big = ClusterConfig(
+        n_integer=3,
+        n_fp=3,
+        n_memory=3,
+        n_registers=48,
+        cache=CacheConfig(
+            size=6 * 1024, line_size=32, associativity=1,
+            mshr_entries=10, hit_latency=2,
+        ),
+    )
+    small = ClusterConfig(
+        n_integer=1,
+        n_fp=1,
+        n_memory=1,
+        n_registers=16,
+        cache=_cache(4),
+    )
+    return MachineConfig(
+        name="heterogeneous",
+        clusters=(big, small),
+        register_bus=register_bus or BusConfig(count=2, latency=1),
+        memory_bus=memory_bus or BusConfig(count=1, latency=1),
+        main_memory_latency=_MAIN_MEMORY_LATENCY,
+    )
+
+
+ALL_PRESETS = {
+    "unified": unified,
+    "2-cluster": two_cluster,
+    "4-cluster": four_cluster,
+    "heterogeneous": heterogeneous,
+}
+
+
+def preset(name: str, **kwargs) -> MachineConfig:
+    """Look a preset up by name (``"unified"``, ``"2-cluster"``, ...)."""
+    try:
+        factory = ALL_PRESETS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown preset {name!r}; choose from {sorted(ALL_PRESETS)}"
+        ) from None
+    return factory(**kwargs)

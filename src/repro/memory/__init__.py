@@ -1,0 +1,26 @@
+"""Distributed memory hierarchy: caches, MSHRs, MSI coherence, buses."""
+
+from .cache import CacheLine, ClusterCache, LineState, MSHR
+from .coherence import BusOp, MSIController, SnoopResult
+from .hierarchy import (
+    AccessLevel,
+    AccessResult,
+    DistributedMemorySystem,
+    MemoryStats,
+)
+from .membus import MemoryBusPool
+
+__all__ = [
+    "AccessLevel",
+    "AccessResult",
+    "BusOp",
+    "CacheLine",
+    "ClusterCache",
+    "DistributedMemorySystem",
+    "LineState",
+    "MSHR",
+    "MSIController",
+    "MemoryBusPool",
+    "MemoryStats",
+    "SnoopResult",
+]

@@ -1,0 +1,181 @@
+"""Per-cluster L1 data cache: MSI line states plus a non-blocking MSHR.
+
+Each cluster owns one of these (Section 2.1): direct-mapped (the model
+also supports set-associativity), non-blocking with a fixed number of
+MSHR entries, kept coherent with the other clusters through the snoopy
+MSI protocol implemented by :mod:`repro.memory.coherence`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.config import CacheConfig
+
+__all__ = ["LineState", "CacheLine", "MSHR", "ClusterCache"]
+
+
+class LineState(enum.Enum):
+    """MSI coherence states."""
+
+    MODIFIED = "M"
+    SHARED = "S"
+    INVALID = "I"
+
+
+@dataclass
+class CacheLine:
+    """One resident cache line."""
+
+    tag: int
+    state: LineState
+
+
+class MSHR:
+    """Miss information/status holding registers (lockup-free cache [12]).
+
+    Each outstanding miss holds one entry from allocation until the fill
+    completes.  When all entries are busy a new miss must wait — the
+    NC_WaitingEntry term of the paper's latency formula.
+    """
+
+    def __init__(self, n_entries: int):
+        if n_entries < 1:
+            raise ValueError("MSHR needs at least one entry")
+        self.n_entries = n_entries
+        self._release_times: List[int] = []
+        self.total_wait_cycles = 0
+        self.peak_occupancy = 0
+
+    def occupancy(self, time: int) -> int:
+        """Entries still held at ``time``."""
+        self._release_times = [t for t in self._release_times if t > time]
+        return len(self._release_times)
+
+    def allocate(self, time: int) -> int:
+        """Allocate an entry; returns the time the allocation succeeds."""
+        in_use = sorted(t for t in self._release_times if t > time)
+        if len(in_use) < self.n_entries:
+            grant = time
+        else:
+            # Wait for the earliest entry to free up (repeatedly, in case
+            # several waiters pile up — conservatively take the k-th).
+            grant = in_use[len(in_use) - self.n_entries]
+        self.total_wait_cycles += grant - time
+        return grant
+
+    def hold(self, until: int) -> None:
+        """Record that the just-allocated entry is held until ``until``."""
+        self._release_times.append(until)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._release_times))
+
+    def reset_stats(self) -> None:
+        self.total_wait_cycles = 0
+        self.peak_occupancy = 0
+
+
+class ClusterCache:
+    """Functional cache state (tags + MSI) of one cluster.
+
+    Timing is orchestrated by the hierarchy; this class answers state
+    queries and applies state transitions.
+    """
+
+    def __init__(self, config: CacheConfig, cluster_id: int):
+        self.config = config
+        self.cluster_id = cluster_id
+        # set index -> ways (most recently used last)
+        self._sets: Dict[int, List[CacheLine]] = {}
+        self.mshr = MSHR(config.mshr_entries)
+        # line address -> fill completion time (for secondary-miss merging)
+        self.in_flight: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def _lookup(self, address: int) -> Optional[CacheLine]:
+        index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        for line in self._sets.get(index, []):
+            if line.tag == tag and line.state is not LineState.INVALID:
+                return line
+        return None
+
+    def state_of(self, address: int) -> LineState:
+        line = self._lookup(address)
+        return line.state if line else LineState.INVALID
+
+    def is_hit(self, address: int, is_store: bool) -> bool:
+        """Can this access complete locally without a bus transaction?"""
+        state = self.state_of(address)
+        if is_store:
+            return state is LineState.MODIFIED
+        return state in (LineState.MODIFIED, LineState.SHARED)
+
+    def touch(self, address: int) -> None:
+        """Refresh LRU position of a resident line."""
+        index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        ways = self._sets.get(index, [])
+        for pos, line in enumerate(ways):
+            if line.tag == tag:
+                ways.append(ways.pop(pos))
+                return
+
+    # ------------------------------------------------------------------
+    def fill(
+        self, address: int, state: LineState
+    ) -> Optional[Tuple[int, LineState]]:
+        """Install a line; returns ``(victim_line_address, victim_state)``
+        when a valid line was evicted (dirty victims need a writeback)."""
+        index = self.config.set_index(address)
+        tag = self.config.tag(address)
+        ways = self._sets.setdefault(index, [])
+        for line in ways:
+            if line.tag == tag:
+                line.state = state
+                self.touch(address)
+                return None
+        victim: Optional[Tuple[int, LineState]] = None
+        live = [l for l in ways if l.state is not LineState.INVALID]
+        if len(live) >= self.config.associativity:
+            evicted = live[0]
+            ways.remove(evicted)
+            victim_addr = self._line_address(index, evicted.tag)
+            victim = (victim_addr, evicted.state)
+        ways.append(CacheLine(tag=tag, state=state))
+        return victim
+
+    def set_state(self, address: int, state: LineState) -> None:
+        """Coherence transition on a resident line (no-op when absent)."""
+        line = self._lookup(address)
+        if line is not None:
+            line.state = state
+
+    def invalidate(self, address: int) -> bool:
+        """Drop a line (snoop-invalidate); returns True when it was M."""
+        line = self._lookup(address)
+        if line is None:
+            return False
+        was_dirty = line.state is LineState.MODIFIED
+        line.state = LineState.INVALID
+        return was_dirty
+
+    def _line_address(self, set_index: int, tag: int) -> int:
+        return (
+            tag * self.config.n_sets + set_index
+        ) * self.config.line_size
+
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> int:
+        """Number of valid lines (test/debug helper)."""
+        return sum(
+            1
+            for ways in self._sets.values()
+            for line in ways
+            if line.state is not LineState.INVALID
+        )
+
+    def clear(self) -> None:
+        self._sets.clear()
+        self.in_flight.clear()

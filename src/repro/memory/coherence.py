@@ -1,0 +1,125 @@
+"""Snoopy MSI coherence across the distributed local caches.
+
+The paper keeps the physically partitioned L1 coherent with a snoopy MSI
+protocol [5] that is completely transparent to the ISA; buses can be busy
+with coherence traffic, which the timing model accounts for.  This module
+implements the protocol's state machine over the per-cluster
+:class:`~repro.memory.cache.ClusterCache` instances; the hierarchy drives
+it and charges the bus cycles.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .cache import ClusterCache, LineState
+
+__all__ = ["SnoopResult", "BusOp", "MSIController"]
+
+
+class BusOp(enum.Enum):
+    """Snooped bus transactions."""
+
+    BUS_RD = "BusRd"  # read miss: fetch a shared copy
+    BUS_RDX = "BusRdX"  # write miss: fetch an exclusive copy
+    BUS_UPGR = "BusUpgr"  # write hit on S: invalidate other copies
+
+
+@dataclass(frozen=True)
+class SnoopResult:
+    """Outcome of broadcasting one bus operation."""
+
+    supplier: Optional[int]  # cluster that can supply the line, or None
+    supplier_was_dirty: bool  # supplier held the line in M
+    invalidated: Tuple[int, ...]  # clusters whose copies were dropped
+    writeback: bool  # a dirty copy was written back to memory
+
+
+class MSIController:
+    """Applies MSI transitions across all cluster caches."""
+
+    def __init__(self, caches: Sequence[ClusterCache]):
+        self.caches = list(caches)
+        self.n_invalidations = 0
+        self.n_interventions = 0  # cache-to-cache supplies
+        self.n_writebacks = 0
+
+    # ------------------------------------------------------------------
+    def snoop(
+        self, requester: int, address: int, op: BusOp
+    ) -> SnoopResult:
+        """Broadcast ``op`` for ``address`` from ``requester``.
+
+        Remote caches react per MSI:
+
+        * BUS_RD — an M holder supplies the line and downgrades to S (a
+          writeback makes memory consistent); S holders may also supply.
+        * BUS_RDX / BUS_UPGR — every remote copy is invalidated; an M
+          holder supplies the line (RdX) and writes back.
+        """
+        supplier: Optional[int] = None
+        supplier_dirty = False
+        invalidated: List[int] = []
+        writeback = False
+        for cache in self.caches:
+            if cache.cluster_id == requester:
+                continue
+            state = cache.state_of(address)
+            if state is LineState.INVALID:
+                continue
+            if op is BusOp.BUS_RD:
+                if supplier is None:
+                    supplier = cache.cluster_id
+                    supplier_dirty = state is LineState.MODIFIED
+                if state is LineState.MODIFIED:
+                    writeback = True
+                    self.n_writebacks += 1
+                cache.set_state(address, LineState.SHARED)
+            else:  # BUS_RDX or BUS_UPGR: exclusive request
+                if state is LineState.MODIFIED:
+                    writeback = True
+                    self.n_writebacks += 1
+                    if supplier is None:
+                        supplier = cache.cluster_id
+                        supplier_dirty = True
+                elif supplier is None and op is BusOp.BUS_RDX:
+                    supplier = cache.cluster_id
+                cache.invalidate(address)
+                invalidated.append(cache.cluster_id)
+                self.n_invalidations += 1
+        if supplier is not None:
+            self.n_interventions += 1
+        return SnoopResult(
+            supplier=supplier,
+            supplier_was_dirty=supplier_dirty,
+            invalidated=tuple(invalidated),
+            writeback=writeback,
+        )
+
+    # ------------------------------------------------------------------
+    def holders(self, address: int) -> List[Tuple[int, LineState]]:
+        """All clusters currently holding the line (debug/test helper)."""
+        result = []
+        for cache in self.caches:
+            state = cache.state_of(address)
+            if state is not LineState.INVALID:
+                result.append((cache.cluster_id, state))
+        return result
+
+    def check_invariants(self, address: int) -> None:
+        """MSI safety: at most one M holder, and M excludes S copies."""
+        holders = self.holders(address)
+        dirty = [c for c, s in holders if s is LineState.MODIFIED]
+        if len(dirty) > 1:
+            raise AssertionError(f"multiple M holders for {address:#x}: {dirty}")
+        if dirty and len(holders) > 1:
+            raise AssertionError(
+                f"M holder coexists with other copies for {address:#x}: {holders}"
+            )
+
+    def reset_stats(self) -> None:
+        self.n_invalidations = 0
+        self.n_interventions = 0
+        self.n_writebacks = 0

@@ -1,0 +1,218 @@
+"""The distributed memory system: timing model tying caches, MSHRs,
+buses, coherence and main memory together.
+
+Implements the access-latency formula of Section 2.2:
+
+    LAT = LAT_cache                                  (always)
+        + MISS_LC * ( NC_waiting_entry               (MSHR full)
+                    + NC_waiting_bus                 (bus arbitration)
+                    + LAT_memory_bus                 (transfer)
+                    + (remote-hit ? LAT_cache : LAT_main_memory) )
+
+with two refinements the paper also models: a bus can be busy with
+coherence traffic, and a main-memory access completes earlier when an
+earlier miss already started loading the same line (in-flight merging).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..machine.config import MachineConfig
+from .cache import ClusterCache, LineState
+from .coherence import BusOp, MSIController
+from .membus import MemoryBusPool
+
+__all__ = ["AccessLevel", "AccessResult", "MemoryStats", "DistributedMemorySystem"]
+
+
+class AccessLevel:
+    """Where an access was satisfied (string constants, not an enum, so
+    results aggregate cheaply into dictionaries)."""
+
+    LOCAL = "local"
+    REMOTE = "remote"
+    MAIN = "main"
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one load/store."""
+
+    ready_time: int  # when the data is available to consumers
+    level: str  # AccessLevel constant
+    mshr_wait: int = 0
+    bus_wait: int = 0
+    merged: bool = False  # satisfied by an in-flight fill
+
+
+@dataclass
+class MemoryStats:
+    """Aggregate counters for one simulation run."""
+
+    accesses: int = 0
+    local_hits: int = 0
+    remote_hits: int = 0
+    main_memory: int = 0
+    merged: int = 0
+    mshr_wait_cycles: int = 0
+    bus_wait_cycles: int = 0
+    coherence_upgrades: int = 0
+    writebacks: int = 0
+
+    @property
+    def local_miss_ratio(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return 1.0 - self.local_hits / self.accesses
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "accesses": self.accesses,
+            "local_hits": self.local_hits,
+            "remote_hits": self.remote_hits,
+            "main_memory": self.main_memory,
+            "merged": self.merged,
+            "mshr_wait_cycles": self.mshr_wait_cycles,
+            "bus_wait_cycles": self.bus_wait_cycles,
+            "coherence_upgrades": self.coherence_upgrades,
+            "writebacks": self.writebacks,
+            "local_miss_ratio": self.local_miss_ratio,
+        }
+
+
+class DistributedMemorySystem:
+    """N local caches + shared memory buses + main memory."""
+
+    def __init__(self, machine: MachineConfig):
+        self.machine = machine
+        self.caches = [
+            ClusterCache(cluster.cache, index)
+            for index, cluster in enumerate(machine.clusters)
+        ]
+        self.bus = MemoryBusPool(machine.memory_bus)
+        self.msi = MSIController(self.caches)
+        self.stats = MemoryStats()
+        # line address -> completion time of an in-flight main-memory fill
+        self._main_in_flight: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    def access(self, cluster: int, address: int, is_store: bool, time: int) -> AccessResult:
+        """Perform one memory access issued by ``cluster`` at ``time``."""
+        cache = self.caches[cluster]
+        config = cache.config
+        line_addr = config.line_address(address)
+        self.stats.accesses += 1
+        hit_latency = config.hit_latency
+
+        # A line whose fill is still in flight is present in the tags but
+        # its data has not arrived; dependent accesses complete no earlier
+        # than the fill (secondary misses merge into the MSHR entry).
+        pending = cache.in_flight.get(line_addr)
+        if pending is not None and pending <= time:
+            pending = None
+
+        if cache.is_hit(address, is_store):
+            cache.touch(address)
+            self.stats.local_hits += 1
+            ready = time + hit_latency
+            if pending is not None:
+                self.stats.merged += 1
+                return AccessResult(
+                    ready_time=max(ready, pending),
+                    level=AccessLevel.LOCAL,
+                    merged=True,
+                )
+            return AccessResult(ready_time=ready, level=AccessLevel.LOCAL)
+
+        # Write hit on a Shared line: upgrade (BusUpgr), no data transfer.
+        if is_store and cache.state_of(address) is LineState.SHARED:
+            request = max(time + hit_latency, pending or 0)
+            grant = self.bus.acquire(request)
+            bus_wait = grant - request
+            self.msi.snoop(cluster, line_addr, BusOp.BUS_UPGR)
+            cache.set_state(address, LineState.MODIFIED)
+            self.stats.local_hits += 1  # data was local; only permission moved
+            self.stats.coherence_upgrades += 1
+            self.stats.bus_wait_cycles += bus_wait
+            return AccessResult(
+                ready_time=grant + self.bus.latency,
+                level=AccessLevel.LOCAL,
+                bus_wait=bus_wait,
+            )
+
+        detect = time + hit_latency  # the local lookup that discovers the miss
+        mshr_grant = cache.mshr.allocate(detect)
+        mshr_wait = mshr_grant - detect
+        bus_grant = self.bus.acquire(mshr_grant)
+        bus_wait = bus_grant - mshr_grant
+        transfer_done = bus_grant + self.bus.latency
+
+        op = BusOp.BUS_RDX if is_store else BusOp.BUS_RD
+        snoop = self.msi.snoop(cluster, line_addr, op)
+
+        # A remote holder whose own fill has not completed cannot supply
+        # the data yet; such requests resolve through the main-memory path
+        # below, merging with the fill already in flight.
+        supplier = snoop.supplier
+        if supplier is not None:
+            supplier_pending = self.caches[supplier].in_flight.get(line_addr)
+            if supplier_pending is not None and supplier_pending > bus_grant:
+                supplier = None
+
+        if supplier is not None:
+            # Remote cache supplies the line: one remote-cache access.
+            remote_latency = self.caches[supplier].config.hit_latency
+            complete = transfer_done + remote_latency
+            level = AccessLevel.REMOTE
+            self.stats.remote_hits += 1
+        else:
+            # Main memory, with in-flight merging across clusters.
+            pending = self._main_in_flight.get(line_addr)
+            full = transfer_done + self.machine.main_memory_latency
+            if pending is not None and pending > bus_grant:
+                complete = max(pending, transfer_done)
+                self.stats.merged += 1
+            else:
+                complete = full
+            self._main_in_flight[line_addr] = complete
+            level = AccessLevel.MAIN
+            self.stats.main_memory += 1
+
+        new_state = LineState.MODIFIED if is_store else LineState.SHARED
+        victim = cache.fill(line_addr, new_state)
+        if victim is not None and victim[1] is LineState.MODIFIED:
+            # Dirty eviction: the writeback occupies a bus slot later but
+            # does not delay the requester.
+            self.bus.acquire(complete)
+            self.stats.writebacks += 1
+        if snoop.writeback:
+            self.stats.writebacks += 1
+
+        cache.mshr.hold(complete)
+        cache.in_flight[line_addr] = complete
+        self.stats.mshr_wait_cycles += mshr_wait
+        self.stats.bus_wait_cycles += bus_wait
+        return AccessResult(
+            ready_time=complete,
+            level=level,
+            mshr_wait=mshr_wait,
+            bus_wait=bus_wait,
+        )
+
+    # ------------------------------------------------------------------
+    def check_coherence(self, addresses: List[int]) -> None:
+        """Assert MSI invariants for a set of line addresses (tests)."""
+        for address in addresses:
+            self.msi.check_invariants(address)
+
+    def reset(self) -> None:
+        """Clear all cache state and statistics (fresh run)."""
+        for cache in self.caches:
+            cache.clear()
+            cache.mshr.reset_stats()
+        self.bus.reset_stats()
+        self.msi.reset_stats()
+        self.stats = MemoryStats()
+        self._main_in_flight.clear()

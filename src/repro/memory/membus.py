@@ -1,0 +1,57 @@
+"""Memory-bus pool with hardware arbitration.
+
+Memory buses interconnect the local caches and main memory (Section 2.1).
+Unlike register buses they are *not* scheduler resources: arbitration is
+done by hardware, so the timing model queues requests on the earliest
+available bus.  ``count=None`` models the unbounded study of Section 5.2
+(a request is always granted immediately).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..machine.config import BusConfig
+
+__all__ = ["MemoryBusPool"]
+
+
+class MemoryBusPool:
+    """Tracks per-bus busy intervals and grants requests FIFO."""
+
+    def __init__(self, config: BusConfig):
+        self.config = config
+        self._busy_until: Optional[List[int]] = (
+            None if config.unbounded else [0] * config.count
+        )
+        self.total_wait_cycles = 0
+        self.total_transactions = 0
+        self.total_busy_cycles = 0
+
+    @property
+    def latency(self) -> int:
+        return self.config.latency
+
+    def acquire(self, time: int, duration: Optional[int] = None) -> int:
+        """Request a bus at ``time``; returns the grant time.
+
+        The chosen bus stays busy for ``duration`` cycles (default: the
+        bus latency).  Waiting time is accumulated into the pool stats —
+        it is the NC_WaitingBus term of the paper's latency formula.
+        """
+        if duration is None:
+            duration = self.config.latency
+        self.total_transactions += 1
+        self.total_busy_cycles += duration
+        if self._busy_until is None:
+            return time
+        best = min(range(len(self._busy_until)), key=lambda b: self._busy_until[b])
+        grant = max(time, self._busy_until[best])
+        self._busy_until[best] = grant + duration
+        self.total_wait_cycles += grant - time
+        return grant
+
+    def reset_stats(self) -> None:
+        self.total_wait_cycles = 0
+        self.total_transactions = 0
+        self.total_busy_cycles = 0

@@ -1,0 +1,496 @@
+"""The unified assign-and-schedule modulo-scheduling engine.
+
+Both schedulers of the paper share this engine (Section 4):
+
+1. Order the nodes (SMS ordering, :mod:`repro.scheduler.ordering`).
+2. For each node, in order, score every cluster (subclass hook), then try
+   clusters from best to worst; the first cluster with a feasible slot —
+   functional unit free, and every cross-cluster flow edge to an
+   already-scheduled neighbour servable by a register-bus transfer —
+   receives the operation.
+3. If any node cannot be placed, or the finished schedule overflows a
+   register file, the II is increased and the whole pass restarts (the
+   node ordering is *not* recomputed, per the paper).
+
+The engine also implements the *binding prefetching* step of Section 4.3:
+once a load's cluster is chosen, it is scheduled with the miss latency when
+its estimated miss ratio in that cluster exceeds the threshold, unless the
+larger latency would raise the II through a recurrence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..ir.builder import Kernel
+from ..ir.operations import OpClass, Operation
+from ..machine.config import MachineConfig
+from .lifetimes import pressure_ok
+from .mii import compute_mii, edge_latency, rec_mii
+from .mrt import ModuloReservationTable, Transaction
+from .ordering import NodeTimes, compute_times, sms_order
+from .result import Communication, Placement, Schedule, SchedulingError
+
+__all__ = ["SchedulerConfig", "CommunicationAwareScheduler"]
+
+
+@dataclass
+class SchedulerConfig:
+    """Engine knobs shared by Baseline and RMCA."""
+
+    #: Miss-ratio threshold above which a load is binding-prefetched.
+    #: 1.0 reproduces the traditional always-hit-latency scheme; 0.0 is
+    #: the most aggressive setting of the paper's figures.
+    threshold: float = 1.0
+    #: Hard cap on the II search to guarantee termination.
+    max_ii: int = 512
+    #: Enforce per-cluster MaxLive <= register-file size.
+    check_register_pressure: bool = True
+    #: Use the SMS node ordering (Section 4.3).  False falls back to
+    #: program order — the ordering ablation of the benchmark suite.
+    use_sms_ordering: bool = True
+
+
+class _State:
+    """Mutable state of one scheduling attempt at a fixed II."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        machine: MachineConfig,
+        ii: int,
+        times: NodeTimes,
+    ):
+        self.kernel = kernel
+        self.machine = machine
+        self.ii = ii
+        self.times = times
+        self.mrt = ModuloReservationTable(machine, ii)
+        self.placements: Dict[str, Placement] = {}
+        self.comms: List[Communication] = []
+        self.comm_index: Dict[Tuple[str, int], List[Communication]] = {}
+        self.ops_per_cluster: List[int] = [0] * machine.n_clusters
+
+    def lat(self, op_name: str) -> int:
+        """Assumed latency of a *scheduled* operation."""
+        return self.placements[op_name].assumed_latency
+
+    def commit(
+        self,
+        op: Operation,
+        cluster: int,
+        time: int,
+        assumed_latency: int,
+        new_comms: List[Communication],
+    ) -> None:
+        self.placements[op.name] = Placement(
+            op=op.name,
+            cluster=cluster,
+            time=time,
+            assumed_latency=assumed_latency,
+        )
+        self.ops_per_cluster[cluster] += 1
+        for comm in new_comms:
+            self.comms.append(comm)
+            self.comm_index.setdefault(
+                (comm.producer, comm.dst_cluster), []
+            ).append(comm)
+
+    def memory_ops_in(self, cluster: int) -> List[Operation]:
+        loop = self.kernel.loop
+        return [
+            loop.operation(name)
+            for name, p in self.placements.items()
+            if p.cluster == cluster and loop.operation(name).is_memory
+        ]
+
+
+class CommunicationAwareScheduler:
+    """Base scheduler: register-communication-aware cluster selection.
+
+    This is the Baseline of Section 4.1 when instantiated directly; the
+    RMCA scheduler subclasses it and overrides memory-operation scoring.
+    """
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        locality=None,
+    ):
+        self.config = config or SchedulerConfig()
+        self.locality = locality
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def schedule(self, kernel: Kernel, machine: MachineConfig) -> Schedule:
+        """Modulo-schedule ``kernel`` onto ``machine``.
+
+        Raises :class:`SchedulingError` when no feasible II is found below
+        the configured cap.
+        """
+        mii, res, rec = compute_mii(kernel.ddg, machine)
+        if self.config.use_sms_ordering:
+            order = sms_order(kernel.ddg, machine, mii)
+        else:
+            order = [op.name for op in kernel.loop.operations]
+        self._recurrence_nodes = kernel.ddg.nodes_on_recurrences()
+        for ii in range(mii, self.config.max_ii + 1):
+            state = self._attempt(kernel, machine, order, ii)
+            if state is None:
+                continue
+            schedule = self._finalize(state, mii, res, rec)
+            if (
+                self.config.check_register_pressure
+                and not pressure_ok(schedule)
+            ):
+                continue
+            return schedule
+        raise SchedulingError(
+            f"no schedule for {kernel.name!r} on {machine.name!r} "
+            f"with II <= {self.config.max_ii}"
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster scoring hooks
+    # ------------------------------------------------------------------
+    def rank_clusters(
+        self, state: _State, op: Operation
+    ) -> List[int]:
+        """Clusters in decreasing preference for placing ``op``."""
+        machine = state.machine
+        if machine.n_clusters == 1:
+            return [0]
+        scored = [
+            (self.cluster_score(state, op, k), k)
+            for k in range(machine.n_clusters)
+        ]
+        scored.sort(key=lambda item: (tuple(-x for x in item[0]), item[1]))
+        return [k for _, k in scored]
+
+    def cluster_score(
+        self, state: _State, op: Operation, cluster: int
+    ) -> Tuple[float, ...]:
+        """Higher-is-better score tuple; default is the register heuristic."""
+        return (
+            self.register_affinity(state, op, cluster),
+            -state.ops_per_cluster[cluster],
+        )
+
+    def register_affinity(
+        self, state: _State, op: Operation, cluster: int
+    ) -> float:
+        """Profit from output edges of placing ``op`` in ``cluster``.
+
+        Counts the flow edges internalized (neighbour already scheduled in
+        the same cluster) minus those that become real inter-cluster
+        communications (neighbour scheduled elsewhere) — equivalent, for
+        ranking purposes, to the paper's before/after exit-edge difference.
+        """
+        ddg = state.kernel.ddg
+        profit = 0
+        for edge in ddg.in_edges(op.name):
+            if edge.kind != "flow":
+                continue
+            placement = state.placements.get(edge.src)
+            if placement is None:
+                continue
+            profit += 1 if placement.cluster == cluster else -1
+        for edge in ddg.out_edges(op.name):
+            if edge.kind != "flow":
+                continue
+            placement = state.placements.get(edge.dst)
+            if placement is None:
+                continue
+            profit += 1 if placement.cluster == cluster else -1
+        return float(profit)
+
+    # ------------------------------------------------------------------
+    # One scheduling attempt at a fixed II
+    # ------------------------------------------------------------------
+    def _attempt(
+        self,
+        kernel: Kernel,
+        machine: MachineConfig,
+        order: Sequence[str],
+        ii: int,
+    ) -> Optional[_State]:
+        times = compute_times(kernel.ddg, machine, ii)
+        state = _State(kernel, machine, ii, times)
+        for name in order:
+            op = kernel.loop.operation(name)
+            if not self._place(state, op):
+                return None
+        return state
+
+    def _place(self, state: _State, op: Operation) -> bool:
+        for cluster in self.rank_clusters(state, op):
+            assumed = self._assumed_latency(state, op, cluster)
+            outcome = self._try_place(state, op, cluster, assumed)
+            if outcome is not None:
+                time, new_comms = outcome
+                state.commit(op, cluster, time, assumed, new_comms)
+                return True
+        return False
+
+    def _assumed_latency(
+        self, state: _State, op: Operation, cluster: int
+    ) -> int:
+        """Hit latency, or the miss latency for binding-prefetched loads."""
+        machine = state.machine
+        base = machine.latency(op.opclass)
+        if not op.is_load or self.locality is None:
+            return base
+        if self.config.threshold >= 1.0:
+            return base
+        cache = machine.cluster(cluster).cache
+        ops = state.memory_ops_in(cluster) + [op]
+        ratio = self.locality.miss_ratio(state.kernel.loop, op, ops, cache)
+        if ratio <= self.config.threshold:
+            return base
+        miss_latency = machine.miss_latency
+        if op.name in self._recurrence_nodes:
+            def latency_of(candidate: Operation) -> int:
+                if candidate.name == op.name:
+                    return miss_latency
+                placed = state.placements.get(candidate.name)
+                if placed is not None:
+                    return placed.assumed_latency
+                return machine.latency(candidate.opclass)
+
+            if rec_mii(state.kernel.ddg, machine, latency_of) > state.ii:
+                return base
+        return miss_latency
+
+    # ------------------------------------------------------------------
+    # Slot search with communication allocation
+    # ------------------------------------------------------------------
+    def _try_place(
+        self,
+        state: _State,
+        op: Operation,
+        cluster: int,
+        assumed_latency: int,
+    ) -> Optional[Tuple[int, List[Communication]]]:
+        """Find a feasible issue time for ``op`` in ``cluster``.
+
+        Returns ``(time, new_communications)`` with all MRT reservations
+        committed, or ``None`` (no reservations held) when infeasible.
+        """
+        window = self._window(state, op, cluster, assumed_latency)
+        if window is None:
+            return None
+        candidates, descending = window
+        for time in candidates:
+            txn = Transaction()
+            if not state.mrt.reserve_fu(time, cluster, op.fu_type, txn):
+                state.mrt.rollback(txn)
+                continue
+            comms = self._allocate_comms(
+                state, op, cluster, time, assumed_latency, txn
+            )
+            if comms is None:
+                state.mrt.rollback(txn)
+                continue
+            return time, comms
+        return None
+
+    def _window(
+        self,
+        state: _State,
+        op: Operation,
+        cluster: int,
+        assumed_latency: int,
+    ) -> Optional[Tuple[List[int], bool]]:
+        """Candidate issue times, respecting scheduled neighbours."""
+        ddg = state.kernel.ddg
+        machine = state.machine
+        ii = state.ii
+        lrb = machine.register_bus.latency
+        early: Optional[int] = None
+        late: Optional[int] = None
+
+        for edge in ddg.in_edges(op.name):
+            src = state.placements.get(edge.src)
+            if src is None:
+                continue
+            producer = state.kernel.loop.operation(edge.src)
+            lat = edge_latency(
+                producer, edge.kind, machine, latency_of=lambda _o: src.assumed_latency
+            )
+            bound = src.time + lat - ii * edge.distance
+            if edge.kind == "flow" and src.cluster != cluster:
+                bound += lrb
+            early = bound if early is None else max(early, bound)
+
+        for edge in ddg.out_edges(op.name):
+            dst = state.placements.get(edge.dst)
+            if dst is None:
+                continue
+            lat = edge_latency(
+                op, edge.kind, machine, latency_of=lambda _o: assumed_latency
+            )
+            bound = dst.time - lat + ii * edge.distance
+            if edge.kind == "flow" and dst.cluster != cluster:
+                bound -= lrb
+            late = bound if late is None else min(late, bound)
+
+        if early is not None and late is not None:
+            if early > late:
+                return None
+            upper = min(late, early + ii - 1)
+            return list(range(early, upper + 1)), False
+        if early is not None:
+            return list(range(early, early + ii)), False
+        if late is not None:
+            return list(range(late, late - ii, -1)), True
+        base = state.times.asap.get(op.name, 0)
+        return list(range(base, base + ii)), False
+
+    def _allocate_comms(
+        self,
+        state: _State,
+        op: Operation,
+        cluster: int,
+        time: int,
+        assumed_latency: int,
+        txn: Transaction,
+    ) -> Optional[List[Communication]]:
+        """Reserve register-bus transfers for all cross-cluster flow edges
+        between ``op`` (tentatively at ``time``/``cluster``) and its
+        already-scheduled neighbours.  Returns the new communications, or
+        ``None`` on failure (caller rolls the transaction back)."""
+        ddg = state.kernel.ddg
+        ii = state.ii
+        lrb = state.machine.register_bus.latency
+        new_comms: List[Communication] = []
+
+        # Incoming values produced in other clusters.
+        needed_in: Dict[str, int] = {}
+        for edge in ddg.in_edges(op.name):
+            if edge.kind != "flow":
+                continue
+            src = state.placements.get(edge.src)
+            if src is None or src.cluster == cluster:
+                continue
+            deadline = time + ii * edge.distance
+            prior = needed_in.get(edge.src)
+            needed_in[edge.src] = deadline if prior is None else min(prior, deadline)
+        for producer_name, deadline in needed_in.items():
+            src = state.placements[producer_name]
+            existing = state.comm_index.get((producer_name, cluster), [])
+            fresh = [c for c in new_comms if c.producer == producer_name and c.dst_cluster == cluster]
+            if any(c.arrival <= deadline for c in existing + fresh):
+                continue
+            comm = self._new_comm(
+                state,
+                producer_name,
+                src.cluster,
+                cluster,
+                lo=src.time + src.assumed_latency,
+                hi=deadline - lrb,
+                txn=txn,
+            )
+            if comm is None:
+                return None
+            new_comms.append(comm)
+
+        # Outgoing value consumed by scheduled ops in other clusters.
+        if op.dest is not None:
+            needed_out: Dict[int, int] = {}
+            for edge in ddg.out_edges(op.name):
+                if edge.kind != "flow":
+                    continue
+                dst = state.placements.get(edge.dst)
+                if dst is None or dst.cluster == cluster:
+                    continue
+                deadline = dst.time + ii * edge.distance
+                prior = needed_out.get(dst.cluster)
+                needed_out[dst.cluster] = (
+                    deadline if prior is None else min(prior, deadline)
+                )
+            for dst_cluster, deadline in needed_out.items():
+                comm = self._new_comm(
+                    state,
+                    op.name,
+                    cluster,
+                    dst_cluster,
+                    lo=time + assumed_latency,
+                    hi=deadline - lrb,
+                    txn=txn,
+                )
+                if comm is None:
+                    return None
+                new_comms.append(comm)
+        return new_comms
+
+    def _new_comm(
+        self,
+        state: _State,
+        producer: str,
+        src_cluster: int,
+        dst_cluster: int,
+        lo: int,
+        hi: int,
+        txn: Transaction,
+    ) -> Optional[Communication]:
+        """Reserve a bus transfer starting in ``[lo, hi]``."""
+        if hi < lo:
+            return None
+        ii = state.ii
+        for start in range(lo, min(hi, lo + ii - 1) + 1):
+            reservation = state.mrt.reserve_bus(start, txn)
+            if reservation is not None:
+                return Communication(
+                    producer=producer,
+                    src_cluster=src_cluster,
+                    dst_cluster=dst_cluster,
+                    bus=reservation.bus,
+                    start=start,
+                    latency=reservation.latency,
+                )
+        return None
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def _finalize(
+        self, state: _State, mii: int, res: int, rec: int
+    ) -> Schedule:
+        """Shift times so the earliest op issues at 0 and build the result."""
+        shift = -min(p.time for p in state.placements.values())
+        placements = {
+            name: Placement(
+                op=p.op,
+                cluster=p.cluster,
+                time=p.time + shift,
+                assumed_latency=p.assumed_latency,
+            )
+            for name, p in state.placements.items()
+        }
+        comms = [
+            Communication(
+                producer=c.producer,
+                src_cluster=c.src_cluster,
+                dst_cluster=c.dst_cluster,
+                bus=c.bus,
+                start=c.start + shift,
+                latency=c.latency,
+            )
+            for c in state.comms
+        ]
+        return Schedule(
+            kernel=state.kernel,
+            machine=state.machine,
+            ii=state.ii,
+            placements=placements,
+            communications=comms,
+            mii=mii,
+            res_mii=res,
+            rec_mii=rec,
+            scheduler_name=self.name,
+            threshold=self.config.threshold,
+        )

@@ -1,0 +1,31 @@
+"""The Baseline scheduler (Section 4.1).
+
+Identical to the engine's default behaviour: cluster selection for *every*
+operation — memory ones included — uses only the register output-edge
+profit (plus workload balance as tie-break).  This is the scheduler of
+Sánchez & González's earlier clustered-VLIW work, which the paper uses as
+the comparison point; it still performs binding prefetching when given a
+locality analyzer and a threshold below 1.0 (the Figure 5/6 sweeps apply
+the threshold to both schedulers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import CommunicationAwareScheduler, SchedulerConfig
+
+__all__ = ["BaselineScheduler"]
+
+
+class BaselineScheduler(CommunicationAwareScheduler):
+    """Register-communication-aware modulo scheduler."""
+
+    name = "baseline"
+
+    def __init__(
+        self,
+        config: Optional[SchedulerConfig] = None,
+        locality=None,
+    ):
+        super().__init__(config=config, locality=locality)

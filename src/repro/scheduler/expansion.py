@@ -1,0 +1,142 @@
+"""Prolog / kernel / epilog expansion of a modulo schedule.
+
+A modulo-scheduled loop with stage count SC executes SC-1 ramp-up stages
+(the *prolog*), then the steady-state *kernel* for NITER-SC+1 initiations,
+then SC-1 drain stages (the *epilog*).  This module flattens a
+:class:`~repro.scheduler.result.Schedule` into that shape — the form a
+code generator would emit — and provides the code-size accounting the
+paper alludes to ("the SC ... determines the length of the prolog and
+epilog").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .result import Schedule
+
+__all__ = ["OpInstance", "ExpandedLoop", "expand"]
+
+
+@dataclass(frozen=True)
+class OpInstance:
+    """One dynamic instance of an operation: iteration ``i`` of ``op``."""
+
+    op: str
+    iteration: int
+    time: int  # absolute cycle in the flattened code
+
+
+@dataclass
+class ExpandedLoop:
+    """A modulo schedule flattened for a specific iteration count."""
+
+    schedule: Schedule
+    n_iterations: int
+    instances: List[OpInstance] = field(default_factory=list)
+
+    @property
+    def total_cycles(self) -> int:
+        """Schedule length = (NITER + SC - 1) * II (stall-free)."""
+        if not self.instances:
+            return 0
+        return max(i.time for i in self.instances) + 1
+
+    # ------------------------------------------------------------------
+    def _phase_bounds(self) -> Tuple[int, int]:
+        """[prolog_end, epilog_start) cycle bounds of the kernel phase."""
+        ii = self.schedule.ii
+        sc = self.schedule.stage_count
+        prolog_end = (sc - 1) * ii
+        epilog_start = self.n_iterations * ii
+        return prolog_end, epilog_start
+
+    @property
+    def prolog(self) -> List[OpInstance]:
+        """Ramp-up instances (before all stages are active)."""
+        prolog_end, _ = self._phase_bounds()
+        return [i for i in self.instances if i.time < prolog_end]
+
+    @property
+    def kernel(self) -> List[OpInstance]:
+        """Steady-state instances."""
+        prolog_end, epilog_start = self._phase_bounds()
+        return [
+            i for i in self.instances
+            if prolog_end <= i.time < epilog_start
+        ]
+
+    @property
+    def epilog(self) -> List[OpInstance]:
+        """Drain instances (after the last initiation)."""
+        _, epilog_start = self._phase_bounds()
+        return [i for i in self.instances if i.time >= epilog_start]
+
+    def instances_at(self, time: int) -> List[OpInstance]:
+        return [i for i in self.instances if i.time == time]
+
+    # ------------------------------------------------------------------
+    def code_size_instructions(self) -> Dict[str, int]:
+        """Static code size: distinct VLIW instruction slots per phase.
+
+        The kernel contributes II instructions (it loops); prolog and
+        epilog are emitted straight-line, (SC-1)*II each.
+        """
+        ii = self.schedule.ii
+        sc = self.schedule.stage_count
+        return {
+            "prolog": (sc - 1) * ii,
+            "kernel": ii,
+            "epilog": (sc - 1) * ii,
+        }
+
+    def validate(self) -> None:
+        """Every iteration executes every operation exactly once, in
+        dependence order consistent with the modulo schedule."""
+        expected = set(self.schedule.placements)
+        seen: Dict[Tuple[str, int], int] = {}
+        for instance in self.instances:
+            key = (instance.op, instance.iteration)
+            if key in seen:
+                raise AssertionError(f"duplicate instance {key}")
+            seen[key] = instance.time
+        for iteration in range(self.n_iterations):
+            missing = expected - {
+                op for (op, it) in seen if it == iteration
+            }
+            if missing:
+                raise AssertionError(
+                    f"iteration {iteration} missing {sorted(missing)}"
+                )
+        # Instance times follow the modulo formula.
+        for (op, iteration), time in seen.items():
+            placement = self.schedule.placements[op]
+            if time != iteration * self.schedule.ii + placement.time:
+                raise AssertionError(f"bad time for {op} iter {iteration}")
+
+
+def expand(schedule: Schedule, n_iterations: int) -> ExpandedLoop:
+    """Flatten ``schedule`` for ``n_iterations`` initiations."""
+    if n_iterations < 1:
+        raise ValueError("need at least one iteration")
+    if n_iterations < schedule.stage_count:
+        raise ValueError(
+            f"{n_iterations} iterations cannot fill {schedule.stage_count} "
+            f"stages; the loop would never reach steady state"
+        )
+    instances = [
+        OpInstance(
+            op=name,
+            iteration=iteration,
+            time=iteration * schedule.ii + placement.time,
+        )
+        for iteration in range(n_iterations)
+        for name, placement in schedule.placements.items()
+    ]
+    instances.sort(key=lambda i: (i.time, i.iteration, i.op))
+    expanded = ExpandedLoop(
+        schedule=schedule, n_iterations=n_iterations, instances=instances
+    )
+    expanded.validate()
+    return expanded

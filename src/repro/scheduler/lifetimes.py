@@ -1,0 +1,126 @@
+"""Register lifetime and pressure analysis for modulo schedules.
+
+A modulo-scheduled value defined at time ``d`` and last used at time ``u``
+is live for ``u - d`` cycles; because a new instance is created every II
+cycles, the value occupies ``ceil`` overlapping registers.  MaxLive per
+cluster is computed by summing, for every modulo slot, the number of
+concurrently live instances, and the schedule is feasible only when every
+cluster's MaxLive fits its register file (the paper restarts with II+1
+otherwise).
+
+Cross-cluster values additionally occupy a register in the *destination*
+cluster from the bus arrival until their last local use (the IRV latch is
+written into the local register file per the ISA of Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.builder import Kernel
+from ..machine.config import MachineConfig
+from .result import Communication, Placement, Schedule
+
+__all__ = ["ValueLifetime", "cluster_pressures", "max_live", "pressure_ok"]
+
+
+@dataclass(frozen=True)
+class ValueLifetime:
+    """Live range of one value inside one cluster."""
+
+    producer: str
+    cluster: int
+    start: int  # value becomes available
+    end: int  # last read (exclusive end of the live range)
+
+    @property
+    def length(self) -> int:
+        return max(0, self.end - self.start)
+
+
+def _lifetimes(
+    schedule: Schedule,
+) -> List[ValueLifetime]:
+    """Live ranges implied by the placements and communications."""
+    kernel = schedule.kernel
+    ddg = kernel.ddg
+    ii = schedule.ii
+    ranges: List[ValueLifetime] = []
+
+    comms_by_key: Dict[Tuple[str, int], List[Communication]] = {}
+    for comm in schedule.communications:
+        comms_by_key.setdefault((comm.producer, comm.dst_cluster), []).append(comm)
+
+    for name, placement in schedule.placements.items():
+        op = kernel.loop.operation(name)
+        if op.dest is None:
+            continue
+        ready = placement.time + placement.assumed_latency
+        # A load's destination register is reserved from issue: the MSHR
+        # of the lockup-free cache holds it while the fill is outstanding.
+        # This is why binding prefetching (Section 4.3) raises register
+        # pressure — the lifetime grows by the full miss latency.
+        start = placement.time if op.is_load else ready
+        # Last use in the producer cluster: local consumers plus the
+        # departure time of any outgoing communication.
+        local_last = ready
+        remote_last: Dict[int, int] = {}
+        for edge in ddg.out_edges(name):
+            if edge.kind != "flow":
+                continue
+            consumer = schedule.placements[edge.dst]
+            use_time = consumer.time + ii * edge.distance
+            if consumer.cluster == placement.cluster:
+                local_last = max(local_last, use_time)
+            else:
+                remote_last[consumer.cluster] = max(
+                    remote_last.get(consumer.cluster, 0), use_time
+                )
+        for dst_cluster, last_use in remote_last.items():
+            comms = comms_by_key.get((name, dst_cluster), [])
+            if comms:
+                departure = max(c.start for c in comms)
+                local_last = max(local_last, departure)
+                arrival = min(c.arrival for c in comms)
+                ranges.append(
+                    ValueLifetime(name, dst_cluster, arrival, last_use)
+                )
+        ranges.append(
+            ValueLifetime(name, placement.cluster, start, local_last)
+        )
+    return ranges
+
+
+def cluster_pressures(schedule: Schedule) -> Dict[int, int]:
+    """MaxLive per cluster for a schedule."""
+    ii = schedule.ii
+    per_slot: Dict[int, List[int]] = {
+        c: [0] * ii for c in range(schedule.machine.n_clusters)
+    }
+    for lifetime in _lifetimes(schedule):
+        if lifetime.length <= 0:
+            # A value produced and never consumed still needs a register
+            # in its definition cycle.
+            slots = per_slot[lifetime.cluster]
+            slots[lifetime.start % ii] += 1
+            continue
+        slots = per_slot[lifetime.cluster]
+        for t in range(lifetime.start, lifetime.end):
+            slots[t % ii] += 1
+    return {c: max(slots) if slots else 0 for c, slots in per_slot.items()}
+
+
+def max_live(schedule: Schedule) -> int:
+    """Largest per-cluster MaxLive."""
+    pressures = cluster_pressures(schedule)
+    return max(pressures.values(), default=0)
+
+
+def pressure_ok(schedule: Schedule) -> bool:
+    """True when every cluster's MaxLive fits its register file."""
+    pressures = cluster_pressures(schedule)
+    for cluster_id, pressure in pressures.items():
+        if pressure > schedule.machine.cluster(cluster_id).n_registers:
+            return False
+    return True

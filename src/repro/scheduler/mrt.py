@@ -1,0 +1,145 @@
+"""Modulo reservation table (MRT).
+
+Two resource families are tracked modulo the II:
+
+* **Functional units** — per ``(cluster, fu_type)``, with the per-cluster
+  capacities of the machine model; an operation occupies its unit for one
+  cycle (units are fully pipelined).
+* **Register buses** — shared by all clusters; a transfer occupies one
+  particular bus for ``latency`` *consecutive* cycles, exactly as the
+  paper specifies ("this bus will be busy during the entire bus latency").
+  With a bounded bus pool a transfer longer than the II conflicts with its
+  own next-iteration instance and is therefore unschedulable; with an
+  unbounded pool (Section 5.2) every transfer conceptually gets a fresh
+  bus, so allocation never fails but usage is still recorded for
+  statistics.
+
+All mutations go through a :class:`Transaction` so a failed placement can
+be rolled back without copying the table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.operations import FUType
+from ..machine.config import MachineConfig
+
+__all__ = ["BusReservation", "Transaction", "ModuloReservationTable"]
+
+
+@dataclass(frozen=True)
+class BusReservation:
+    """A register-bus transfer committed into the table."""
+
+    bus: int  # -1 when the pool is unbounded
+    start: int  # absolute schedule time of the first busy cycle
+    latency: int
+
+
+@dataclass
+class Transaction:
+    """Undo log for one tentative placement."""
+
+    fu_slots: List[Tuple[int, int, FUType]] = field(default_factory=list)
+    bus_slots: List[Tuple[int, int]] = field(default_factory=list)  # (bus, slot)
+    unbounded_slots: List[int] = field(default_factory=list)
+
+
+class ModuloReservationTable:
+    """Reservation table for one scheduling attempt at a fixed II."""
+
+    def __init__(self, machine: MachineConfig, ii: int):
+        if ii < 1:
+            raise ValueError("II must be >= 1")
+        self.machine = machine
+        self.ii = ii
+        # (slot, cluster, fu_type) -> used count
+        self._fu_used: Dict[Tuple[int, int, FUType], int] = {}
+        # bounded buses: per bus, per slot occupancy
+        n_buses = machine.register_bus.count
+        self._buses: Optional[List[Dict[int, bool]]] = (
+            None if n_buses is None else [dict() for _ in range(n_buses)]
+        )
+        # unbounded pool: slot -> concurrent transfer count (stats only)
+        self._unbounded_used: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Functional units
+    # ------------------------------------------------------------------
+    def fu_free(self, time: int, cluster: int, fu: FUType) -> bool:
+        """True when the cluster has a free unit of kind ``fu`` at ``time``."""
+        slot = time % self.ii
+        capacity = self.machine.cluster(cluster).n_units(fu)
+        return self._fu_used.get((slot, cluster, fu), 0) < capacity
+
+    def reserve_fu(
+        self, time: int, cluster: int, fu: FUType, txn: Transaction
+    ) -> bool:
+        """Reserve a unit; returns False (no side effect) when full."""
+        if not self.fu_free(time, cluster, fu):
+            return False
+        slot = time % self.ii
+        key = (slot, cluster, fu)
+        self._fu_used[key] = self._fu_used.get(key, 0) + 1
+        txn.fu_slots.append(key)
+        return True
+
+    # ------------------------------------------------------------------
+    # Register buses
+    # ------------------------------------------------------------------
+    def _bus_fits(self, bus: Dict[int, bool], start: int, latency: int) -> bool:
+        if latency > self.ii:
+            return False  # would overlap its own next-iteration instance
+        return all(not bus.get((start + k) % self.ii) for k in range(latency))
+
+    def reserve_bus(
+        self, start: int, txn: Transaction
+    ) -> Optional[BusReservation]:
+        """Try to reserve some bus from ``start`` for the bus latency.
+
+        Returns the reservation, or ``None`` when every bus is busy in
+        the window (never ``None`` for unbounded pools).
+        """
+        latency = self.machine.register_bus.latency
+        if self._buses is None:
+            slot = start % self.ii
+            for k in range(latency):
+                s = (slot + k) % self.ii
+                self._unbounded_used[s] = self._unbounded_used.get(s, 0) + 1
+                txn.unbounded_slots.append(s)
+            return BusReservation(bus=-1, start=start, latency=latency)
+        for index, bus in enumerate(self._buses):
+            if self._bus_fits(bus, start % self.ii, latency):
+                for k in range(latency):
+                    slot = (start + k) % self.ii
+                    bus[slot] = True
+                    txn.bus_slots.append((index, slot))
+                return BusReservation(bus=index, start=start, latency=latency)
+        return None
+
+    def peak_bus_usage(self) -> int:
+        """Maximum concurrent transfers in any slot (unbounded pools)."""
+        if self._buses is not None:
+            return max(
+                (sum(1 for v in bus.values() if v) for bus in self._buses),
+                default=0,
+            )
+        return max(self._unbounded_used.values(), default=0)
+
+    # ------------------------------------------------------------------
+    # Rollback
+    # ------------------------------------------------------------------
+    def rollback(self, txn: Transaction) -> None:
+        """Undo every reservation recorded in the transaction."""
+        for key in txn.fu_slots:
+            self._fu_used[key] -= 1
+        for index, slot in txn.bus_slots:
+            assert self._buses is not None
+            self._buses[index][slot] = False
+        for slot in txn.unbounded_slots:
+            self._unbounded_used[slot] -= 1
+        txn.fu_slots.clear()
+        txn.bus_slots.clear()
+        txn.unbounded_slots.clear()

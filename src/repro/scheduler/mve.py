@@ -1,0 +1,147 @@
+"""Modulo variable expansion (MVE) and physical register assignment.
+
+A modulo-scheduled value whose lifetime exceeds the II would be
+overwritten by its own next-iteration instance before its last use.
+Rotating register files solve this in hardware; machines without them
+(like the multiVLIWprocessor, whose ISA has plain register fields) use
+**modulo variable expansion** [Lam 88]: the kernel is unrolled
+``ceil(max_lifetime / II)`` times and each unrolled copy writes a
+different physical register.
+
+This module computes, per cluster:
+
+* each value's MVE degree (how many simultaneous instances exist),
+* the kernel unroll factor (the maximum degree, over all values in any
+  cluster — the copies must stay in lockstep),
+* a physical register assignment for every (value, copy) pair, verified
+  against the cluster's register-file size.
+
+It is the code-generation step that turns a validated
+:class:`~repro.scheduler.result.Schedule` into something the Figure 2
+ISA could actually execute.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .lifetimes import ValueLifetime, _lifetimes
+from .result import Schedule
+
+__all__ = ["RegisterAssignment", "AllocationError", "allocate_registers"]
+
+
+class AllocationError(RuntimeError):
+    """Raised when a cluster's register file cannot hold the kernel."""
+
+
+@dataclass
+class RegisterAssignment:
+    """MVE result: unroll factor plus per-(value, copy) physical registers."""
+
+    schedule: Schedule
+    unroll_factor: int
+    #: (producer op, cluster, copy index) -> physical register number.
+    registers: Dict[Tuple[str, int, int], int] = field(default_factory=dict)
+    #: Per-cluster count of physical registers used.
+    used_per_cluster: Dict[int, int] = field(default_factory=dict)
+
+    def register_of(self, producer: str, cluster: int, copy: int) -> int:
+        return self.registers[(producer, cluster, copy % self.unroll_factor)]
+
+    def degree_of(self, producer: str, cluster: int) -> int:
+        """Number of distinct physical registers backing one value."""
+        return len(
+            {
+                reg
+                for (op, cl, _copy), reg in self.registers.items()
+                if op == producer and cl == cluster
+            }
+        )
+
+    def validate(self) -> None:
+        """No two overlapping (value, copy) instances share a register."""
+        ii = self.schedule.ii
+        factor = self.unroll_factor
+        span = ii * factor
+        occupancy: Dict[Tuple[int, int, int], Tuple[str, int]] = {}
+        for lifetime in _lifetimes(self.schedule):
+            degree = _degree(lifetime, ii)
+            for copy in range(factor):
+                key = (lifetime.producer, lifetime.cluster, copy)
+                reg = self.registers.get(key)
+                if reg is None:
+                    continue
+                start = lifetime.start + copy * ii
+                end = max(lifetime.end + copy * ii, start + 1)
+                for t in range(start, end):
+                    slot = (lifetime.cluster, reg, t % span)
+                    holder = occupancy.get(slot)
+                    claim = (lifetime.producer, copy)
+                    if holder is not None and holder != claim:
+                        # The same value's several ValueLifetime segments
+                        # (producer + consumer cluster) may legitimately
+                        # share; different producers may not.
+                        if holder[0] != lifetime.producer:
+                            raise AllocationError(
+                                f"register r{reg} in cluster "
+                                f"{lifetime.cluster} held by {holder} and "
+                                f"{claim} at slot {t % span}"
+                            )
+                    occupancy[slot] = claim
+
+
+def _degree(lifetime: ValueLifetime, ii: int) -> int:
+    """Simultaneously-live instances of one value (its MVE degree)."""
+    return max(1, math.ceil(max(lifetime.length, 1) / ii))
+
+
+def allocate_registers(schedule: Schedule) -> RegisterAssignment:
+    """Run MVE and assign physical registers for a schedule.
+
+    Raises :class:`AllocationError` when some cluster needs more
+    registers than its file provides (the scheduling-time MaxLive check
+    makes this rare but not impossible, since MVE rounds lifetimes up to
+    whole II multiples).
+    """
+    ii = schedule.ii
+    lifetimes = _lifetimes(schedule)
+
+    factor = 1
+    for lifetime in lifetimes:
+        factor = max(factor, _degree(lifetime, ii))
+
+    # Group lifetimes by (producer, cluster): a value communicated to
+    # another cluster has one live range there too, with its own backing
+    # registers in that cluster's file.
+    by_key: Dict[Tuple[str, int], List[ValueLifetime]] = {}
+    for lifetime in lifetimes:
+        by_key.setdefault((lifetime.producer, lifetime.cluster), []).append(
+            lifetime
+        )
+
+    assignment = RegisterAssignment(schedule=schedule, unroll_factor=factor)
+    next_free: Dict[int, int] = {}
+    for (producer, cluster), ranges in sorted(by_key.items()):
+        degree = max(_degree(r, ii) for r in ranges)
+        base = next_free.get(cluster, 0)
+        # The value cycles through `degree` registers; copies beyond the
+        # degree reuse them round-robin (their instances never overlap).
+        for copy in range(factor):
+            assignment.registers[(producer, cluster, copy)] = (
+                base + copy % degree
+            )
+        next_free[cluster] = base + degree
+
+    for cluster, used in next_free.items():
+        capacity = schedule.machine.cluster(cluster).n_registers
+        assignment.used_per_cluster[cluster] = used
+        if used > capacity:
+            raise AllocationError(
+                f"cluster {cluster} needs {used} registers for the MVE'd "
+                f"kernel but has {capacity}"
+            )
+    assignment.validate()
+    return assignment

@@ -1,0 +1,238 @@
+"""Node ordering for the unified assign-and-schedule pass.
+
+The paper (Section 4.3) reuses the ordering of Sánchez & González [22],
+which in turn follows the Swing-Modulo-Scheduling ordering: it "minimizes
+the number of nodes that have both predecessors and successors in the set
+of nodes that precede it in the order", so each node is placed adjacent to
+already-ordered neighbours and recurrences are handled first.
+
+The algorithm:
+
+1. Compute ASAP/ALAP times at ``II = MII`` (ignoring resource limits),
+   giving every node a *depth* (ASAP), *height* (distance to the sink,
+   i.e. ``ALAP_max - ALAP``) and *mobility* (ALAP - ASAP).
+2. Build priority sets: strongly connected components with cycles sorted
+   by decreasing RecMII, each augmented with the nodes on paths from
+   previously ordered sets; the remaining nodes form the last set.
+3. Order each set by alternating top-down / bottom-up sweeps, picking the
+   highest-height (top-down) or highest-depth (bottom-up) candidate, with
+   mobility as the tie-break.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..ir.ddg import DependenceGraph
+from ..machine.config import MachineConfig
+from .mii import edge_latency
+
+__all__ = ["NodeTimes", "compute_times", "sms_order"]
+
+
+class NodeTimes:
+    """ASAP / ALAP / mobility / depth / height per node at a given II."""
+
+    def __init__(
+        self,
+        asap: Dict[str, int],
+        alap: Dict[str, int],
+    ):
+        self.asap = asap
+        self.alap = alap
+        horizon = max(alap.values(), default=0)
+        self.mobility = {n: alap[n] - asap[n] for n in asap}
+        self.depth = dict(asap)
+        self.height = {n: horizon - alap[n] for n in alap}
+
+    def critical_path_length(self) -> int:
+        return max(self.alap.values(), default=0)
+
+
+def compute_times(
+    ddg: DependenceGraph, machine: MachineConfig, ii: int
+) -> NodeTimes:
+    """Longest-path ASAP/ALAP with loop-carried edges relaxed by ``ii``.
+
+    Edges are weighted ``latency - ii*distance``; at ``ii >= RecMII``
+    every cycle has non-positive weight, so iterating relaxations to a
+    fixed point terminates.
+    """
+    nodes = ddg.nodes()
+    asap = {n: 0 for n in nodes}
+    edges = [
+        (
+            e.src,
+            e.dst,
+            edge_latency(ddg.op(e.src), e.kind, machine) - ii * e.distance,
+        )
+        for e in ddg.edges()
+    ]
+    for _ in range(len(nodes) + 1):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = asap[src] + weight
+            if candidate > asap[dst]:
+                asap[dst] = candidate
+                changed = True
+        if not changed:
+            break
+    else:  # pragma: no cover - guarded by RecMII precondition
+        raise ValueError("positive cycle: ii below RecMII")
+    floor = min(asap.values(), default=0)
+    if floor < 0:
+        asap = {n: t - floor for n, t in asap.items()}
+    horizon = max(asap.values(), default=0)
+    alap = {n: horizon for n in nodes}
+    for _ in range(len(nodes) + 1):
+        changed = False
+        for src, dst, weight in edges:
+            candidate = alap[dst] - weight
+            if candidate < alap[src]:
+                alap[src] = candidate
+                changed = True
+        if not changed:
+            break
+    return NodeTimes(asap, alap)
+
+
+def _scc_rec_mii(
+    ddg: DependenceGraph, component: Set[str], machine: MachineConfig
+) -> float:
+    """RecMII restricted to one strongly connected component."""
+    best = 0.0
+    sub = nx.MultiDiGraph(
+        (u, v, d)
+        for u, v, d in ddg.nx.edges(data=True)
+        if u in component and v in component
+    )
+    sub.add_nodes_from(component)
+    for cycle in nx.simple_cycles(sub):
+        lat = 0
+        dist = 0
+        ring = list(cycle) + [cycle[0]]
+        for u, v in zip(ring, ring[1:]):
+            datas = sub.get_edge_data(u, v)
+            if not datas:
+                continue
+            choice = max(
+                datas.values(),
+                key=lambda d: (
+                    edge_latency(ddg.op(u), d["kind"], machine),
+                    -d["distance"],
+                ),
+            )
+            lat += edge_latency(ddg.op(u), choice["kind"], machine)
+            dist += choice["distance"]
+        if dist > 0:
+            best = max(best, lat / dist)
+    return best
+
+
+def _priority_sets(
+    ddg: DependenceGraph, machine: MachineConfig
+) -> List[Set[str]]:
+    """Recurrence components (hardest first) padded with path nodes."""
+    comps: List[Tuple[float, Set[str]]] = []
+    for component in nx.strongly_connected_components(ddg.nx):
+        is_cycle = len(component) > 1 or any(
+            ddg.nx.has_edge(n, n) for n in component
+        )
+        if is_cycle:
+            comps.append((_scc_rec_mii(ddg, component, machine), set(component)))
+    comps.sort(key=lambda item: -item[0])
+    plain = nx.DiGraph(ddg.nx)
+    sets: List[Set[str]] = []
+    covered: Set[str] = set()
+    for _, component in comps:
+        members = set(component)
+        if covered:
+            for prior in covered:
+                for node in component:
+                    for path_set in _nodes_on_paths(plain, prior, node):
+                        members |= path_set
+        members -= covered
+        if members:
+            sets.append(members)
+            covered |= members
+    rest = set(ddg.nodes()) - covered
+    if rest:
+        sets.append(rest)
+    return sets
+
+
+def _nodes_on_paths(
+    graph: nx.DiGraph, a: str, b: str
+) -> List[Set[str]]:
+    """Nodes on directed paths a->b or b->a (both orientations checked)."""
+    result: List[Set[str]] = []
+    for src, dst in ((a, b), (b, a)):
+        if nx.has_path(graph, src, dst):
+            desc = nx.descendants(graph, src) | {src}
+            anc = nx.ancestors(graph, dst) | {dst}
+            result.append(desc & anc)
+    return result
+
+
+def sms_order(
+    ddg: DependenceGraph,
+    machine: MachineConfig,
+    mii: int,
+) -> List[str]:
+    """Compute the scheduling order of the operations.
+
+    Returns all node names; every node appears exactly once.
+    """
+    times = compute_times(ddg, machine, max(1, mii))
+    ordered: List[str] = []
+    placed: Set[str] = set()
+    for node_set in _priority_sets(ddg, machine):
+        _order_set(ddg, node_set, times, ordered, placed)
+    return ordered
+
+
+def _order_set(
+    ddg: DependenceGraph,
+    node_set: Set[str],
+    times: NodeTimes,
+    ordered: List[str],
+    placed: Set[str],
+) -> None:
+    remaining = set(node_set)
+    while remaining:
+        succ_ready = {
+            n for n in remaining if ddg.predecessors(n) & placed
+        }
+        pred_ready = {
+            n for n in remaining if ddg.successors(n) & placed
+        }
+        if succ_ready and not pred_ready:
+            direction = "top-down"
+            frontier = succ_ready
+        elif pred_ready and not succ_ready:
+            direction = "bottom-up"
+            frontier = pred_ready
+        elif succ_ready and pred_ready:
+            direction = "top-down"
+            frontier = succ_ready | pred_ready
+        else:
+            # Fresh set: seed with the node of least mobility (the most
+            # constrained one, typically on the critical path).
+            direction = "top-down"
+            frontier = remaining
+        node = _pick(frontier, times, direction)
+        ordered.append(node)
+        placed.add(node)
+        remaining.discard(node)
+
+
+def _pick(frontier: Set[str], times: NodeTimes, direction: str) -> str:
+    if direction == "top-down":
+        # Highest height first (deep chains early); mobility breaks ties.
+        key = lambda n: (-times.height[n], times.mobility[n], n)
+    else:
+        key = lambda n: (-times.depth[n], times.mobility[n], n)
+    return min(frontier, key=key)

@@ -1,0 +1,14 @@
+"""Lockstep multiVLIWprocessor execution simulator."""
+
+from .executor import LockstepSimulator, simulate
+from .stats import SimulationResult
+from .trace import Trace, TraceEvent, trace_schedule
+
+__all__ = [
+    "LockstepSimulator",
+    "SimulationResult",
+    "Trace",
+    "TraceEvent",
+    "simulate",
+    "trace_schedule",
+]

@@ -1,0 +1,203 @@
+"""Lockstep execution of a modulo-scheduled loop.
+
+All clusters run in lockstep: any stall in one cluster stalls every
+cluster (Section 2.1), so the simulator keeps a single global *stall
+offset*.  Operation instances are replayed in nominal schedule order
+(iteration ``i`` of operation ``v`` nominally issues at ``i*II + t_v``);
+when an instance's operand is not ready at its (offset-adjusted) issue
+time the offset grows by the difference — that is exactly the paper's
+NCYCLE_stall.
+
+Memory instances run through the full distributed-memory timing model
+(:class:`~repro.memory.hierarchy.DistributedMemorySystem`): local MSI
+lookup, MSHR allocation, memory-bus arbitration, remote-cache or
+main-memory fill, in-flight merging.  The scheduler's *assumed* latency
+only influenced where consumers were placed; actual readiness comes from
+the memory system, which is how optimistic hit-latency scheduling turns
+into stalls when a load misses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..ir.loop import Loop
+from ..machine.config import MachineConfig
+from ..memory.hierarchy import DistributedMemorySystem
+from ..scheduler.result import Schedule
+from .stats import SimulationResult
+
+__all__ = ["LockstepSimulator", "simulate"]
+
+
+@dataclass(frozen=True)
+class _FlowInput:
+    producer: str
+    distance: int
+    cross_cluster: bool
+
+
+class LockstepSimulator:
+    """Executes one schedule on one machine instance.
+
+    Parameters
+    ----------
+    schedule:
+        The modulo schedule to execute.
+    n_iterations:
+        Override NITER (defaults to the loop's own trip count).
+    n_times:
+        Override NTIMES (defaults to the loop's outer trip-count product).
+        Cache state persists across executions, as on real hardware.
+    """
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        n_iterations: Optional[int] = None,
+        n_times: Optional[int] = None,
+    ):
+        self.schedule = schedule
+        self.loop: Loop = schedule.kernel.loop
+        self.machine: MachineConfig = schedule.machine
+        self.n_iterations = n_iterations or self.loop.n_iterations
+        self.n_times = n_times or self.loop.n_times
+        self.memory = DistributedMemorySystem(self.machine)
+        self._flow_inputs = self._collect_flow_inputs()
+        self._instance_order = self._build_instance_order()
+
+    # ------------------------------------------------------------------
+    def _collect_flow_inputs(self) -> Dict[str, List[_FlowInput]]:
+        """Flow operands of every operation, with cross-cluster flags."""
+        ddg = self.schedule.kernel.ddg
+        placements = self.schedule.placements
+        inputs: Dict[str, List[_FlowInput]] = {}
+        for edge in ddg.edges():
+            if edge.kind != "flow":
+                continue
+            src = placements[edge.src]
+            dst = placements[edge.dst]
+            inputs.setdefault(edge.dst, []).append(
+                _FlowInput(
+                    producer=edge.src,
+                    distance=edge.distance,
+                    cross_cluster=src.cluster != dst.cluster,
+                )
+            )
+        return inputs
+
+    def _build_instance_order(self) -> List[Tuple[int, int, str]]:
+        """All (nominal_time, iteration, op) instances of one execution,
+        sorted by nominal time (ties: schedule slot order)."""
+        placements = self.schedule.placements
+        ii = self.schedule.ii
+        instances: List[Tuple[int, int, str]] = []
+        for i in range(self.n_iterations):
+            for name, placement in placements.items():
+                instances.append((i * ii + placement.time, i, name))
+        instances.sort()
+        return instances
+
+    # ------------------------------------------------------------------
+    def run(self) -> SimulationResult:
+        """Execute NTIMES entries of the loop and aggregate the cycles."""
+        loop = self.loop
+        schedule = self.schedule
+        lrb = self.machine.register_bus.latency
+        total_stall = 0
+
+        outer_points = list(self._outer_points())
+        entry_compute = (self.n_iterations + schedule.stage_count - 1) * schedule.ii
+        clock = 0  # global time: memory-system state spans loop entries
+        for execution in range(self.n_times):
+            outer = outer_points[execution % len(outer_points)]
+            stall = self._run_once(outer, lrb, clock)
+            total_stall += stall
+            clock += entry_compute + stall
+
+        compute = schedule.compute_cycles(self.n_iterations, self.n_times)
+        comms = schedule.n_communications * self.n_iterations * self.n_times
+        return SimulationResult(
+            kernel=schedule.kernel.name,
+            machine=self.machine.name,
+            scheduler=schedule.scheduler_name,
+            threshold=schedule.threshold,
+            ii=schedule.ii,
+            stage_count=schedule.stage_count,
+            n_times=self.n_times,
+            n_iterations=self.n_iterations,
+            compute_cycles=compute,
+            stall_cycles=total_stall,
+            memory=self.memory.stats,
+            register_comms=comms,
+        )
+
+    def _outer_points(self) -> Iterator[Dict[str, int]]:
+        """Iteration points of the outer dims (one per loop entry)."""
+        outer = self.loop.outer_dims
+        if not outer:
+            yield {}
+            return
+
+        def walk(depth: int, partial: Dict[str, int]) -> Iterator[Dict[str, int]]:
+            if depth == len(outer):
+                yield dict(partial)
+                return
+            for value in outer[depth].values():
+                partial[outer[depth].var] = value
+                yield from walk(depth + 1, partial)
+            partial.pop(outer[depth].var, None)
+
+        yield from walk(0, {})
+
+    def _run_once(self, outer: Dict[str, int], lrb: int, base: int) -> int:
+        """One entry of the innermost loop starting at global time ``base``;
+        returns its stall cycles."""
+        loop = self.loop
+        placements = self.schedule.placements
+        inner = loop.inner
+        offset = 0
+        ready: Dict[Tuple[str, int], int] = {}
+
+        for nominal, iteration, name in self._instance_order:
+            placement = placements[name]
+            op = loop.operation(name)
+            issue = base + nominal + offset
+
+            # Lockstep operand wait.
+            for flow in self._flow_inputs.get(name, ()):
+                src_iter = iteration - flow.distance
+                if src_iter < 0:
+                    continue  # live-in from before this loop entry
+                produced = ready.get((flow.producer, src_iter))
+                if produced is None:
+                    continue
+                operand_ready = produced + (lrb if flow.cross_cluster else 0)
+                if operand_ready > issue:
+                    stall = operand_ready - issue
+                    offset += stall
+                    issue += stall
+
+            if op.is_memory:
+                point = dict(outer)
+                point[inner.var] = inner.lower + iteration * inner.step
+                address = loop.ref_of(op).address(point)
+                result = self.memory.access(
+                    placement.cluster, address, op.is_store, issue
+                )
+                ready[(name, iteration)] = result.ready_time
+            else:
+                ready[(name, iteration)] = issue + self.machine.latency(op.opclass)
+        return offset
+
+
+def simulate(
+    schedule: Schedule,
+    n_iterations: Optional[int] = None,
+    n_times: Optional[int] = None,
+) -> SimulationResult:
+    """Convenience one-shot simulation."""
+    return LockstepSimulator(
+        schedule, n_iterations=n_iterations, n_times=n_times
+    ).run()

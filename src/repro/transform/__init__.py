@@ -1,0 +1,6 @@
+"""Kernel transformations: loop unrolling (the paper's deferred
+optimization)."""
+
+from .unroll import UnrollError, unroll
+
+__all__ = ["UnrollError", "unroll"]

@@ -1,0 +1,182 @@
+"""Loop unrolling for modulo-scheduled kernels.
+
+Section 4.3 of the paper notes that a load with spatial locality is
+scheduled with the miss latency even though only a fraction of its
+instances miss, and that *"loop unrolling could be used to generate
+multiple instances of the same instruction such that one of them always
+miss and the other always hit"* — deferred there to future work, and the
+subject of the authors' companion study [22].  This module implements
+that transformation:
+
+* the innermost loop's step is multiplied by the unroll factor,
+* every operation is cloned once per unrolled copy, with registers
+  renamed ``reg@u<k>`` and array subscripts shifted by ``k`` original
+  steps,
+* intra-iteration dependences stay within each copy; loop-carried
+  dependences of distance ``d`` are re-routed to copy ``k - d`` (same new
+  iteration) or to the matching copy of an earlier new iteration with the
+  distance divided by the factor.
+
+After unrolling a unit-stride stream on an 8-element line by 4, copy 0
+carries the per-line miss and copies 1..3 always hit — giving the
+binding-prefetch step exactly the per-instance split the paper wants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..ir.builder import Kernel
+from ..ir.ddg import DepEdge, build_ddg
+from ..ir.loop import Loop, LoopDim
+from ..ir.operations import Operation
+from ..ir.references import AffineExpr, ArrayReference
+
+__all__ = ["UnrollError", "unroll"]
+
+
+class UnrollError(ValueError):
+    """Raised when a kernel cannot be unrolled by the requested factor."""
+
+
+def _copy_name(name: str, k: int) -> str:
+    return f"{name}@u{k}"
+
+
+def _shift_ref(ref: ArrayReference, var: str, offset: int) -> ArrayReference:
+    """Shift a reference ``offset`` inner-loop steps forward."""
+    subscripts = tuple(
+        AffineExpr(
+            constant=expr.constant + expr.coeff(var) * offset,
+            coeffs=expr.coeffs,
+        )
+        for expr in ref.subscripts
+    )
+    return ArrayReference(ref.array, subscripts, is_store=ref.is_store)
+
+
+def _carried_distance(kernel: Kernel, producer: str, consumer: str) -> Optional[int]:
+    """Smallest positive flow distance producer -> consumer, if any."""
+    distances = [
+        edge.distance
+        for edge in kernel.ddg.out_edges(producer)
+        if edge.dst == consumer and edge.kind == "flow" and edge.distance > 0
+    ]
+    return min(distances) if distances else None
+
+
+def unroll(kernel: Kernel, factor: int) -> Kernel:
+    """Unroll ``kernel``'s innermost loop by ``factor``.
+
+    The innermost trip count must be divisible by the factor (no
+    remainder loop is generated).
+    """
+    if factor < 1:
+        raise UnrollError("unroll factor must be >= 1")
+    if factor == 1:
+        return kernel
+    loop = kernel.loop
+    inner = loop.inner
+    if loop.n_iterations % factor != 0:
+        raise UnrollError(
+            f"trip count {loop.n_iterations} of {loop.name!r} is not "
+            f"divisible by factor {factor}"
+        )
+
+    positions = {op.name: index for index, op in enumerate(loop.operations)}
+    defs: Dict[str, str] = {
+        op.dest: op.name for op in loop.operations if op.dest is not None
+    }
+
+    new_ops: List[Operation] = []
+    new_refs: List[ArrayReference] = []
+    extra_edges: List[DepEdge] = []
+
+    for k in range(factor):
+        for op in loop.operations:
+            new_srcs: List[str] = []
+            for src in op.srcs:
+                producer = defs.get(src)
+                if producer is None:
+                    new_srcs.append(src)  # live-in: shared by all copies
+                    continue
+                carried = _carried_distance(kernel, producer, op.name)
+                if carried is None or positions[producer] < positions[op.name]:
+                    # Intra-iteration use: stay within this copy.
+                    new_srcs.append(_copy_name(src, k))
+                    continue
+                # Loop-carried use of distance `carried` (in original
+                # iterations): route to copy k-carried, possibly in an
+                # earlier new iteration.
+                delta = k - carried
+                if delta >= 0:
+                    new_srcs.append(_copy_name(src, delta))
+                else:
+                    new_dist = (-delta + factor - 1) // factor
+                    source_copy = delta + new_dist * factor
+                    new_srcs.append(_copy_name(src, source_copy))
+                    extra_edges.append(
+                        DepEdge(
+                            _copy_name(producer, source_copy),
+                            _copy_name(op.name, k),
+                            "flow",
+                            new_dist,
+                        )
+                    )
+            ref_index = None
+            if op.ref_index is not None:
+                ref_index = len(new_refs)
+                new_refs.append(
+                    _shift_ref(loop.refs[op.ref_index], inner.var, k * inner.step)
+                )
+            new_ops.append(
+                Operation(
+                    name=_copy_name(op.name, k),
+                    opclass=op.opclass,
+                    dest=None if op.dest is None else _copy_name(op.dest, k),
+                    srcs=tuple(new_srcs),
+                    ref_index=ref_index,
+                )
+            )
+
+    # Replicate explicit memory-ordering (and anti) edges per copy pair.
+    for edge in kernel.ddg.edges():
+        if edge.kind not in ("mem", "anti"):
+            continue
+        for k in range(factor):
+            delta = k - edge.distance
+            if delta >= 0:
+                extra_edges.append(
+                    DepEdge(
+                        _copy_name(edge.src, delta),
+                        _copy_name(edge.dst, k),
+                        edge.kind,
+                        0,
+                    )
+                )
+            else:
+                new_dist = (-delta + factor - 1) // factor
+                source_copy = delta + new_dist * factor
+                extra_edges.append(
+                    DepEdge(
+                        _copy_name(edge.src, source_copy),
+                        _copy_name(edge.dst, k),
+                        edge.kind,
+                        new_dist,
+                    )
+                )
+
+    new_inner = LoopDim(
+        inner.var, inner.lower, inner.upper, inner.step * factor
+    )
+    new_loop = Loop(
+        name=f"{loop.name}_x{factor}",
+        dims=loop.dims[:-1] + (new_inner,),
+        operations=tuple(new_ops),
+        refs=tuple(new_refs),
+    )
+    # De-duplicate extra edges (mem replication can repeat pairs).
+    unique = list({
+        (e.src, e.dst, e.kind, e.distance): e for e in extra_edges
+    }.values())
+    return Kernel(loop=new_loop, ddg=build_ddg(new_loop, unique))

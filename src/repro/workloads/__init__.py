@@ -1,0 +1,51 @@
+"""Workload substrate: SPECfp95-style kernels, the motivating example and
+a random kernel generator."""
+
+from .dsp import DSP_KERNELS, dsp_suite
+from .generator import GeneratorConfig, random_kernel
+from .kernels import (
+    applu,
+    apsi,
+    hydro2d,
+    mgrid,
+    su2cor,
+    swim,
+    tomcatv,
+    turb3d,
+)
+from .motivating import (
+    MOTIVATING_CACHE_BYTES,
+    figure3a_schedule,
+    figure3b_schedule,
+    motivating_kernel,
+    motivating_machine,
+    paper_total_cycles_a,
+    paper_total_cycles_b,
+)
+from .suite import SPEC_KERNELS, kernel_by_name, spec_suite, suite_stats
+
+__all__ = [
+    "DSP_KERNELS",
+    "GeneratorConfig",
+    "MOTIVATING_CACHE_BYTES",
+    "SPEC_KERNELS",
+    "figure3a_schedule",
+    "figure3b_schedule",
+    "applu",
+    "apsi",
+    "dsp_suite",
+    "hydro2d",
+    "kernel_by_name",
+    "mgrid",
+    "motivating_kernel",
+    "motivating_machine",
+    "paper_total_cycles_a",
+    "paper_total_cycles_b",
+    "random_kernel",
+    "spec_suite",
+    "su2cor",
+    "suite_stats",
+    "swim",
+    "tomcatv",
+    "turb3d",
+]

@@ -1,0 +1,296 @@
+"""Synthetic SPECfp95-style loop kernels.
+
+The paper evaluates eight SPECfp95 programs compiled by ICTINEO
+(Section 5.1): *tomcatv, swim, su2cor, hydro2d, mgrid, applu, turb3d* and
+*apsi*.  Neither the compiler nor the benchmark inputs are available, so
+this module provides one synthetic innermost loop per program, modeled on
+the public algorithm at the core of each benchmark.  What matters for the
+reproduction is not the exact instruction mix but the *scheduling
+structure*: the kernels jointly cover
+
+* group reuse between uniformly generated references (tomcatv, swim,
+  hydro2d — the property RMCA exploits),
+* spatial-only streaming with unit and non-unit strides (su2cor, turb3d),
+* deep loop-carried recurrences that constrain the II (applu, apsi),
+* multi-dimensional nests whose footprints exceed the 8KB L1 (mgrid),
+* cross-array conflict potential in a direct-mapped cache (turb3d, and
+  the dedicated motivating-example kernel in
+  :mod:`repro.workloads.motivating`).
+
+Array extents are scaled so that one full experiment (all kernels × all
+machine configurations × all thresholds) runs in minutes, while keeping
+every footprint at least a few multiples of the 8KB cache so locality
+decisions still matter.  All reported metrics are normalized per
+iteration, so the scale-down changes absolute cycle counts but not the
+relative shapes the paper reports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..ir.builder import Kernel, LoopBuilder
+
+__all__ = [
+    "tomcatv",
+    "swim",
+    "su2cor",
+    "hydro2d",
+    "mgrid",
+    "applu",
+    "turb3d",
+    "apsi",
+]
+
+#: Default 2-D mesh extent (interior points are N-2 per dimension).
+_N2D = 40
+#: Default 3-D mesh extent.
+_N3D = 12
+#: Default 1-D vector length.
+_N1D = 1024
+
+
+def tomcatv(n: int = _N2D) -> Kernel:
+    """Mesh-generation stencil (tomcatv's main SOR-like sweep).
+
+    Two coordinate arrays are read at four neighbouring points each; the
+    i-1 / i / i+1 columns of the same row are uniformly generated, giving
+    the group reuse the RMCA scheduler should co-locate.
+    """
+    b = LoopBuilder("tomcatv")
+    j = b.dim("j", 1, n - 1)
+    i = b.dim("i", 1, n - 1)
+    x = b.array("X", (n, n))
+    y = b.array("Y", (n, n))
+    rx = b.array("RX", (n, n))
+    ry = b.array("RY", (n, n))
+
+    x_w = b.load(x, [b.aff(j=1), b.aff(-1, i=1)], name="ld_xw")
+    x_e = b.load(x, [b.aff(j=1), b.aff(1, i=1)], name="ld_xe")
+    x_n = b.load(x, [b.aff(-1, j=1), b.aff(i=1)], name="ld_xn")
+    x_s = b.load(x, [b.aff(1, j=1), b.aff(i=1)], name="ld_xs")
+    y_w = b.load(y, [b.aff(j=1), b.aff(-1, i=1)], name="ld_yw")
+    y_e = b.load(y, [b.aff(j=1), b.aff(1, i=1)], name="ld_ye")
+
+    xx = b.fsub(x_e, x_w)
+    yx = b.fsub(y_e, y_w)
+    xy = b.fsub(x_s, x_n)
+    a = b.fmul(xx, xx)
+    bb = b.fmul(yx, yx)
+    c = b.fadd(a, bb)
+    d = b.fmul(c, xy)
+    e = b.fadd(d, xx)
+    b.store(rx, [b.aff(j=1), b.aff(i=1)], e, name="st_rx")
+    f = b.fmul(c, yx)
+    b.store(ry, [b.aff(j=1), b.aff(i=1)], f, name="st_ry")
+    return b.build()
+
+
+def swim(n: int = _N2D) -> Kernel:
+    """Shallow-water finite differences (swim's CALC1 loop).
+
+    Computes mass fluxes CU/CV and potential vorticity Z from the height
+    and velocity fields; P is read at three points (group reuse on
+    ``P[j][i]`` / ``P[j][i-1]`` and across rows).
+    """
+    b = LoopBuilder("swim")
+    j = b.dim("j", 1, n)
+    i = b.dim("i", 1, n)
+    p = b.array("P", (n + 1, n + 1))
+    u = b.array("U", (n + 1, n + 1))
+    v = b.array("V", (n + 1, n + 1))
+    cu = b.array("CU", (n + 1, n + 1))
+    cv = b.array("CV", (n + 1, n + 1))
+    z = b.array("Z", (n + 1, n + 1))
+
+    p_c = b.load(p, [b.aff(j=1), b.aff(i=1)], name="ld_pc")
+    p_w = b.load(p, [b.aff(j=1), b.aff(-1, i=1)], name="ld_pw")
+    p_n = b.load(p, [b.aff(-1, j=1), b.aff(i=1)], name="ld_pn")
+    u_c = b.load(u, [b.aff(j=1), b.aff(i=1)], name="ld_u")
+    v_c = b.load(v, [b.aff(j=1), b.aff(i=1)], name="ld_v")
+
+    half = b.fconst("half")
+    s1 = b.fadd(p_c, p_w)
+    cu_v = b.fmul(b.fmul(s1, half), u_c)
+    b.store(cu, [b.aff(j=1), b.aff(i=1)], cu_v, name="st_cu")
+    s2 = b.fadd(p_c, p_n)
+    cv_v = b.fmul(b.fmul(s2, half), v_c)
+    b.store(cv, [b.aff(j=1), b.aff(i=1)], cv_v, name="st_cv")
+    zn = b.fsub(v_c, u_c)
+    zd = b.fadd(b.fadd(p_c, p_w), b.fadd(p_n, p_c))
+    z_v = b.fdiv(zn, zd)
+    b.store(z, [b.aff(j=1), b.aff(i=1)], z_v, name="st_z")
+    return b.build()
+
+
+def su2cor(n: int = _N1D // 2) -> Kernel:
+    """SU(2) gauge-field correlation (complex multiply-accumulate).
+
+    Interleaved real/imaginary vectors accessed with stride 2 — spatial
+    reuse spans two iterations per line instead of four — plus a
+    loop-carried accumulation recurrence for the correlation sum.
+    """
+    b = LoopBuilder("su2cor")
+    i = b.dim("i", 0, n)
+    a = b.array("A", (2 * n,))
+    c = b.array("C", (2 * n,))
+    corr = b.array("CORR", (2 * n,))
+
+    ar = b.load(a, [b.aff(i=2)], name="ld_ar")
+    ai = b.load(a, [b.aff(1, i=2)], name="ld_ai")
+    cr = b.load(c, [b.aff(i=2)], name="ld_cr")
+    ci = b.load(c, [b.aff(1, i=2)], name="ld_ci")
+
+    rr = b.fmul(ar, cr)
+    ii = b.fmul(ai, ci)
+    ri = b.fmul(ar, ci)
+    ir = b.fmul(ai, cr)
+    real = b.fsub(rr, ii)
+    imag = b.fadd(ri, ir)
+    b.store(corr, [b.aff(i=2)], real, name="st_re")
+    b.store(corr, [b.aff(1, i=2)], imag, name="st_im")
+    acc = b.fadd(b.prev_value("acc", distance=1), real, dest="acc")
+    return b.build()
+
+
+def hydro2d(n: int = _N2D) -> Kernel:
+    """Hydrodynamical Navier–Stokes update (5-point stencil).
+
+    A classic diffusion sweep on the density field with an advection term
+    from the velocity field; all four RO neighbours are uniformly
+    generated with the centre point.
+    """
+    b = LoopBuilder("hydro2d")
+    j = b.dim("j", 1, n - 1)
+    i = b.dim("i", 1, n - 1)
+    ro = b.array("RO", (n, n))
+    un = b.array("UN", (n, n))
+    ron = b.array("RON", (n, n))
+
+    c_ = b.load(ro, [b.aff(j=1), b.aff(i=1)], name="ld_c")
+    w = b.load(ro, [b.aff(j=1), b.aff(-1, i=1)], name="ld_w")
+    e = b.load(ro, [b.aff(j=1), b.aff(1, i=1)], name="ld_e")
+    nn = b.load(ro, [b.aff(-1, j=1), b.aff(i=1)], name="ld_n")
+    s = b.load(ro, [b.aff(1, j=1), b.aff(i=1)], name="ld_s")
+    uu = b.load(un, [b.aff(j=1), b.aff(i=1)], name="ld_u")
+
+    four = b.fconst("four")
+    alpha = b.fconst("alpha")
+    lap = b.fsub(b.fadd(b.fadd(w, e), b.fadd(nn, s)), b.fmul(four, c_))
+    adv = b.fmul(uu, b.fsub(e, w))
+    out = b.fadd(c_, b.fmul(alpha, b.fsub(lap, adv)))
+    b.store(ron, [b.aff(j=1), b.aff(i=1)], out, name="st_ron")
+    return b.build()
+
+
+def mgrid(n: int = _N3D) -> Kernel:
+    """Multigrid smoother (mgrid's RESID 7-point 3-D stencil).
+
+    A 3-D nest whose footprint (two ``n**3`` arrays) exceeds the 8KB L1
+    many times over; every plane change evicts the previous plane, so the
+    miss-threshold prefetching decision dominates.
+    """
+    b = LoopBuilder("mgrid")
+    k = b.dim("k", 1, n - 1)
+    j = b.dim("j", 1, n - 1)
+    i = b.dim("i", 1, n - 1)
+    u = b.array("U", (n, n, n))
+    v = b.array("V", (n, n, n))
+    r = b.array("R", (n, n, n))
+
+    c_ = b.load(u, [b.aff(k=1), b.aff(j=1), b.aff(i=1)], name="ld_c")
+    w = b.load(u, [b.aff(k=1), b.aff(j=1), b.aff(-1, i=1)], name="ld_w")
+    e = b.load(u, [b.aff(k=1), b.aff(j=1), b.aff(1, i=1)], name="ld_e")
+    s = b.load(u, [b.aff(k=1), b.aff(-1, j=1), b.aff(i=1)], name="ld_s")
+    nn = b.load(u, [b.aff(k=1), b.aff(1, j=1), b.aff(i=1)], name="ld_n")
+    d = b.load(u, [b.aff(-1, k=1), b.aff(j=1), b.aff(i=1)], name="ld_d")
+    t = b.load(u, [b.aff(1, k=1), b.aff(j=1), b.aff(i=1)], name="ld_t")
+    rhs = b.load(v, [b.aff(k=1), b.aff(j=1), b.aff(i=1)], name="ld_v")
+
+    a0 = b.fconst("a0")
+    a1 = b.fconst("a1")
+    face = b.fadd(b.fadd(w, e), b.fadd(b.fadd(s, nn), b.fadd(d, t)))
+    resid = b.fsub(rhs, b.fadd(b.fmul(a0, c_), b.fmul(a1, face)))
+    b.store(r, [b.aff(k=1), b.aff(j=1), b.aff(i=1)], resid, name="st_r")
+    return b.build()
+
+
+def applu(n: int = _N1D) -> Kernel:
+    """SSOR lower-triangular solve (applu's BLTS sweep, 1-D slice).
+
+    ``V[i] = (B[i] - L[i] * V[i-1]) * DINV[i]`` — the value recurrence
+    through ``V`` makes RecMII the binding constraint and exercises the
+    scheduler's recurrence guard on binding prefetching.
+    """
+    b = LoopBuilder("applu")
+    i = b.dim("i", 1, n)
+    bb = b.array("B", (n,))
+    ll = b.array("L", (n,))
+    dinv = b.array("DINV", (n,))
+    v = b.array("V", (n,))
+
+    b_i = b.load(bb, [b.aff(i=1)], name="ld_b")
+    l_i = b.load(ll, [b.aff(i=1)], name="ld_l")
+    d_i = b.load(dinv, [b.aff(i=1)], name="ld_d")
+    prod = b.fmul(l_i, b.prev_value("vnew", distance=1), name="mul_rec")
+    diff = b.fsub(b_i, prod)
+    vnew = b.fmul(diff, d_i, dest="vnew")
+    b.store(v, [b.aff(i=1)], vnew, name="st_v")
+    return b.build()
+
+
+def turb3d(n: int = _N1D // 2) -> Kernel:
+    """Radix-2 FFT butterfly pass (turb3d's per-dimension transform).
+
+    Reads ``X[i]`` and ``X[i + n]`` — two streams half a vector apart.
+    With power-of-two vector sizes the two streams map to the same
+    direct-mapped sets, the cross-stream analogue of the motivating
+    example's ping-pong interference.
+    """
+    b = LoopBuilder("turb3d")
+    i = b.dim("i", 0, n)
+    re = b.array("RE", (2 * n,))
+    im = b.array("IM", (2 * n,))
+
+    r_lo = b.load(re, [b.aff(i=1)], name="ld_rlo")
+    r_hi = b.load(re, [b.aff(n, i=1)], name="ld_rhi")
+    i_lo = b.load(im, [b.aff(i=1)], name="ld_ilo")
+    i_hi = b.load(im, [b.aff(n, i=1)], name="ld_ihi")
+
+    wr = b.fconst("wr")
+    wi = b.fconst("wi")
+    tr = b.fsub(b.fmul(r_hi, wr), b.fmul(i_hi, wi))
+    ti = b.fadd(b.fmul(r_hi, wi), b.fmul(i_hi, wr))
+    b.store(re, [b.aff(i=1)], b.fadd(r_lo, tr), name="st_rlo")
+    b.store(im, [b.aff(i=1)], b.fadd(i_lo, ti), name="st_ilo")
+    b.store(re, [b.aff(n, i=1)], b.fsub(r_lo, tr), name="st_rhi")
+    b.store(im, [b.aff(n, i=1)], b.fsub(i_lo, ti), name="st_ihi")
+    return b.build()
+
+
+def apsi(n: int = _N2D) -> Kernel:
+    """Mesoscale pollutant transport (apsi's vertical diffusion column).
+
+    Mixes a division, a distance-2 smoothing recurrence and streaming
+    loads from four arrays — the FU-pressure-heavy member of the suite.
+    """
+    b = LoopBuilder("apsi")
+    j = b.dim("j", 0, n)
+    i = b.dim("i", 2, n)
+    conc = b.array("CONC", (n, n))
+    kdif = b.array("KDIF", (n, n))
+    wind = b.array("WIND", (n, n))
+    out = b.array("OUT", (n, n))
+
+    c_i = b.load(conc, [b.aff(j=1), b.aff(i=1)], name="ld_c")
+    c_m = b.load(conc, [b.aff(j=1), b.aff(-1, i=1)], name="ld_cm")
+    k_i = b.load(kdif, [b.aff(j=1), b.aff(i=1)], name="ld_k")
+    w_i = b.load(wind, [b.aff(j=1), b.aff(i=1)], name="ld_w")
+
+    grad = b.fsub(c_i, c_m)
+    flux = b.fdiv(b.fmul(k_i, grad), w_i)
+    smooth = b.fadd(flux, b.prev_value("res", distance=2))
+    half = b.fconst("half")
+    res = b.fmul(smooth, half, dest="res")
+    b.store(out, [b.aff(j=1), b.aff(i=1)], res, name="st_out")
+    return b.build()

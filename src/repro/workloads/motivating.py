@@ -1,0 +1,228 @@
+"""The Section 3 motivating example: kernel and machine.
+
+The paper motivates RMCA with the loop::
+
+    DO I = 1, N, 2
+        A(I) = B(I)*C(I) + B(I+1)*C(I+1)
+    ENDDO
+
+on a 2-cluster machine where each cluster has one arithmetic unit
+(2-cycle latency) and one memory unit, one register bus with 2-cycle
+latency, 2-cycle local caches, a 2-cycle memory bus and 10-cycle main
+memory.  Arrays B and C are deliberately placed a multiple of the local
+cache size apart so that, in a direct-mapped cache, ``B(I)`` and ``C(I)``
+ping-pong on the same set: a scheduler that splits each B/C pair across
+clusters by register affinity (Figure 3a) makes every access miss, while
+the locality-aware assignment (Figure 3b) keeps each array's stream in
+one cluster and recovers the spatial reuse at the cost of one extra II.
+
+The paper's closed forms for the two schedules are::
+
+    NCYCLE_total(a) = NTIMES * (15*N + 9)     # II=3, SC=4, all-miss
+    NCYCLE_total(b) = NTIMES * (10*N + 8)     # II=4, SC=3, 25% miss
+
+an asymptotic 1.5x advantage for the locality-aware schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..ir.builder import Kernel, LoopBuilder
+from ..machine.config import (
+    BusConfig,
+    CacheConfig,
+    ClusterConfig,
+    MachineConfig,
+)
+from ..ir.operations import OpClass
+from ..scheduler.result import Communication, Placement, Schedule
+
+__all__ = [
+    "MOTIVATING_CACHE_BYTES",
+    "motivating_kernel",
+    "motivating_machine",
+    "figure3a_schedule",
+    "figure3b_schedule",
+    "paper_total_cycles_a",
+    "paper_total_cycles_b",
+]
+
+#: Local cache size of the Section 3 machine.  The paper does not give a
+#: number; 2KB keeps the arrays small while preserving the ping-pong
+#: placement (B and C exactly one cache-image apart).
+MOTIVATING_CACHE_BYTES = 2 * 1024
+
+
+def motivating_kernel(
+    n: int = 128, cache_bytes: int = MOTIVATING_CACHE_BYTES
+) -> Kernel:
+    """The DO I=1,N,2 loop with B and C one cache-image apart.
+
+    ``n`` is the Fortran trip count N; the builder loop runs I over
+    ``range(0, n, 2)`` (0-based).  B and C are exactly one cache image
+    apart (the ping-pong placement); A occupies the *other half* of the
+    cache image so the stores never interfere with the B/C conflict the
+    example is about.  That requires the touched footprint of each array
+    to fit half the cache.
+    """
+    if n % 2 != 0:
+        raise ValueError("n must be even (the loop steps by 2)")
+    if n * 8 > cache_bytes // 2:
+        raise ValueError(
+            f"n={n} doubles must fit half the {cache_bytes}-byte cache "
+            f"image so A can avoid the B/C sets"
+        )
+    b = LoopBuilder("motivating")
+    i = b.dim("i", 0, n, step=2)
+    arr_b = b.array("B", (n,), base=0)
+    arr_c = b.array("C", (n,), base=cache_bytes)
+    arr_a = b.array("A", (n,), base=2 * cache_bytes + cache_bytes // 2)
+
+    ld1 = b.load(arr_b, [b.aff(i=1)], name="ld1")
+    ld2 = b.load(arr_c, [b.aff(i=1)], name="ld2")
+    ld3 = b.load(arr_b, [b.aff(1, i=1)], name="ld3")
+    ld4 = b.load(arr_c, [b.aff(1, i=1)], name="ld4")
+    mul1 = b.fmul(ld1, ld2, name="mul1")
+    mul2 = b.fmul(ld3, ld4, name="mul2")
+    add = b.fadd(mul1, mul2, name="add")
+    b.store(arr_a, [b.aff(i=1)], add, name="st")
+    return b.build()
+
+
+def motivating_machine() -> MachineConfig:
+    """The 2-cluster machine of Section 3."""
+    cache = CacheConfig(
+        size=MOTIVATING_CACHE_BYTES,
+        line_size=64,  # eight 8-byte elements per block, per the paper
+        associativity=1,
+        mshr_entries=10,
+        hit_latency=2,
+    )
+    cluster = ClusterConfig(
+        n_integer=0,
+        n_fp=1,
+        n_memory=1,
+        n_registers=32,
+        cache=cache,
+    )
+    latencies = {oc: 1 for oc in OpClass}
+    latencies[OpClass.FADD] = 2
+    latencies[OpClass.FSUB] = 2
+    latencies[OpClass.FMUL] = 2
+    latencies[OpClass.LOAD] = 2
+    latencies[OpClass.STORE] = 1
+    return MachineConfig(
+        name="motivating-2c",
+        clusters=(cluster, cluster),
+        register_bus=BusConfig(count=1, latency=2),
+        memory_bus=BusConfig(count=None, latency=2),
+        main_memory_latency=10,
+        latencies=latencies,
+    )
+
+
+def _manual_schedule(
+    kernel: Kernel,
+    machine: MachineConfig,
+    ii: int,
+    placements: dict,
+    comms: list,
+    name: str,
+) -> Schedule:
+    schedule = Schedule(
+        kernel=kernel,
+        machine=machine,
+        ii=ii,
+        placements={
+            op: Placement(
+                op=op,
+                cluster=cluster,
+                time=time,
+                assumed_latency=machine.latency(
+                    kernel.loop.operation(op).opclass
+                ),
+            )
+            for op, (cluster, time) in placements.items()
+        },
+        communications=[
+            Communication(
+                producer=producer,
+                src_cluster=src,
+                dst_cluster=dst,
+                bus=0,
+                start=start,
+                latency=machine.register_bus.latency,
+            )
+            for producer, src, dst, start in comms
+        ],
+        mii=3,
+        res_mii=3,
+        rec_mii=1,
+        scheduler_name=name,
+    )
+    schedule.validate()
+    return schedule
+
+
+def figure3a_schedule(
+    kernel: Kernel, machine: MachineConfig
+) -> Schedule:
+    """The hand-crafted *register-optimal* schedule of Figure 3(a).
+
+    Cluster 0 holds LD1/LD2/MUL1, cluster 1 the rest; one inter-cluster
+    communication (MUL1 → ADD) per iteration; II = 3, SC = 4.  Because
+    each cluster mixes a B-stream with a C-stream and the two arrays are
+    one cache-image apart, every load ping-pongs and misses.
+    """
+    placements = {
+        "ld1": (0, 0),
+        "ld2": (0, 1),
+        "mul1": (0, 3),
+        "ld3": (1, 0),
+        "ld4": (1, 1),
+        "mul2": (1, 3),
+        "add": (1, 7),
+        "st": (1, 11),
+    }
+    comms = [("mul1", 0, 1, 5)]
+    return _manual_schedule(kernel, machine, 3, placements, comms, "figure3a")
+
+
+def figure3b_schedule(
+    kernel: Kernel, machine: MachineConfig
+) -> Schedule:
+    """The hand-crafted *locality-aware* schedule of Figure 3(b).
+
+    LD1/LD3 (the B stream) share cluster 0 with the arithmetic, LD2/LD4
+    (the C stream) sit in cluster 1; two communications per iteration
+    force II = 4 but the ping-pong disappears, leaving the 25% spatial
+    miss ratio the paper computes; SC = 3.
+    """
+    placements = {
+        "ld1": (0, 0),
+        "ld3": (0, 1),
+        "ld2": (1, 0),
+        "ld4": (1, 1),
+        "mul1": (0, 4),
+        "mul2": (0, 6),
+        "add": (0, 9),
+        "st": (0, 11),
+    }
+    comms = [("ld2", 1, 0, 2), ("ld4", 1, 0, 4)]
+    return _manual_schedule(kernel, machine, 4, placements, comms, "figure3b")
+
+
+def paper_total_cycles_a(niter: int, ntimes: int = 1) -> int:
+    """Closed-form total cycles of the register-optimal schedule (3a).
+
+    ``niter`` is the kernel trip count — the quantity the paper calls N
+    in its Section 3 formulas (it plugs N into the NITER slot of the
+    NCYCLE_compute expression).
+    """
+    return ntimes * (15 * niter + 9)
+
+
+def paper_total_cycles_b(niter: int, ntimes: int = 1) -> int:
+    """Closed-form total cycles of the locality-aware schedule (3b)."""
+    return ntimes * (10 * niter + 8)

@@ -1,0 +1,52 @@
+"""The benchmark suite registry.
+
+``SPEC_KERNELS`` maps the paper's eight SPECfp95 program names to the
+factory producing our synthetic stand-in kernel; :func:`spec_suite`
+instantiates all of them.  The registry is ordered as the paper lists the
+programs (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional
+
+from ..ir.builder import Kernel
+from . import kernels as _k
+
+__all__ = ["SPEC_KERNELS", "spec_suite", "kernel_by_name", "suite_stats"]
+
+SPEC_KERNELS: Mapping[str, Callable[[], Kernel]] = {
+    "tomcatv": _k.tomcatv,
+    "swim": _k.swim,
+    "su2cor": _k.su2cor,
+    "hydro2d": _k.hydro2d,
+    "mgrid": _k.mgrid,
+    "applu": _k.applu,
+    "turb3d": _k.turb3d,
+    "apsi": _k.apsi,
+}
+
+
+def spec_suite(names: Optional[List[str]] = None) -> List[Kernel]:
+    """Instantiate the suite (or the named subset, in registry order)."""
+    selected = list(SPEC_KERNELS) if names is None else names
+    unknown = [n for n in selected if n not in SPEC_KERNELS]
+    if unknown:
+        raise KeyError(f"unknown kernels {unknown}; known: {list(SPEC_KERNELS)}")
+    return [SPEC_KERNELS[name]() for name in selected]
+
+
+def kernel_by_name(name: str) -> Kernel:
+    """Instantiate one suite kernel by its SPECfp95 name."""
+    try:
+        factory = SPEC_KERNELS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown kernel {name!r}; known: {list(SPEC_KERNELS)}"
+        ) from None
+    return factory()
+
+
+def suite_stats() -> Dict[str, Dict[str, int]]:
+    """Per-kernel size statistics (the Section 5.1 workload table)."""
+    return {kernel.name: kernel.loop.stats() for kernel in spec_suite()}

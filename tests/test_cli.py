@@ -1,0 +1,94 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["schedule", "gcc"])
+
+    def test_unknown_machine_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["schedule", "swim", "--machine", "16-cluster"]
+            )
+
+    def test_figure_defaults(self):
+        args = build_parser().parse_args(["figure5"])
+        assert args.clusters == 2
+        assert args.latencies == [1, 2, 4]
+        assert args.thresholds == [1.0, 0.75, 0.25, 0.0]
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "unified" in out
+        assert "heterogeneous" in out
+
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        for name in ("tomcatv", "apsi"):
+            assert name in out
+
+    def test_schedule(self, capsys):
+        assert main(
+            ["schedule", "applu", "--machine", "unified",
+             "--scheduler", "baseline", "--max-points", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "II=" in out
+        assert "slot" in out
+
+    def test_simulate(self, capsys):
+        assert main(
+            ["simulate", "applu", "--machine", "2-cluster",
+             "--threshold", "0.5", "--max-points", "64"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cycles: total=" in out
+
+    def test_figure6_with_outputs(self, capsys, tmp_path):
+        csv_path = tmp_path / "fig.csv"
+        json_path = tmp_path / "fig.json"
+        assert main(
+            [
+                "figure6",
+                "--clusters", "2",
+                "--thresholds", "1.0",
+                "--kernels", "applu",
+                "--bus-counts", "1",
+                "--bus-latencies", "1",
+                "--max-points", "64",
+                "--csv", str(csv_path),
+                "--out", str(json_path),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Figure 6" in out
+        assert csv_path.exists()
+        payload = json.loads(json_path.read_text())
+        assert payload["title"].startswith("Figure 6")
+
+    def test_figure5_small(self, capsys):
+        assert main(
+            [
+                "figure5",
+                "--thresholds", "1.0",
+                "--kernels", "applu",
+                "--latencies", "1",
+                "--max-points", "64",
+            ]
+        ) == 0
+        assert "Figure 5" in capsys.readouterr().out

@@ -1,0 +1,152 @@
+"""Unit tests for the analytic CME backend."""
+
+import pytest
+
+from repro.cme.analytic import AnalyticCME
+from repro.ir import LoopBuilder
+from repro.machine.config import CacheConfig
+
+
+def _kernel(build):
+    b = LoopBuilder("k")
+    i = b.dim("i", 0, 64)
+    build(b, i)
+    return b.build()
+
+
+class TestSelfMissRatios:
+    def test_unit_stride(self):
+        kernel = _kernel(
+            lambda b, i: b.load(b.array("A", (64,)), [b.aff(i=1)], name="ld")
+        )
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ratio = cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        )
+        assert ratio == pytest.approx(8 / 32)
+
+    def test_temporal_zero(self):
+        b = LoopBuilder("k")
+        j = b.dim("j", 0, 4)
+        i = b.dim("i", 0, 16)
+        a = b.array("A", (16, 16))
+        b.load(a, [b.aff(j=1), b.aff(0)], name="ld")
+        kernel = b.build()
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        assert cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        ) == 0.0
+
+    def test_big_stride_one(self):
+        kernel = _kernel(
+            lambda b, i: b.load(b.array("A", (512,)), [b.aff(i=8)], name="ld")
+        )
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        assert cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        ) == 1.0
+
+
+class TestGroupReuse:
+    def test_follower_discounted(self):
+        def build(b, i):
+            a = b.array("A", (128,))
+            b.load(a, [b.aff(i=1)], name="lead")
+            b.load(a, [b.aff(1, i=1)], name="follow")
+        kernel = _kernel(build)
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ops = kernel.loop.memory_operations
+        lead = cme.miss_ratio(kernel.loop, kernel.loop.operation("lead"), ops, cache)
+        follow = cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("follow"), ops, cache
+        )
+        assert follow < lead
+
+
+class TestConflicts:
+    def _pingpong(self):
+        def build(b, i):
+            x = b.array("X", (64,), base=0)
+            y = b.array("Y", (64,), base=1024)
+            b.load(x, [b.aff(i=1)], name="ld_x")
+            b.load(y, [b.aff(i=1)], name="ld_y")
+        return _kernel(build)
+
+    def test_pingpong_forces_full_miss(self):
+        kernel = self._pingpong()
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            assert cme.miss_ratio(kernel.loop, op, ops, cache) == 1.0
+
+    def test_no_conflict_when_separated(self):
+        def build(b, i):
+            x = b.array("X", (64,), base=0)
+            y = b.array("Y", (64,), base=512)  # other half of the image
+            b.load(x, [b.aff(i=1)], name="ld_x")
+            b.load(y, [b.aff(i=1)], name="ld_y")
+        kernel = _kernel(build)
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            assert cme.miss_ratio(kernel.loop, op, ops, cache) < 1.0
+
+    def test_associative_cache_has_no_pingpong(self):
+        kernel = self._pingpong()
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32, associativity=2)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            assert cme.miss_ratio(kernel.loop, op, ops, cache) < 1.0
+
+
+class TestProtocol:
+    def test_miss_count_scales_with_iterations(self):
+        kernel = _kernel(
+            lambda b, i: b.load(b.array("A", (512,)), [b.aff(i=8)], name="ld")
+        )
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        count = cme.miss_count(
+            kernel.loop, kernel.loop.memory_operations, cache
+        )
+        assert count == pytest.approx(kernel.loop.n_iterations)
+
+    def test_memoized(self):
+        kernel = _kernel(
+            lambda b, i: b.load(b.array("A", (64,)), [b.aff(i=1)], name="ld")
+        )
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ops = kernel.loop.memory_operations
+        first = cme.per_op_miss_ratio(kernel.loop, ops, cache)
+        second = cme.per_op_miss_ratio(kernel.loop, ops, cache)
+        assert first is second
+
+    def test_unknown_op_ratio_zero(self):
+        kernel = _kernel(
+            lambda b, i: b.load(b.array("A", (64,)), [b.aff(i=1)], name="ld")
+        )
+        b2 = LoopBuilder("other")
+        i2 = b2.dim("i", 0, 4)
+        a2 = b2.array("Z", (8,))
+        other = b2.load(a2, [b2.aff(i=1)], name="zld")
+        other_kernel = b2.build()
+        cme = AnalyticCME()
+        cache = CacheConfig(size=1024, line_size=32)
+        ratio = cme.miss_ratio(
+            kernel.loop,
+            other_kernel.loop.operation("zld"),
+            kernel.loop.memory_operations,
+            cache,
+        )
+        assert ratio == 0.0

@@ -1,0 +1,162 @@
+"""Tests for the Cache-Miss-Equations backend."""
+
+import pytest
+
+from repro.cme import EquationCME, SamplingCME
+from repro.ir import LoopBuilder
+from repro.machine.config import CacheConfig
+from repro.workloads import kernel_by_name, random_kernel
+
+
+def _stream(stride=1, n=128):
+    b = LoopBuilder("stream")
+    i = b.dim("i", 0, n)
+    a = b.array("A", (n * stride,))
+    b.load(a, [b.aff(i=stride)], name="ld")
+    return b.build()
+
+
+def _pingpong():
+    b = LoopBuilder("pp")
+    i = b.dim("i", 0, 64)
+    x = b.array("X", (64,), base=0)
+    y = b.array("Y", (64,), base=1024)
+    b.load(x, [b.aff(i=1)], name="ld_x")
+    b.load(y, [b.aff(i=1)], name="ld_y")
+    return b.build()
+
+
+class TestClassification:
+    def test_streaming_misses_are_cold(self):
+        kernel = _stream(stride=8)  # one new line per iteration, no reuse
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = EquationCME(max_points=128)
+        breakdown = cme.solve(
+            kernel.loop, kernel.loop.memory_operations, cache
+        )
+        assert breakdown.miss_ratio("ld") == 1.0
+        # Footprint 128*64B = 8KB wraps the 1KB cache: the first pass is
+        # cold, subsequent... 128 points only touch each line once, so
+        # every miss is cold.
+        assert breakdown.total_replacement == 0
+        assert breakdown.total_cold == 128
+
+    def test_pingpong_misses_are_replacement(self):
+        kernel = _pingpong()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = EquationCME(max_points=128)
+        breakdown = cme.solve(
+            kernel.loop, kernel.loop.memory_operations, cache
+        )
+        # After the cold line fills, every miss is an eviction by the
+        # conflicting stream.
+        assert breakdown.total_replacement > breakdown.total_cold
+        assert breakdown.miss_ratio("ld_x") == 1.0
+        assert breakdown.miss_ratio("ld_y") == 1.0
+
+    def test_spatial_stream_quarter_ratio(self):
+        kernel = _stream(stride=1)
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = EquationCME(max_points=128)
+        assert cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        ) == pytest.approx(0.25, abs=0.02)
+
+    def test_associative_cache_tolerates_two_streams(self):
+        kernel = _pingpong()
+        cache = CacheConfig(size=1024, line_size=32, associativity=2)
+        cme = EquationCME(max_points=128)
+        for op in kernel.loop.memory_operations:
+            ratio = cme.miss_ratio(
+                kernel.loop, op, kernel.loop.memory_operations, cache
+            )
+            assert ratio < 0.5
+
+
+class TestAgreementWithSimulation:
+    """For LRU caches the equations are exact, so the CME backend and the
+    functional-simulation backend must produce identical ratios."""
+
+    @pytest.mark.parametrize("name", ["tomcatv", "su2cor", "turb3d", "mgrid"])
+    def test_suite_kernels_agree(self, name):
+        kernel = kernel_by_name(name)
+        cache = CacheConfig(size=2048, line_size=32)
+        equations = EquationCME(max_points=256)
+        simulation = SamplingCME(max_points=256)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            eq = equations.miss_ratio(kernel.loop, op, ops, cache)
+            sim = simulation.miss_ratio(kernel.loop, op, ops, cache)
+            assert eq == pytest.approx(sim, abs=1e-12), op.name
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_kernels_agree(self, seed):
+        kernel = random_kernel(seed)
+        cache = CacheConfig(size=1024, line_size=32)
+        equations = EquationCME(max_points=200)
+        simulation = SamplingCME(max_points=200)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            eq = equations.miss_ratio(kernel.loop, op, ops, cache)
+            sim = simulation.miss_ratio(kernel.loop, op, ops, cache)
+            assert eq == pytest.approx(sim, abs=1e-12), op.name
+
+    @pytest.mark.parametrize("assoc", [1, 2, 4])
+    def test_agreement_across_associativities(self, assoc):
+        kernel = _pingpong()
+        cache = CacheConfig(size=1024, line_size=32, associativity=assoc)
+        equations = EquationCME(max_points=128)
+        simulation = SamplingCME(max_points=128)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            assert equations.miss_ratio(
+                kernel.loop, op, ops, cache
+            ) == pytest.approx(
+                simulation.miss_ratio(kernel.loop, op, ops, cache), abs=1e-12
+            )
+
+
+class TestProtocol:
+    def test_satisfies_locality_protocol(self):
+        from repro.cme import LocalityAnalyzer
+
+        assert isinstance(EquationCME(), LocalityAnalyzer)
+
+    def test_memoization(self):
+        kernel = _stream()
+        cache = CacheConfig(size=512, line_size=32)
+        cme = EquationCME(max_points=64)
+        ops = kernel.loop.memory_operations
+        assert cme.solve(kernel.loop, ops, cache) is cme.solve(
+            kernel.loop, ops, cache
+        )
+
+    def test_miss_count(self):
+        kernel = _stream(stride=8)
+        cache = CacheConfig(size=512, line_size=32)
+        cme = EquationCME(max_points=64)
+        assert cme.miss_count(
+            kernel.loop, kernel.loop.memory_operations, cache
+        ) == 64.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EquationCME(max_points=0)
+
+    def test_empty_ops(self):
+        kernel = _stream()
+        cache = CacheConfig(size=512, line_size=32)
+        assert EquationCME().miss_count(kernel.loop, [], cache) == 0.0
+
+    def test_drives_rmca(self, motivating):
+        """The equations backend can drive RMCA end to end."""
+        from repro.scheduler import RMCAScheduler
+
+        kernel, machine = motivating
+        schedule = RMCAScheduler(EquationCME(max_points=256)).schedule(
+            kernel, machine
+        )
+        schedule.validate()
+        assert schedule.cluster_of("ld1") == schedule.cluster_of("ld3")
+        assert schedule.cluster_of("ld2") == schedule.cluster_of("ld4")

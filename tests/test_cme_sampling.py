@@ -1,0 +1,166 @@
+"""Unit tests for the sampling CME backend (functional cache sweep)."""
+
+import pytest
+
+from repro.cme.sampling import MissEstimate, SamplingCME, _FunctionalCache
+from repro.ir import LoopBuilder
+from repro.machine.config import CacheConfig
+
+
+def _streaming_kernel(n=256, stride=1):
+    b = LoopBuilder("stream")
+    i = b.dim("i", 0, n)
+    a = b.array("A", (n * stride,))
+    b.load(a, [b.aff(i=stride)], name="ld")
+    return b.build()
+
+
+def _pingpong_kernel(cache_bytes=1024):
+    """Two arrays one cache-image apart: every access conflicts."""
+    b = LoopBuilder("pingpong")
+    i = b.dim("i", 0, 64)
+    x = b.array("X", (64,), base=0)
+    y = b.array("Y", (64,), base=cache_bytes)
+    b.load(x, [b.aff(i=1)], name="ld_x")
+    b.load(y, [b.aff(i=1)], name="ld_y")
+    return b.build()
+
+
+class TestFunctionalCache:
+    def test_miss_then_hit(self):
+        cache = _FunctionalCache(CacheConfig(size=1024, line_size=32))
+        assert not cache.access(0)
+        assert cache.access(0)
+        assert cache.access(31)  # same line
+
+    def test_conflict_eviction_direct_mapped(self):
+        cache = _FunctionalCache(CacheConfig(size=1024, line_size=32))
+        cache.access(0)
+        cache.access(1024)  # same set, different tag
+        assert not cache.access(0)
+
+    def test_associativity_keeps_both(self):
+        cache = _FunctionalCache(
+            CacheConfig(size=1024, line_size=32, associativity=2)
+        )
+        cache.access(0)
+        cache.access(1024)
+        assert cache.access(0)
+        assert cache.access(1024)
+
+    def test_lru_within_set(self):
+        cache = _FunctionalCache(
+            CacheConfig(size=1024, line_size=32, associativity=2)
+        )
+        cache.access(0)
+        cache.access(1024)
+        cache.access(0)       # 1024 is now LRU
+        cache.access(2048)    # evicts 1024
+        assert cache.access(0)
+        assert not cache.access(1024)
+
+
+class TestMissEstimate:
+    def test_ratios(self):
+        est = MissEstimate(
+            accesses={"a": 10, "b": 4}, misses={"a": 5, "b": 0}
+        )
+        assert est.miss_ratio("a") == 0.5
+        assert est.miss_ratio("b") == 0.0
+        assert est.total_accesses == 14
+        assert est.total_misses == 5
+        assert est.total_miss_ratio == pytest.approx(5 / 14)
+
+    def test_unknown_op_ratio_zero(self):
+        assert MissEstimate().miss_ratio("nope") == 0.0
+
+    def test_empty_total_ratio(self):
+        assert MissEstimate().total_miss_ratio == 0.0
+
+
+class TestSamplingCME:
+    def test_unit_stride_ratio_is_line_fraction(self):
+        kernel = _streaming_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=256)
+        ratio = cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        )
+        # 8-byte elements, 32-byte lines: one miss per 4 accesses.
+        assert ratio == pytest.approx(0.25, abs=0.02)
+
+    def test_large_stride_always_misses(self):
+        kernel = _streaming_kernel(n=128, stride=8)
+        cache = CacheConfig(size=512, line_size=32)
+        cme = SamplingCME(max_points=128)
+        ratio = cme.miss_ratio(
+            kernel.loop, kernel.loop.operation("ld"),
+            kernel.loop.memory_operations, cache,
+        )
+        assert ratio == 1.0
+
+    def test_pingpong_conflict_detected(self):
+        kernel = _pingpong_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=128)
+        ops = kernel.loop.memory_operations
+        for op in ops:
+            assert cme.miss_ratio(kernel.loop, op, ops, cache) == 1.0
+
+    def test_pingpong_disappears_in_isolation(self):
+        kernel = _pingpong_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=128)
+        ld_x = kernel.loop.operation("ld_x")
+        ratio = cme.miss_ratio(kernel.loop, ld_x, [ld_x], cache)
+        assert ratio == pytest.approx(0.25, abs=0.05)
+
+    def test_miss_count_consistent_with_ratios(self):
+        kernel = _pingpong_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=128)
+        ops = kernel.loop.memory_operations
+        count = cme.miss_count(kernel.loop, ops, cache)
+        assert count == pytest.approx(2 * 64)  # both always miss
+
+    def test_memoization_returns_same_object(self):
+        kernel = _streaming_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=64)
+        ops = kernel.loop.memory_operations
+        first = cme.estimate(kernel.loop, ops, cache)
+        second = cme.estimate(kernel.loop, ops, cache)
+        assert first is second
+
+    def test_op_order_does_not_matter_for_memoization(self):
+        """Keys sort op names, so permutations share the cache entry."""
+        kernel = _pingpong_kernel()
+        cache = CacheConfig(size=1024, line_size=32)
+        cme = SamplingCME(max_points=64)
+        ops = list(kernel.loop.memory_operations)
+        first = cme.estimate(kernel.loop, ops, cache)
+        second = cme.estimate(kernel.loop, list(reversed(ops)), cache)
+        assert first is second
+
+    def test_non_memory_ops_ignored(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 16)
+        a = b.array("A", (16,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        b.fadd(v, v, name="add")
+        kernel = b.build()
+        cme = SamplingCME(max_points=32)
+        cache = CacheConfig(size=512, line_size=32)
+        est = cme.estimate(kernel.loop, kernel.loop.operations, cache)
+        assert set(est.accesses) == {"ld"}
+
+    def test_max_points_validation(self):
+        with pytest.raises(ValueError):
+            SamplingCME(max_points=0)
+
+    def test_empty_op_set(self):
+        kernel = _streaming_kernel()
+        cme = SamplingCME(max_points=32)
+        cache = CacheConfig(size=512, line_size=32)
+        assert cme.miss_count(kernel.loop, [], cache) == 0.0

@@ -1,0 +1,158 @@
+"""Edge cases and failure injection across modules."""
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.machine import BusConfig, two_cluster, unified
+from repro.memory import DistributedMemorySystem, LineState
+from repro.scheduler import BaselineScheduler, expand
+from repro.simulator import simulate
+
+
+class TestDegenerateKernels:
+    def test_single_operation_kernel(self):
+        b = LoopBuilder("one")
+        i = b.dim("i", 0, 16)
+        a = b.array("A", (16,))
+        b.load(a, [b.aff(i=1)], name="only")
+        kernel = b.build()
+        schedule = BaselineScheduler().schedule(kernel, two_cluster())
+        schedule.validate()
+        assert schedule.ii == 1
+        result = simulate(schedule)
+        assert result.memory.accesses == 16
+
+    def test_store_only_kernel(self):
+        b = LoopBuilder("stores")
+        i = b.dim("i", 0, 16)
+        a = b.array("A", (16,))
+        b.store(a, [b.aff(i=1)], b.live_in("c"), name="st")
+        kernel = b.build()
+        schedule = BaselineScheduler().schedule(kernel, unified())
+        schedule.validate()
+        result = simulate(schedule)
+        assert result.stall_cycles == 0  # nothing consumes the stores
+
+    def test_pure_arithmetic_kernel(self):
+        b = LoopBuilder("arith")
+        i = b.dim("i", 0, 16)
+        v = b.fadd(b.live_in("x"), b.live_in("y"), name="a1")
+        for k in range(5):
+            v = b.fmul(v, v, name=f"m{k}")
+        kernel = b.build()
+        schedule = BaselineScheduler().schedule(kernel, two_cluster())
+        schedule.validate()
+        result = simulate(schedule)
+        assert result.memory.accesses == 0
+
+    def test_single_iteration_outer_loops(self):
+        b = LoopBuilder("deep")
+        for var in ("m", "l", "k", "j"):
+            b.dim(var, 0, 1)
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        b.store(a, [b.aff(i=1)], v, name="st")
+        kernel = b.build()
+        assert kernel.loop.n_times == 1
+        simulate(BaselineScheduler().schedule(kernel, unified()))
+
+
+class TestMemoryEdgeCases:
+    def test_store_upgrade_waits_for_pending_fill(self):
+        """A store hitting a Shared line whose fill is in flight upgrades
+        only after the data arrives."""
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        fill = system.access(0, 0, is_store=False, time=0)  # S, in flight
+        store = system.access(0, 0, is_store=True, time=1)
+        assert store.ready_time >= fill.ready_time
+        assert system.caches[0].state_of(0) is LineState.MODIFIED
+
+    def test_dirty_eviction_writes_back(self):
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        t = system.access(0, 0, is_store=True, time=0).ready_time
+        # Same set, different tag (4KB direct-mapped cache).
+        system.access(0, 4096, is_store=False, time=t)
+        assert system.stats.writebacks >= 1
+        assert system.caches[0].state_of(0) is LineState.INVALID
+
+    def test_merged_local_access_counts_hit(self):
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        system.access(0, 0, is_store=False, time=0)
+        merged = system.access(0, 8, is_store=False, time=1)
+        assert merged.merged
+        assert system.stats.merged == 1
+        assert system.stats.local_hits == 1
+
+    def test_write_to_invalid_after_remote_store(self):
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        t = system.access(0, 0, is_store=False, time=0).ready_time
+        t = system.access(1, 0, is_store=True, time=t).ready_time
+        # Cluster 0's copy was invalidated; its next store misses and
+        # takes exclusive ownership back.
+        result = system.access(0, 0, is_store=True, time=t)
+        assert result.level in ("remote", "main")
+        system.check_coherence([0])
+
+
+class TestExpansionEdgeCases:
+    def test_single_stage_schedule_has_empty_prolog(self):
+        b = LoopBuilder("flat")
+        i = b.dim("i", 0, 16)
+        a = b.array("A", (16,))
+        b.load(a, [b.aff(i=1)], name="ld")
+        kernel = b.build()
+        schedule = BaselineScheduler().schedule(kernel, unified())
+        assert schedule.stage_count == 1
+        expanded = expand(schedule, 8)
+        assert expanded.prolog == []
+        assert expanded.epilog == []
+        assert len(expanded.kernel) == 8
+
+
+class TestChartEdgeCases:
+    def test_max_scale_override(self):
+        from repro.harness.charts import render_figure
+        from repro.harness.sweep import Bar, FigureData
+
+        figure = FigureData(title="T")
+        figure.bars.append(
+            Bar(group="g", scheduler="s", threshold=1.0,
+                norm_compute=0.5, norm_stall=0.5)
+        )
+        text = render_figure(figure, width=10, max_scale=2.0)
+        assert "full width = 2.000" in text
+
+
+class TestIsaErrorPaths:
+    def test_corrupted_program_fails_validation(self, saxpy, two_cluster_machine):
+        from repro.isa import EncodingError, encode_kernel
+
+        schedule = BaselineScheduler().schedule(saxpy, two_cluster_machine)
+        program = encode_kernel(schedule)
+        program.instructions.pop()
+        with pytest.raises(EncodingError):
+            program.validate()
+
+
+class TestThresholdBoundaries:
+    def test_threshold_exactly_at_ratio_not_prefetched(self, sampling_cme):
+        """The comparison is strict: ratio <= threshold keeps hit latency."""
+        from repro.scheduler import SchedulerConfig
+
+        b = LoopBuilder("stream")
+        i = b.dim("i", 0, 128)
+        a = b.array("A", (1024,))
+        v = b.load(a, [b.aff(i=8)], name="ld")  # ratio 1.0
+        t = b.fmul(v, v, name="mul")
+        b.store(a, [b.aff(i=8)], t, name="st")
+        kernel = b.build()
+        config = SchedulerConfig(threshold=1.0)
+        schedule = BaselineScheduler(config, locality=sampling_cme).schedule(
+            kernel, unified()
+        )
+        assert schedule.prefetched_loads() == []

@@ -1,0 +1,84 @@
+"""Tests for result serialization (CSV/JSON)."""
+
+import json
+
+import pytest
+
+from repro.harness.io import (
+    figure_to_csv,
+    figure_to_json,
+    load_records,
+    records_to_csv,
+    records_to_json,
+)
+from repro.harness.sweep import Bar, FigureData
+
+
+@pytest.fixture
+def records():
+    return [
+        {"kernel": "a", "total": 10, "norm": 1.0},
+        {"kernel": "b", "total": 20, "norm": 2.0},
+    ]
+
+
+@pytest.fixture
+def figure(records):
+    figure = FigureData(title="T")
+    figure.bars.append(
+        Bar(group="g", scheduler="rmca", threshold=0.0,
+            norm_compute=0.3, norm_stall=0.1)
+    )
+    figure.records = records
+    return figure
+
+
+class TestCsv:
+    def test_roundtrip(self, records, tmp_path):
+        path = records_to_csv(records, tmp_path / "r.csv")
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        assert loaded[0]["kernel"] == "a"
+        assert loaded[1]["total"] == "20"  # CSV strings
+
+    def test_union_of_keys(self, tmp_path):
+        path = records_to_csv(
+            [{"a": 1}, {"a": 2, "b": 3}], tmp_path / "r.csv"
+        )
+        loaded = load_records(path)
+        assert set(loaded[0]) == {"a", "b"}
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="no records"):
+            records_to_csv([], tmp_path / "r.csv")
+
+
+class TestJson:
+    def test_roundtrip(self, records, tmp_path):
+        path = records_to_json(records, tmp_path / "r.json")
+        loaded = load_records(path)
+        assert loaded == records
+
+    def test_figure_json_structure(self, figure, tmp_path):
+        path = figure_to_json(figure, tmp_path / "f.json")
+        payload = json.loads(path.read_text())
+        assert payload["title"] == "T"
+        assert payload["bars"][0]["scheduler"] == "rmca"
+        assert payload["bars"][0]["norm_total"] == pytest.approx(0.4)
+        assert len(payload["records"]) == 2
+
+    def test_figure_json_loads_records(self, figure, tmp_path):
+        path = figure_to_json(figure, tmp_path / "f.json")
+        assert len(load_records(path)) == 2
+
+    def test_figure_csv(self, figure, tmp_path):
+        path = figure_to_csv(figure, tmp_path / "f.csv")
+        assert len(load_records(path)) == 2
+
+
+class TestLoadErrors:
+    def test_unknown_extension(self, tmp_path):
+        path = tmp_path / "r.txt"
+        path.write_text("x")
+        with pytest.raises(ValueError, match="unsupported"):
+            load_records(path)

@@ -1,0 +1,99 @@
+"""Tests for the report/chart rendering helpers."""
+
+import pytest
+
+from repro.harness.charts import render_bar, render_figure
+from repro.harness.report import figure_table, format_float, format_table
+from repro.harness.sweep import Bar, FigureData
+
+
+class TestFormatFloat:
+    def test_float_rendering(self):
+        assert format_float(1.23456) == "1.235"
+        assert format_float(1.0, digits=1) == "1.0"
+
+    def test_ints_pass_through(self):
+        assert format_float(42) == "42"
+
+    def test_strings_pass_through(self):
+        assert format_float("abc") == "abc"
+
+    def test_bools_pass_through(self):
+        assert format_float(True) == "True"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["a", "bbbb"], [[1, 2], [333, 4]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        # Columns aligned: every row has the rule width or less.
+        assert all(len(line) <= len(lines[1]) for line in lines)
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        table = format_table(["x"], [])
+        assert "x" in table
+
+
+def _figure():
+    figure = FigureData(title="Test Figure")
+    figure.bars.append(
+        Bar(group="g1", scheduler="baseline", threshold=1.0,
+            norm_compute=0.4, norm_stall=0.6)
+    )
+    figure.bars.append(
+        Bar(group="g1", scheduler="rmca", threshold=1.0,
+            norm_compute=0.4, norm_stall=0.3)
+    )
+    return figure
+
+
+class TestFigureData:
+    def test_groups(self):
+        assert _figure().groups == ["g1"]
+
+    def test_bar_lookup(self):
+        figure = _figure()
+        bar = figure.bar("g1", "rmca", 1.0)
+        assert bar.norm_total == pytest.approx(0.7)
+
+    def test_bar_lookup_missing(self):
+        with pytest.raises(KeyError):
+            _figure().bar("g1", "rmca", 0.0)
+
+    def test_bars_in_group(self):
+        assert len(_figure().bars_in_group("g1")) == 2
+        assert _figure().bars_in_group("nope") == []
+
+
+class TestFigureRendering:
+    def test_figure_table_contains_all_bars(self):
+        text = figure_table(_figure())
+        assert "Test Figure" in text
+        assert "baseline" in text
+        assert "rmca" in text
+
+    def test_render_bar_width(self):
+        bar = _figure().bars[0]
+        line = render_bar(bar, scale=1.0, width=20)
+        body = line.split("|")[1]
+        assert body.count("#") == 8   # 0.4 of 20
+        assert body.count(".") == 12  # stall fills to 1.0
+
+    def test_render_bar_scale_validation(self):
+        with pytest.raises(ValueError):
+            render_bar(_figure().bars[0], scale=0)
+
+    def test_render_figure(self):
+        text = render_figure(_figure(), width=10)
+        assert "Test Figure" in text
+        assert "g1" in text
+        assert "thr=1.00" in text
+
+    def test_render_empty_figure(self):
+        assert "(no bars)" in render_figure(FigureData(title="empty"))

@@ -1,0 +1,184 @@
+"""Unit tests for the LoopBuilder DSL."""
+
+import pytest
+
+from repro.ir import LoopBuilder, OpClass
+
+
+class TestStructure:
+    def test_requires_dims(self):
+        b = LoopBuilder("empty")
+        with pytest.raises(ValueError, match="no loop dimensions"):
+            b.build()
+
+    def test_duplicate_dim_rejected(self):
+        b = LoopBuilder("k")
+        b.dim("i", 0, 4)
+        with pytest.raises(ValueError, match="duplicate loop variable"):
+            b.dim("i", 0, 8)
+
+    def test_duplicate_array_rejected(self):
+        b = LoopBuilder("k")
+        b.array("A", (8,))
+        with pytest.raises(ValueError, match="duplicate array"):
+            b.array("A", (8,))
+
+    def test_arrays_packed_without_overlap(self):
+        b = LoopBuilder("k")
+        a = b.array("A", (8,))      # 64 bytes
+        c = b.array("B", (8,))
+        assert c.base >= a.base + a.size_bytes
+
+    def test_explicit_base_respected(self):
+        b = LoopBuilder("k")
+        arr = b.array("A", (8,), base=4096)
+        assert arr.base == 4096
+
+    def test_packing_alignment(self):
+        b = LoopBuilder("k")
+        b.array("A", (1,))  # 8 bytes
+        c = b.array("B", (8,), align=64)
+        assert c.base % 64 == 0
+
+
+class TestEmission:
+    def test_load_creates_ref(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)])
+        kernel = b.build()
+        assert len(kernel.loop.refs) == 1
+        assert kernel.loop.refs[0].array.name == "A"
+        assert not kernel.loop.refs[0].is_store
+
+    def test_store_creates_store_ref(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)])
+        b.store(a, [b.aff(i=1)], v)
+        kernel = b.build()
+        assert kernel.loop.refs[1].is_store
+
+    def test_auto_names_unique(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v1 = b.load(a, [b.aff(i=1)])
+        v2 = b.load(a, [b.aff(1, i=1)])
+        s = b.fadd(v1, v2)
+        kernel = b.build()
+        names = [op.name for op in kernel.loop.operations]
+        assert len(set(names)) == len(names)
+
+    def test_explicit_names_and_dests(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="myload", dest="r1")
+        assert v.reg == "r1"
+        kernel = b.build()
+        assert kernel.loop.operation("myload").dest == "r1"
+
+    def test_all_binary_helpers(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)])
+        results = [
+            b.iadd(v, v), b.isub(v, v), b.imul(v, v),
+            b.fadd(v, v), b.fsub(v, v), b.fmul(v, v), b.fdiv(v, v),
+        ]
+        neg = b.fneg(v)
+        kernel = b.build()
+        classes = [op.opclass for op in kernel.loop.operations]
+        for expected in (OpClass.IADD, OpClass.ISUB, OpClass.IMUL,
+                         OpClass.FADD, OpClass.FSUB, OpClass.FMUL,
+                         OpClass.FDIV, OpClass.FNEG):
+            assert expected in classes
+
+    def test_live_in_has_no_producer(self):
+        b = LoopBuilder("k")
+        value = b.live_in("alpha")
+        assert value.producer is None
+        assert b.fconst("beta").producer is None
+
+
+class TestDependences:
+    def test_intra_iteration_flow(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        s = b.fadd(v, v, name="add")
+        kernel = b.build()
+        flows = {(e.src, e.dst) for e in kernel.ddg.register_edges()}
+        assert ("ld", "add") in flows
+
+    def test_prev_value_creates_recurrence(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        acc = b.fadd(b.prev_value("acc", distance=2), v, dest="acc", name="accum")
+        kernel = b.build()
+        carried = [
+            e for e in kernel.ddg.register_edges() if e.distance == 2
+        ]
+        assert len(carried) == 1
+        assert carried[0].src == "accum"
+        assert carried[0].dst == "accum"
+        assert kernel.ddg.has_recurrences()
+
+    def test_prev_on_value_creates_cross_op_recurrence(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        t = b.fmul(v, v, name="mul", dest="t")
+        u = b.fadd(b.prev(t, distance=1), v, name="use_prev")
+        kernel = b.build()
+        carried = [e for e in kernel.ddg.register_edges() if e.distance == 1]
+        assert ("mul", "use_prev") in {(e.src, e.dst) for e in carried}
+
+    def test_prev_of_live_in_is_noop(self):
+        b = LoopBuilder("k")
+        alpha = b.live_in("alpha")
+        assert b.prev(alpha) is alpha
+
+    def test_prev_distance_validated(self):
+        b = LoopBuilder("k")
+        with pytest.raises(ValueError):
+            b.prev_value("x", distance=0)
+
+    def test_unresolved_forward_reference(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)])
+        b.fadd(b.prev_value("never_defined"), v)
+        with pytest.raises(ValueError, match="never defined"):
+            b.build()
+
+    def test_mem_dep_edge(self):
+        b = LoopBuilder("k")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (8,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        b.store(a, [b.aff(i=1)], v, name="st")
+        b.mem_dep("st", "ld", distance=1)
+        kernel = b.build()
+        mems = [(e.src, e.dst) for e in kernel.ddg.edges() if e.kind == "mem"]
+        assert ("st", "ld") in mems
+
+
+class TestKernel:
+    def test_kernel_name(self):
+        b = LoopBuilder("mykernel")
+        b.dim("i", 0, 4)
+        a = b.array("A", (4,))
+        b.store(a, [b.aff(i=1)], b.live_in("c"))
+        kernel = b.build()
+        assert kernel.name == "mykernel"
+        assert kernel.loop.name == "mykernel"

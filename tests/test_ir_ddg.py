@@ -1,0 +1,119 @@
+"""Unit tests for repro.ir.ddg."""
+
+import pytest
+
+from repro.ir.ddg import DepEdge, DependenceGraph, build_ddg
+from repro.ir.loop import Loop, LoopDim
+from repro.ir.operations import OpClass, Operation
+from repro.ir.references import AffineExpr, Array, ArrayReference
+
+
+def _chain_loop():
+    """ld -> mul -> add -> st with registers."""
+    a = Array("A", (64,))
+    refs = (
+        ArrayReference(a, (AffineExpr.of(0, i=1),)),
+        ArrayReference(a, (AffineExpr.of(0, i=1),), is_store=True),
+    )
+    ops = (
+        Operation("ld", OpClass.LOAD, dest="v", ref_index=0),
+        Operation("mul", OpClass.FMUL, dest="w", srcs=("v", "v")),
+        Operation("add", OpClass.FADD, dest="x", srcs=("w", "v")),
+        Operation("st", OpClass.STORE, srcs=("x",), ref_index=1),
+    )
+    return Loop("chain", (LoopDim("i", 0, 16),), ops, refs)
+
+
+class TestDepEdge:
+    def test_invalid_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown dependence kind"):
+            DepEdge("a", "b", "bogus")
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            DepEdge("a", "b", "flow", distance=-1)
+
+    def test_valid_kinds(self):
+        for kind in ("flow", "anti", "output", "mem"):
+            assert DepEdge("a", "b", kind).kind == kind
+
+
+class TestDependenceGraph:
+    def test_edge_endpoints_must_exist(self):
+        graph = DependenceGraph(_chain_loop())
+        with pytest.raises(KeyError):
+            graph.add_edge(DepEdge("ld", "nope", "flow"))
+
+    def test_nodes_in_program_order(self):
+        graph = DependenceGraph(_chain_loop())
+        assert graph.nodes() == ["ld", "mul", "add", "st"]
+
+    def test_multigraph_keeps_parallel_edges(self):
+        graph = DependenceGraph(_chain_loop())
+        graph.add_edge(DepEdge("ld", "mul", "flow", 0))
+        graph.add_edge(DepEdge("ld", "mul", "anti", 1))
+        assert graph.n_edges == 2
+
+    def test_in_out_edges(self):
+        graph = build_ddg(_chain_loop())
+        assert {e.src for e in graph.in_edges("add")} == {"mul", "ld"}
+        assert {e.dst for e in graph.out_edges("ld")} == {"mul", "add"}
+
+    def test_register_edges_are_flow_only(self):
+        graph = build_ddg(_chain_loop(), [DepEdge("st", "ld", "mem", 1)])
+        kinds = {e.kind for e in graph.register_edges()}
+        assert kinds == {"flow"}
+
+    def test_crossing_register_edges(self):
+        graph = build_ddg(_chain_loop())
+        crossing = graph.crossing_register_edges(
+            {"ld": 0, "mul": 1, "add": 0, "st": 0}
+        )
+        pairs = {(e.src, e.dst) for e in crossing}
+        assert pairs == {("ld", "mul"), ("mul", "add")}
+
+    def test_crossing_ignores_unassigned(self):
+        graph = build_ddg(_chain_loop())
+        assert graph.crossing_register_edges({"ld": 0}) == []
+
+    def test_no_recurrence_in_dag(self):
+        graph = build_ddg(_chain_loop())
+        assert not graph.has_recurrences()
+        assert graph.nodes_on_recurrences() == set()
+
+    def test_recurrence_detection(self):
+        graph = build_ddg(
+            _chain_loop(), [DepEdge("add", "mul", "flow", 1)]
+        )
+        assert graph.has_recurrences()
+        assert graph.nodes_on_recurrences() == {"mul", "add"}
+
+    def test_self_loop_recurrence(self):
+        graph = build_ddg(_chain_loop(), [DepEdge("add", "add", "flow", 1)])
+        assert "add" in graph.nodes_on_recurrences()
+
+
+class TestBuildDdg:
+    def test_flow_edges_from_def_use(self):
+        graph = build_ddg(_chain_loop())
+        flows = {(e.src, e.dst) for e in graph.register_edges()}
+        assert ("ld", "mul") in flows
+        assert ("mul", "add") in flows
+        assert ("ld", "add") in flows
+        assert ("add", "st") in flows
+
+    def test_output_dependence_on_redefinition(self):
+        a = Array("A", (8,))
+        ref = ArrayReference(a, (AffineExpr.of(0, i=1),))
+        ops = (
+            Operation("ld1", OpClass.LOAD, dest="v", ref_index=0),
+            Operation("ld2", OpClass.LOAD, dest="v", ref_index=0),
+        )
+        loop = Loop("redef", (LoopDim("i", 0, 4),), ops, (ref,))
+        graph = build_ddg(loop)
+        kinds = {(e.src, e.dst, e.kind) for e in graph.edges()}
+        assert ("ld1", "ld2", "output") in kinds
+
+    def test_extra_edges_appended(self):
+        graph = build_ddg(_chain_loop(), [DepEdge("st", "ld", "mem", 1)])
+        assert any(e.kind == "mem" for e in graph.edges())

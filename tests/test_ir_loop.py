@@ -1,0 +1,120 @@
+"""Unit tests for repro.ir.loop."""
+
+import pytest
+
+from repro.ir.loop import Loop, LoopDim
+from repro.ir.operations import OpClass, Operation
+from repro.ir.references import AffineExpr, Array, ArrayReference
+
+
+def _simple_loop(dims=None):
+    a = Array("A", (64,))
+    ref = ArrayReference(a, (AffineExpr.of(0, i=1),))
+    ops = (
+        Operation("ld", OpClass.LOAD, dest="v", ref_index=0),
+        Operation("add", OpClass.FADD, dest="w", srcs=("v", "v")),
+    )
+    return Loop(
+        "test",
+        dims or (LoopDim("i", 0, 8),),
+        ops,
+        (ref,),
+    )
+
+
+class TestLoopDim:
+    def test_trip_count_basic(self):
+        assert LoopDim("i", 0, 10).trip_count == 10
+
+    def test_trip_count_with_step(self):
+        assert LoopDim("i", 0, 10, 2).trip_count == 5
+        assert LoopDim("i", 0, 9, 2).trip_count == 5
+
+    def test_trip_count_negative_step(self):
+        assert LoopDim("i", 10, 0, -1).trip_count == 10
+        assert LoopDim("i", 10, 0, -3).trip_count == 4
+
+    def test_trip_count_empty(self):
+        assert LoopDim("i", 5, 5).trip_count == 0
+        assert LoopDim("i", 5, 3).trip_count == 0
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(ValueError):
+            LoopDim("i", 0, 10, 0)
+
+    def test_values(self):
+        assert list(LoopDim("i", 1, 7, 2).values()) == [1, 3, 5]
+
+
+class TestLoop:
+    def test_needs_dims(self):
+        with pytest.raises(ValueError, match="at least one dim"):
+            Loop("l", (), (), ())
+
+    def test_duplicate_op_names_rejected(self):
+        a = Array("A", (8,))
+        ref = ArrayReference(a, (AffineExpr.of(0, i=1),))
+        ops = (
+            Operation("x", OpClass.LOAD, dest="v", ref_index=0),
+            Operation("x", OpClass.FADD, dest="w", srcs=("v",)),
+        )
+        with pytest.raises(ValueError, match="duplicate"):
+            Loop("l", (LoopDim("i", 0, 4),), ops, (ref,))
+
+    def test_ref_index_bounds_checked(self):
+        ops = (Operation("ld", OpClass.LOAD, dest="v", ref_index=2),)
+        with pytest.raises(ValueError, match="out of range"):
+            Loop("l", (LoopDim("i", 0, 4),), ops, ())
+
+    def test_inner_and_outer(self):
+        loop = _simple_loop(
+            (LoopDim("j", 0, 4), LoopDim("i", 0, 8))
+        )
+        assert loop.inner.var == "i"
+        assert [d.var for d in loop.outer_dims] == ["j"]
+
+    def test_niter_ntimes(self):
+        loop = _simple_loop(
+            (LoopDim("k", 0, 3), LoopDim("j", 0, 4), LoopDim("i", 0, 8))
+        )
+        assert loop.n_iterations == 8
+        assert loop.n_times == 12
+
+    def test_single_dim_ntimes_is_one(self):
+        assert _simple_loop().n_times == 1
+
+    def test_memory_operations(self):
+        loop = _simple_loop()
+        assert [op.name for op in loop.memory_operations] == ["ld"]
+
+    def test_operation_lookup(self):
+        loop = _simple_loop()
+        assert loop.operation("add").name == "add"
+        with pytest.raises(KeyError):
+            loop.operation("missing")
+
+    def test_ref_of(self):
+        loop = _simple_loop()
+        assert loop.ref_of(loop.operation("ld")).array.name == "A"
+        with pytest.raises(ValueError):
+            loop.ref_of(loop.operation("add"))
+
+    def test_iteration_points_order(self):
+        loop = _simple_loop((LoopDim("j", 0, 2), LoopDim("i", 0, 2)))
+        points = list(loop.iteration_points())
+        assert points == [
+            {"j": 0, "i": 0},
+            {"j": 0, "i": 1},
+            {"j": 1, "i": 0},
+            {"j": 1, "i": 1},
+        ]
+
+    def test_iteration_points_limit(self):
+        loop = _simple_loop()
+        assert len(list(loop.iteration_points(limit=3))) == 3
+
+    def test_stats(self):
+        stats = _simple_loop().stats()
+        assert stats["operations"] == 2
+        assert stats["memory_operations"] == 1
+        assert stats["niter"] == 8

@@ -1,0 +1,84 @@
+"""Unit tests for repro.ir.operations."""
+
+import pytest
+
+from repro.ir.operations import FUType, OpClass, Operation
+
+
+class TestOpClass:
+    def test_every_class_maps_to_a_fu_type(self):
+        for opclass in OpClass:
+            assert isinstance(opclass.fu_type, FUType)
+
+    def test_memory_classes(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert not OpClass.FADD.is_memory
+        assert not OpClass.IADD.is_memory
+
+    def test_memory_classes_use_memory_units(self):
+        assert OpClass.LOAD.fu_type is FUType.MEMORY
+        assert OpClass.STORE.fu_type is FUType.MEMORY
+
+    def test_integer_classes_use_integer_units(self):
+        for opclass in (OpClass.IADD, OpClass.ISUB, OpClass.IMUL,
+                        OpClass.ICMP, OpClass.SHIFT):
+            assert opclass.fu_type is FUType.INTEGER
+
+    def test_fp_classes_use_fp_units(self):
+        for opclass in (OpClass.FADD, OpClass.FSUB, OpClass.FMUL,
+                        OpClass.FDIV, OpClass.FNEG):
+            assert opclass.fu_type is FUType.FP
+
+    def test_store_writes_no_register(self):
+        assert not OpClass.STORE.writes_register
+
+    def test_load_writes_register(self):
+        assert OpClass.LOAD.writes_register
+        assert OpClass.FADD.writes_register
+
+
+class TestOperation:
+    def test_load_requires_ref_index(self):
+        with pytest.raises(ValueError, match="requires a ref_index"):
+            Operation("ld", OpClass.LOAD, dest="v")
+
+    def test_store_requires_ref_index(self):
+        with pytest.raises(ValueError, match="requires a ref_index"):
+            Operation("st", OpClass.STORE, srcs=("v",))
+
+    def test_non_memory_rejects_ref_index(self):
+        with pytest.raises(ValueError, match="cannot carry a ref_index"):
+            Operation("add", OpClass.FADD, dest="v", ref_index=0)
+
+    def test_store_cannot_write_register(self):
+        with pytest.raises(ValueError, match="cannot write a register"):
+            Operation("st", OpClass.STORE, dest="v", srcs=("x",), ref_index=0)
+
+    def test_valid_load(self):
+        op = Operation("ld", OpClass.LOAD, dest="v", ref_index=0)
+        assert op.is_load
+        assert op.is_memory
+        assert not op.is_store
+        assert op.fu_type is FUType.MEMORY
+
+    def test_valid_store(self):
+        op = Operation("st", OpClass.STORE, srcs=("v",), ref_index=1)
+        assert op.is_store
+        assert op.is_memory
+        assert not op.is_load
+
+    def test_arithmetic_defaults(self):
+        op = Operation("add", OpClass.FADD, dest="v", srcs=("a", "b"))
+        assert not op.is_memory
+        assert op.srcs == ("a", "b")
+
+    def test_operations_are_hashable_and_frozen(self):
+        op = Operation("add", OpClass.FADD, dest="v")
+        assert hash(op) == hash(Operation("add", OpClass.FADD, dest="v"))
+        with pytest.raises(AttributeError):
+            op.name = "other"
+
+    def test_str_contains_name(self):
+        op = Operation("mul7", OpClass.FMUL, dest="v", srcs=("a", "b"))
+        assert "mul7" in str(op)

@@ -1,0 +1,131 @@
+"""Unit tests for repro.ir.references."""
+
+import pytest
+
+from repro.ir.references import AffineExpr, Array, ArrayReference
+
+
+class TestArray:
+    def test_rejects_empty_shape(self):
+        with pytest.raises(ValueError):
+            Array("A", ())
+
+    def test_rejects_non_positive_extent(self):
+        with pytest.raises(ValueError):
+            Array("A", (4, 0))
+
+    def test_rejects_bad_element_size(self):
+        with pytest.raises(ValueError):
+            Array("A", (4,), element_size=0)
+
+    def test_rejects_negative_base(self):
+        with pytest.raises(ValueError):
+            Array("A", (4,), base=-8)
+
+    def test_n_elements_and_size(self):
+        a = Array("A", (3, 5), element_size=8)
+        assert a.n_elements == 15
+        assert a.size_bytes == 120
+
+    def test_linear_index_row_major(self):
+        a = Array("A", (4, 6))
+        assert a.linear_index((0, 0)) == 0
+        assert a.linear_index((1, 0)) == 6
+        assert a.linear_index((2, 3)) == 15
+
+    def test_linear_index_dimension_check(self):
+        a = Array("A", (4, 6))
+        with pytest.raises(ValueError, match="2 dims"):
+            a.linear_index((1,))
+
+    def test_address_includes_base_and_element_size(self):
+        a = Array("A", (10,), element_size=8, base=1000)
+        assert a.address((3,)) == 1024
+
+    def test_3d_linearization(self):
+        a = Array("A", (2, 3, 4))
+        assert a.linear_index((1, 2, 3)) == 1 * 12 + 2 * 4 + 3
+
+
+class TestAffineExpr:
+    def test_of_drops_zero_coefficients(self):
+        e = AffineExpr.of(5, i=0, j=2)
+        assert e.variables == ("j",)
+        assert e.coeff("i") == 0
+        assert e.coeff("j") == 2
+
+    def test_of_sorts_variables(self):
+        e = AffineExpr.of(0, j=1, i=1)
+        assert e.variables == ("i", "j")
+
+    def test_evaluate(self):
+        e = AffineExpr.of(3, i=2, j=-1)
+        assert e.evaluate({"i": 5, "j": 4}) == 3 + 10 - 4
+
+    def test_evaluate_constant_only(self):
+        assert AffineExpr.of(7).evaluate({}) == 7
+
+    def test_shifted(self):
+        e = AffineExpr.of(3, i=1)
+        assert e.shifted(4).constant == 7
+        assert e.shifted(4).coeffs == e.coeffs
+
+    def test_hashable(self):
+        assert AffineExpr.of(1, i=2) == AffineExpr.of(1, i=2)
+        assert hash(AffineExpr.of(1, i=2)) == hash(AffineExpr.of(1, i=2))
+
+
+class TestArrayReference:
+    def _ref(self, base=0, offset=0, is_store=False):
+        a = Array("A", (8, 8), base=base)
+        return ArrayReference(
+            a,
+            (AffineExpr.of(0, j=1), AffineExpr.of(offset, i=1)),
+            is_store=is_store,
+        )
+
+    def test_subscript_arity_checked(self):
+        a = Array("A", (8, 8))
+        with pytest.raises(ValueError, match="needs 2 subscripts"):
+            ArrayReference(a, (AffineExpr.of(0, i=1),))
+
+    def test_variables_collects_all(self):
+        assert self._ref().variables == ("j", "i")
+
+    def test_element_and_address(self):
+        ref = self._ref(base=64, offset=1)
+        point = {"i": 2, "j": 1}
+        assert ref.element(point) == (1, 3)
+        assert ref.address(point) == 64 + (1 * 8 + 3) * 8
+
+    def test_uniformly_generated_same_structure(self):
+        assert self._ref().is_uniformly_generated_with(self._ref(offset=3))
+
+    def test_not_uniformly_generated_different_array(self):
+        other = ArrayReference(
+            Array("B", (8, 8)),
+            (AffineExpr.of(0, j=1), AffineExpr.of(0, i=1)),
+        )
+        assert not self._ref().is_uniformly_generated_with(other)
+
+    def test_not_uniformly_generated_different_coeffs(self):
+        a = Array("A", (8, 8))
+        other = ArrayReference(
+            a, (AffineExpr.of(0, j=1), AffineExpr.of(0, i=2))
+        )
+        assert not self._ref().is_uniformly_generated_with(other)
+
+    def test_constant_distance(self):
+        assert self._ref().constant_distance_to(self._ref(offset=3)) == (0, 3)
+
+    def test_constant_distance_requires_uniform(self):
+        a = Array("A", (8, 8))
+        other = ArrayReference(
+            a, (AffineExpr.of(0, j=1), AffineExpr.of(0, i=2))
+        )
+        with pytest.raises(ValueError):
+            self._ref().constant_distance_to(other)
+
+    def test_store_flag(self):
+        assert self._ref(is_store=True).is_store
+        assert not self._ref().is_store

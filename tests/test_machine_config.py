@@ -1,0 +1,167 @@
+"""Unit tests for repro.machine.config."""
+
+import pytest
+
+from repro.ir.operations import FUType, OpClass
+from repro.machine.config import (
+    DEFAULT_LATENCIES,
+    BusConfig,
+    CacheConfig,
+    ClusterConfig,
+    MachineConfig,
+)
+
+
+def _cluster(**overrides):
+    params = dict(
+        n_integer=2,
+        n_fp=2,
+        n_memory=2,
+        n_registers=32,
+        cache=CacheConfig(size=4096),
+    )
+    params.update(overrides)
+    return ClusterConfig(**params)
+
+
+def _machine(n_clusters=2, **overrides):
+    params = dict(
+        name="test",
+        clusters=(_cluster(),) * n_clusters,
+        register_bus=BusConfig(count=2, latency=1),
+        memory_bus=BusConfig(count=1, latency=1),
+    )
+    params.update(overrides)
+    return MachineConfig(**params)
+
+
+class TestCacheConfig:
+    def test_defaults(self):
+        cache = CacheConfig(size=4096)
+        assert cache.n_lines == 128
+        assert cache.n_sets == 128
+
+    def test_size_must_be_line_multiple(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=100, line_size=32)
+
+    def test_associativity_divides_lines(self):
+        CacheConfig(size=4096, associativity=2)
+        with pytest.raises(ValueError):
+            CacheConfig(size=96, line_size=32, associativity=2)
+
+    def test_set_index_wraps(self):
+        cache = CacheConfig(size=1024, line_size=32)  # 32 sets
+        assert cache.set_index(0) == 0
+        assert cache.set_index(32) == 1
+        assert cache.set_index(1024) == 0
+        assert cache.set_index(1056) == 1
+
+    def test_tag(self):
+        cache = CacheConfig(size=1024, line_size=32)
+        assert cache.tag(0) == 0
+        assert cache.tag(1024) == 1
+        assert cache.tag(2048 + 64) == 2
+
+    def test_line_address(self):
+        cache = CacheConfig(size=1024, line_size=32)
+        assert cache.line_address(37) == 32
+        assert cache.line_address(32) == 32
+
+    def test_set_associative_sets(self):
+        cache = CacheConfig(size=1024, line_size=32, associativity=2)
+        assert cache.n_sets == 16
+
+    def test_mshr_validation(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size=1024, mshr_entries=0)
+
+
+class TestBusConfig:
+    def test_unbounded(self):
+        bus = BusConfig(count=None, latency=2)
+        assert bus.unbounded
+
+    def test_bounded(self):
+        assert not BusConfig(count=2, latency=1).unbounded
+
+    def test_count_validation(self):
+        with pytest.raises(ValueError):
+            BusConfig(count=0, latency=1)
+
+    def test_latency_validation(self):
+        with pytest.raises(ValueError):
+            BusConfig(count=1, latency=0)
+
+
+class TestClusterConfig:
+    def test_issue_width(self):
+        assert _cluster().issue_width == 6
+
+    def test_n_units(self):
+        cluster = _cluster(n_integer=1, n_fp=2, n_memory=3)
+        assert cluster.n_units(FUType.INTEGER) == 1
+        assert cluster.n_units(FUType.FP) == 2
+        assert cluster.n_units(FUType.MEMORY) == 3
+
+    def test_needs_some_unit(self):
+        with pytest.raises(ValueError):
+            _cluster(n_integer=0, n_fp=0, n_memory=0)
+
+    def test_zero_of_one_kind_allowed(self):
+        cluster = _cluster(n_integer=0)
+        assert cluster.n_units(FUType.INTEGER) == 0
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            _cluster(n_fp=-1)
+
+    def test_registers_validated(self):
+        with pytest.raises(ValueError):
+            _cluster(n_registers=0)
+
+
+class TestMachineConfig:
+    def test_aggregates(self):
+        machine = _machine(2)
+        assert machine.n_clusters == 2
+        assert machine.issue_width == 12
+        assert machine.total_registers == 64
+        assert machine.total_cache_size == 8192
+
+    def test_is_unified(self):
+        assert _machine(1).is_unified
+        assert not _machine(2).is_unified
+
+    def test_needs_clusters(self):
+        with pytest.raises(ValueError):
+            _machine(0)
+
+    def test_latency_lookup(self):
+        machine = _machine()
+        assert machine.latency(OpClass.LOAD) == DEFAULT_LATENCIES[OpClass.LOAD]
+
+    def test_missing_latency_rejected(self):
+        partial = {OpClass.LOAD: 2}
+        with pytest.raises(ValueError, match="latencies missing"):
+            _machine(latencies=partial)
+
+    def test_miss_latency_composition(self):
+        machine = _machine(
+            memory_bus=BusConfig(count=1, latency=3), main_memory_latency=10
+        )
+        assert machine.miss_latency == (
+            machine.latency(OpClass.LOAD) + 3 + 10
+        )
+
+    def test_with_buses_copies(self):
+        machine = _machine()
+        faster = machine.with_buses(register_bus=BusConfig(count=4, latency=1))
+        assert faster.register_bus.count == 4
+        assert machine.register_bus.count == 2
+        assert faster.memory_bus == machine.memory_bus
+
+    def test_describe_keys(self):
+        desc = _machine().describe()
+        assert desc["clusters"] == 2
+        assert desc["issue_width"] == 12

@@ -1,0 +1,144 @@
+"""Unit tests for the cluster cache and MSHR."""
+
+import pytest
+
+from repro.machine.config import CacheConfig
+from repro.memory.cache import ClusterCache, LineState, MSHR
+
+
+def _cache(size=1024, assoc=1, mshr=4):
+    return ClusterCache(
+        CacheConfig(size=size, line_size=32, associativity=assoc,
+                    mshr_entries=mshr),
+        cluster_id=0,
+    )
+
+
+class TestMSHR:
+    def test_allocates_immediately_when_free(self):
+        mshr = MSHR(2)
+        assert mshr.allocate(10) == 10
+
+    def test_waits_when_full(self):
+        mshr = MSHR(2)
+        mshr.allocate(0); mshr.hold(20)
+        mshr.allocate(0); mshr.hold(30)
+        grant = mshr.allocate(5)
+        assert grant == 20  # waits for the earliest release
+        assert mshr.total_wait_cycles == 15
+
+    def test_frees_after_release_time(self):
+        mshr = MSHR(1)
+        mshr.allocate(0); mshr.hold(10)
+        assert mshr.allocate(11) == 11
+
+    def test_occupancy(self):
+        mshr = MSHR(4)
+        mshr.hold(10)
+        mshr.hold(20)
+        assert mshr.occupancy(5) == 2
+        assert mshr.occupancy(15) == 1
+        assert mshr.occupancy(25) == 0
+
+    def test_peak_occupancy(self):
+        mshr = MSHR(4)
+        mshr.hold(10)
+        mshr.hold(10)
+        mshr.hold(10)
+        assert mshr.peak_occupancy == 3
+
+    def test_needs_one_entry(self):
+        with pytest.raises(ValueError):
+            MSHR(0)
+
+    def test_reset_stats(self):
+        mshr = MSHR(1)
+        mshr.allocate(0); mshr.hold(10)
+        mshr.allocate(0)
+        mshr.reset_stats()
+        assert mshr.total_wait_cycles == 0
+        assert mshr.peak_occupancy == 0
+
+
+class TestClusterCacheStates:
+    def test_starts_invalid(self):
+        cache = _cache()
+        assert cache.state_of(0) is LineState.INVALID
+
+    def test_fill_shared(self):
+        cache = _cache()
+        cache.fill(0, LineState.SHARED)
+        assert cache.state_of(0) is LineState.SHARED
+        assert cache.state_of(31) is LineState.SHARED  # same line
+        assert cache.state_of(32) is LineState.INVALID
+
+    def test_read_hit_rules(self):
+        cache = _cache()
+        cache.fill(0, LineState.SHARED)
+        assert cache.is_hit(0, is_store=False)
+        assert not cache.is_hit(0, is_store=True)  # S cannot absorb a store
+        cache.set_state(0, LineState.MODIFIED)
+        assert cache.is_hit(0, is_store=True)
+
+    def test_invalidate_reports_dirty(self):
+        cache = _cache()
+        cache.fill(0, LineState.MODIFIED)
+        assert cache.invalidate(0) is True
+        assert cache.state_of(0) is LineState.INVALID
+        assert cache.invalidate(0) is False  # already gone
+
+    def test_set_state_noop_when_absent(self):
+        cache = _cache()
+        cache.set_state(64, LineState.SHARED)
+        assert cache.state_of(64) is LineState.INVALID
+
+
+class TestEviction:
+    def test_direct_mapped_conflict_evicts(self):
+        cache = _cache(size=1024)
+        cache.fill(0, LineState.SHARED)
+        victim = cache.fill(1024, LineState.SHARED)  # same set
+        assert victim == (0, LineState.SHARED)
+        assert cache.state_of(0) is LineState.INVALID
+
+    def test_dirty_victim_reported(self):
+        cache = _cache(size=1024)
+        cache.fill(0, LineState.MODIFIED)
+        victim = cache.fill(1024, LineState.SHARED)
+        assert victim == (0, LineState.MODIFIED)
+
+    def test_refill_same_line_no_victim(self):
+        cache = _cache()
+        cache.fill(0, LineState.SHARED)
+        assert cache.fill(0, LineState.MODIFIED) is None
+        assert cache.state_of(0) is LineState.MODIFIED
+
+    def test_associative_keeps_conflicting_lines(self):
+        cache = _cache(size=1024, assoc=2)
+        cache.fill(0, LineState.SHARED)
+        victim = cache.fill(1024, LineState.SHARED)
+        assert victim is None
+        assert cache.state_of(0) is LineState.SHARED
+        assert cache.state_of(1024) is LineState.SHARED
+
+    def test_lru_eviction_order(self):
+        cache = _cache(size=1024, assoc=2)
+        cache.fill(0, LineState.SHARED)
+        cache.fill(1024, LineState.SHARED)
+        cache.touch(0)  # 1024 becomes LRU
+        victim = cache.fill(2048, LineState.SHARED)
+        assert victim[0] == 1024
+
+    def test_victim_line_address_roundtrip(self):
+        cache = _cache(size=1024)
+        cache.fill(32 * 5 + 1024 * 3, LineState.SHARED)
+        victim = cache.fill(32 * 5 + 1024 * 7, LineState.SHARED)
+        assert victim[0] == 32 * 5 + 1024 * 3
+
+    def test_resident_lines_and_clear(self):
+        cache = _cache()
+        cache.fill(0, LineState.SHARED)
+        cache.fill(64, LineState.MODIFIED)
+        assert cache.resident_lines() == 2
+        cache.clear()
+        assert cache.resident_lines() == 0

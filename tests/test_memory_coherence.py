@@ -1,0 +1,144 @@
+"""Unit tests for the snoopy MSI controller."""
+
+import pytest
+
+from repro.machine.config import CacheConfig
+from repro.memory.cache import ClusterCache, LineState
+from repro.memory.coherence import BusOp, MSIController
+
+
+def _system(n=2):
+    caches = [
+        ClusterCache(CacheConfig(size=1024, line_size=32), cluster_id=k)
+        for k in range(n)
+    ]
+    return caches, MSIController(caches)
+
+
+class TestBusRd:
+    def test_no_holders(self):
+        caches, msi = _system()
+        result = msi.snoop(0, 0, BusOp.BUS_RD)
+        assert result.supplier is None
+        assert not result.writeback
+        assert result.invalidated == ()
+
+    def test_shared_supplier(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.SHARED)
+        result = msi.snoop(0, 0, BusOp.BUS_RD)
+        assert result.supplier == 1
+        assert not result.supplier_was_dirty
+        assert caches[1].state_of(0) is LineState.SHARED
+
+    def test_modified_supplier_downgrades_and_writes_back(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.MODIFIED)
+        result = msi.snoop(0, 0, BusOp.BUS_RD)
+        assert result.supplier == 1
+        assert result.supplier_was_dirty
+        assert result.writeback
+        assert caches[1].state_of(0) is LineState.SHARED
+
+    def test_requester_own_copy_ignored(self):
+        caches, msi = _system()
+        caches[0].fill(0, LineState.MODIFIED)
+        result = msi.snoop(0, 0, BusOp.BUS_RD)
+        assert result.supplier is None
+        assert caches[0].state_of(0) is LineState.MODIFIED
+
+
+class TestBusRdX:
+    def test_invalidates_all_remote_copies(self):
+        caches, msi = _system(3)
+        caches[1].fill(0, LineState.SHARED)
+        caches[2].fill(0, LineState.SHARED)
+        result = msi.snoop(0, 0, BusOp.BUS_RDX)
+        assert set(result.invalidated) == {1, 2}
+        assert caches[1].state_of(0) is LineState.INVALID
+        assert caches[2].state_of(0) is LineState.INVALID
+
+    def test_dirty_remote_writes_back(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.MODIFIED)
+        result = msi.snoop(0, 0, BusOp.BUS_RDX)
+        assert result.writeback
+        assert result.supplier == 1
+        assert caches[1].state_of(0) is LineState.INVALID
+
+    def test_shared_remote_can_supply(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.SHARED)
+        result = msi.snoop(0, 0, BusOp.BUS_RDX)
+        assert result.supplier == 1
+
+
+class TestBusUpgr:
+    def test_invalidates_without_supplying(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.SHARED)
+        result = msi.snoop(0, 0, BusOp.BUS_UPGR)
+        assert result.supplier is None
+        assert result.invalidated == (1,)
+
+
+class TestInvariants:
+    def test_single_modified_holder_enforced(self):
+        caches, msi = _system()
+        caches[0].fill(0, LineState.MODIFIED)
+        caches[1].fill(0, LineState.MODIFIED)  # corrupt state on purpose
+        with pytest.raises(AssertionError, match="multiple M holders"):
+            msi.check_invariants(0)
+
+    def test_modified_excludes_shared(self):
+        caches, msi = _system()
+        caches[0].fill(0, LineState.MODIFIED)
+        caches[1].fill(0, LineState.SHARED)
+        with pytest.raises(AssertionError, match="coexists"):
+            msi.check_invariants(0)
+
+    def test_clean_states_pass(self):
+        caches, msi = _system()
+        caches[0].fill(0, LineState.SHARED)
+        caches[1].fill(0, LineState.SHARED)
+        msi.check_invariants(0)
+
+    def test_protocol_preserves_invariants_under_traffic(self):
+        """Random-ish access pattern never corrupts MSI."""
+        caches, msi = _system(4)
+        pattern = [
+            (0, 0, BusOp.BUS_RD, LineState.SHARED),
+            (1, 0, BusOp.BUS_RD, LineState.SHARED),
+            (2, 0, BusOp.BUS_RDX, LineState.MODIFIED),
+            (3, 0, BusOp.BUS_RD, LineState.SHARED),
+            (0, 0, BusOp.BUS_RDX, LineState.MODIFIED),
+            (1, 0, BusOp.BUS_UPGR, LineState.MODIFIED),
+        ]
+        for requester, addr, op, new_state in pattern:
+            msi.snoop(requester, addr, op)
+            caches[requester].fill(addr, new_state)
+            msi.check_invariants(addr)
+
+    def test_holders_listing(self):
+        caches, msi = _system(3)
+        caches[0].fill(0, LineState.SHARED)
+        caches[2].fill(0, LineState.SHARED)
+        assert msi.holders(0) == [(0, LineState.SHARED), (2, LineState.SHARED)]
+
+
+class TestStats:
+    def test_counters_accumulate(self):
+        caches, msi = _system(3)
+        caches[1].fill(0, LineState.SHARED)
+        caches[2].fill(0, LineState.SHARED)
+        msi.snoop(0, 0, BusOp.BUS_RDX)
+        assert msi.n_invalidations == 2
+        assert msi.n_interventions == 1
+
+    def test_reset(self):
+        caches, msi = _system()
+        caches[1].fill(0, LineState.MODIFIED)
+        msi.snoop(0, 0, BusOp.BUS_RD)
+        msi.reset_stats()
+        assert msi.n_writebacks == 0
+        assert msi.n_interventions == 0

@@ -1,0 +1,164 @@
+"""Integration tests for the distributed memory system timing model."""
+
+import pytest
+
+from repro.machine import BusConfig, four_cluster, two_cluster
+from repro.memory import AccessLevel, DistributedMemorySystem, LineState
+
+
+def _system(machine=None):
+    return DistributedMemorySystem(machine or two_cluster(
+        memory_bus=BusConfig(count=1, latency=1)
+    ))
+
+
+class TestBasicAccess:
+    def test_cold_miss_goes_to_main_memory(self):
+        system = _system()
+        result = system.access(0, 0, is_store=False, time=0)
+        assert result.level == AccessLevel.MAIN
+        # detect (2) + bus (1) + main memory (10)
+        assert result.ready_time == 13
+        assert system.stats.main_memory == 1
+
+    def test_second_access_hits_locally(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        result = system.access(0, 0, is_store=False, time=first.ready_time)
+        assert result.level == AccessLevel.LOCAL
+        assert result.ready_time == first.ready_time + 2
+        assert system.stats.local_hits == 1
+
+    def test_same_line_hit(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        result = system.access(0, 24, is_store=False, time=first.ready_time)
+        assert result.level == AccessLevel.LOCAL
+
+    def test_remote_hit_cheaper_than_main(self):
+        system = _system()
+        fill = system.access(0, 0, is_store=False, time=0)
+        remote = system.access(1, 0, is_store=False, time=fill.ready_time)
+        assert remote.level == AccessLevel.REMOTE
+        # detect (2) + bus (1) + remote cache (2)
+        assert remote.ready_time == fill.ready_time + 5
+        assert system.stats.remote_hits == 1
+
+
+class TestStores:
+    def test_store_miss_takes_exclusive(self):
+        system = _system()
+        result = system.access(0, 0, is_store=True, time=0)
+        assert result.level == AccessLevel.MAIN
+        assert system.caches[0].state_of(0) is LineState.MODIFIED
+
+    def test_store_to_shared_upgrades(self):
+        system = _system()
+        t = system.access(0, 0, is_store=False, time=0).ready_time
+        result = system.access(0, 0, is_store=True, time=t)
+        assert result.level == AccessLevel.LOCAL
+        assert system.stats.coherence_upgrades == 1
+        assert system.caches[0].state_of(0) is LineState.MODIFIED
+
+    def test_store_invalidates_remote_copies(self):
+        system = _system()
+        t = system.access(1, 0, is_store=False, time=0).ready_time
+        system.access(0, 0, is_store=True, time=t)
+        assert system.caches[1].state_of(0) is LineState.INVALID
+
+    def test_remote_dirty_supplier_writes_back(self):
+        system = _system()
+        t = system.access(0, 0, is_store=True, time=0).ready_time
+        result = system.access(1, 0, is_store=False, time=t)
+        assert result.level == AccessLevel.REMOTE
+        assert system.stats.writebacks >= 1
+        assert system.caches[0].state_of(0) is LineState.SHARED
+
+
+class TestContention:
+    def test_bus_wait_accumulates(self):
+        system = _system()
+        system.access(0, 0, is_store=False, time=0)
+        result = system.access(1, 4096, is_store=False, time=0)
+        assert result.bus_wait > 0
+        assert system.stats.bus_wait_cycles > 0
+
+    def test_unbounded_bus_no_wait(self):
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        system.access(0, 0, is_store=False, time=0)
+        result = system.access(1, 4096, is_store=False, time=0)
+        assert result.bus_wait == 0
+
+    def test_mshr_full_delays(self):
+        """More concurrent misses than MSHR entries forces waiting."""
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        # 10 MSHR entries per cluster; issue 12 distinct-line misses at t=0.
+        waits = [
+            system.access(0, 8192 * k, is_store=False, time=0).mshr_wait
+            for k in range(12)
+        ]
+        assert waits[-1] > 0
+        assert system.stats.mshr_wait_cycles > 0
+
+
+class TestMerging:
+    def test_secondary_miss_merges(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        merged = system.access(0, 8, is_store=False, time=1)
+        assert merged.merged
+        assert merged.ready_time <= first.ready_time
+        assert system.stats.merged == 1
+
+    def test_cross_cluster_inflight_merge(self):
+        """A second cluster missing on an in-flight line completes early."""
+        machine = two_cluster(memory_bus=BusConfig(count=None, latency=1))
+        system = DistributedMemorySystem(machine)
+        first = system.access(0, 0, is_store=False, time=0)
+        second = system.access(1, 0, is_store=False, time=1)
+        full_cost = 1 + 2 + 1 + 10
+        assert second.ready_time < full_cost
+        assert system.stats.merged >= 1
+
+
+class TestCoherenceIntegration:
+    def test_invariants_hold_after_mixed_traffic(self):
+        system = DistributedMemorySystem(four_cluster(
+            memory_bus=BusConfig(count=None, latency=1)
+        ))
+        time = 0
+        for step, (cluster, addr, store) in enumerate([
+            (0, 0, False), (1, 0, False), (2, 0, True), (3, 0, False),
+            (0, 64, True), (1, 64, True), (2, 64, False), (0, 0, True),
+        ]):
+            result = system.access(cluster, addr, store, time)
+            time = result.ready_time
+            system.check_coherence([0, 64])
+
+    def test_reset_clears_everything(self):
+        system = _system()
+        system.access(0, 0, is_store=False, time=0)
+        system.reset()
+        assert system.stats.accesses == 0
+        assert system.caches[0].resident_lines() == 0
+        result = system.access(0, 0, is_store=False, time=0)
+        assert result.level == AccessLevel.MAIN
+
+
+class TestStatsAccounting:
+    def test_accesses_counted(self):
+        system = _system()
+        t = 0
+        for _ in range(5):
+            t = system.access(0, 0, is_store=False, time=t).ready_time
+        assert system.stats.accesses == 5
+        assert system.stats.local_hits == 4
+        assert system.stats.local_miss_ratio == pytest.approx(0.2)
+
+    def test_as_dict_keys(self):
+        stats = _system().stats.as_dict()
+        for key in ("accesses", "local_hits", "remote_hits", "main_memory",
+                    "bus_wait_cycles", "mshr_wait_cycles"):
+            assert key in stats

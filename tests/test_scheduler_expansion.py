@@ -1,0 +1,94 @@
+"""Tests for prolog/kernel/epilog expansion."""
+
+import pytest
+
+from repro.scheduler import BaselineScheduler, expand
+
+
+class TestExpansion:
+    def test_total_cycles_formula(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        expanded = expand(schedule, n_iterations=20)
+        assert expanded.total_cycles == (
+            (20 + schedule.stage_count - 1) * schedule.ii
+        )
+
+    def test_instance_count(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        expanded = expand(schedule, n_iterations=10)
+        assert len(expanded.instances) == 10 * len(schedule.placements)
+
+    def test_phases_partition_instances(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        expanded = expand(schedule, n_iterations=16)
+        total = (
+            len(expanded.prolog) + len(expanded.kernel) + len(expanded.epilog)
+        )
+        assert total == len(expanded.instances)
+
+    def test_prolog_ramp(self, saxpy, unified_machine):
+        """The first iteration's first op is in the prolog; steady-state
+        instances are in the kernel."""
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        if schedule.stage_count < 2:
+            pytest.skip("single-stage schedule has no prolog")
+        expanded = expand(schedule, n_iterations=20)
+        assert expanded.prolog
+        assert expanded.kernel
+        assert expanded.epilog
+        prolog_iters = {i.iteration for i in expanded.prolog}
+        assert 0 in prolog_iters
+
+    def test_epilog_contains_last_iterations(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        if schedule.stage_count < 2:
+            pytest.skip("single-stage schedule has no epilog")
+        expanded = expand(schedule, n_iterations=20)
+        epilog_iters = {i.iteration for i in expanded.epilog}
+        assert 19 in epilog_iters
+
+    def test_kernel_phase_has_all_stages_active(self, stencil, two_cluster_machine):
+        schedule = BaselineScheduler().schedule(stencil, two_cluster_machine)
+        n = schedule.stage_count + 4
+        expanded = expand(schedule, n_iterations=n)
+        prolog_end, epilog_start = expanded._phase_bounds()
+        if prolog_end < epilog_start:
+            # Any kernel-phase cycle issues ops from stage_count distinct
+            # iterations across its II window.
+            window = range(prolog_end, prolog_end + schedule.ii)
+            iters = {
+                inst.iteration
+                for t in window
+                for inst in expanded.instances_at(t)
+            }
+            assert len(iters) >= schedule.stage_count - 1
+
+    def test_code_size(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        expanded = expand(schedule, n_iterations=20)
+        size = expanded.code_size_instructions()
+        sc, ii = schedule.stage_count, schedule.ii
+        assert size == {
+            "prolog": (sc - 1) * ii,
+            "kernel": ii,
+            "epilog": (sc - 1) * ii,
+        }
+
+    def test_instance_times_follow_modulo_formula(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        expanded = expand(schedule, n_iterations=8)
+        for instance in expanded.instances:
+            placement = schedule.placements[instance.op]
+            assert instance.time == (
+                instance.iteration * schedule.ii + placement.time
+            )
+
+    def test_too_few_iterations_rejected(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        with pytest.raises(ValueError, match="stages"):
+            expand(schedule, n_iterations=max(1, schedule.stage_count - 1))
+
+    def test_zero_iterations_rejected(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        with pytest.raises(ValueError, match="at least one"):
+            expand(schedule, n_iterations=0)

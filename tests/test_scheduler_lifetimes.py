@@ -1,0 +1,105 @@
+"""Tests for register lifetime / pressure analysis."""
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.machine import two_cluster, unified
+from repro.scheduler import BaselineScheduler, SchedulerConfig
+from repro.scheduler.lifetimes import (
+    cluster_pressures,
+    max_live,
+    pressure_ok,
+)
+
+
+def _long_lived_kernel(chain=6):
+    """A value consumed at the end of a long chain has a long lifetime."""
+    b = LoopBuilder("longlive")
+    i = b.dim("i", 0, 32)
+    a = b.array("A", (64,))
+    early = b.load(a, [b.aff(i=1)], name="early")
+    v = b.load(a, [b.aff(1, i=1)], name="feeder")
+    for k in range(chain):
+        v = b.fadd(v, v, name=f"step{k}")
+    late = b.fmul(early, v, name="late_use")
+    b.store(a, [b.aff(i=1)], late, name="st")
+    return b.build()
+
+
+class TestPressures:
+    def test_every_cluster_reported(self, stencil, two_cluster_machine):
+        schedule = BaselineScheduler().schedule(stencil, two_cluster_machine)
+        pressures = cluster_pressures(schedule)
+        assert set(pressures) == {0, 1}
+
+    def test_pressure_positive_when_values_live(self, saxpy, unified_machine):
+        schedule = BaselineScheduler().schedule(saxpy, unified_machine)
+        assert max_live(schedule) >= 1
+
+    def test_longer_chain_more_pressure(self, unified_machine):
+        """At equal II, a value consumed later stays live longer.
+
+        Both variants fit II=1 on the unified machine (at most 4 FP ops),
+        so the only difference is the early value's lifetime.
+        """
+        short = BaselineScheduler().schedule(
+            _long_lived_kernel(chain=1), unified_machine
+        )
+        long = BaselineScheduler().schedule(
+            _long_lived_kernel(chain=3), unified_machine
+        )
+        assert short.ii == long.ii
+        assert max_live(long) >= max_live(short)
+
+    def test_pressure_ok_for_engine_output(self, stencil, two_cluster_machine):
+        schedule = BaselineScheduler().schedule(stencil, two_cluster_machine)
+        assert pressure_ok(schedule)
+
+    def test_pressure_not_ok_for_tiny_register_file(self, unified_machine):
+        """Engine output with the check disabled can exceed a tiny file."""
+        from dataclasses import replace
+
+        kernel = _long_lived_kernel(chain=8)
+        config = SchedulerConfig(check_register_pressure=False)
+        schedule = BaselineScheduler(config).schedule(kernel, unified_machine)
+        tiny_cluster = replace(unified_machine.clusters[0], n_registers=1)
+        schedule.machine = replace(unified_machine, clusters=(tiny_cluster,))
+        assert not pressure_ok(schedule)
+
+    def test_prefetched_load_raises_pressure(self, sampling_cme):
+        """Binding prefetching lengthens the destination lifetime."""
+        b = LoopBuilder("stream")
+        i = b.dim("i", 0, 256)
+        a = b.array("A", (2048,))
+        v = b.load(a, [b.aff(i=8)], name="ld")
+        t = b.fmul(v, v, name="mul")
+        b.store(a, [b.aff(i=8)], t, name="st")
+        kernel = b.build()
+        machine = unified()
+        plain = BaselineScheduler(
+            SchedulerConfig(threshold=1.0), locality=sampling_cme
+        ).schedule(kernel, machine)
+        prefetched = BaselineScheduler(
+            SchedulerConfig(threshold=0.5), locality=sampling_cme
+        ).schedule(kernel, machine)
+        assert prefetched.prefetched_loads() == ["ld"]
+        assert max_live(prefetched) > max_live(plain)
+
+    def test_cross_cluster_value_counted_in_both_clusters(self):
+        """A communicated value occupies registers at both ends."""
+        b = LoopBuilder("cross")
+        i = b.dim("i", 0, 32)
+        a = b.array("A", (64,))
+        out = b.array("OUT", (64,))
+        # Enough loads to force a split across clusters.
+        values = [b.load(a, [b.aff(k, i=1)], name=f"ld{k}") for k in range(5)]
+        total = values[0]
+        for v in values[1:]:
+            total = b.fadd(total, v)
+        b.store(out, [b.aff(i=1)], total, name="st")
+        kernel = b.build()
+        schedule = BaselineScheduler().schedule(kernel, two_cluster())
+        if not schedule.communications:
+            pytest.skip("no cross-cluster value in this schedule")
+        pressures = cluster_pressures(schedule)
+        assert all(p >= 1 for p in pressures.values())

@@ -1,0 +1,137 @@
+"""Unit tests for the SMS node ordering."""
+
+import pytest
+
+from repro.ir import LoopBuilder
+from repro.machine import unified
+from repro.scheduler.mii import compute_mii
+from repro.scheduler.ordering import compute_times, sms_order
+
+
+def _chain():
+    b = LoopBuilder("chain")
+    i = b.dim("i", 0, 16)
+    a = b.array("A", (32,))
+    v = b.load(a, [b.aff(i=1)], name="ld")
+    t = b.fmul(v, v, name="mul")
+    u = b.fadd(t, v, name="add")
+    b.store(a, [b.aff(i=1)], u, name="st")
+    return b.build()
+
+
+def _diamond():
+    b = LoopBuilder("diamond")
+    i = b.dim("i", 0, 16)
+    a = b.array("A", (64,))
+    v = b.load(a, [b.aff(i=1)], name="ld")
+    l = b.fmul(v, v, name="left")
+    r = b.fadd(v, v, name="right")
+    m = b.fsub(l, r, name="merge")
+    b.store(a, [b.aff(i=1)], m, name="st")
+    return b.build()
+
+
+def _with_recurrence():
+    b = LoopBuilder("rec")
+    i = b.dim("i", 0, 16)
+    a = b.array("A", (32,))
+    v = b.load(a, [b.aff(i=1)], name="ld")
+    acc = b.fadd(b.prev_value("acc", 1), v, dest="acc", name="accum")
+    w = b.fmul(v, v, name="independent")
+    b.store(a, [b.aff(i=1)], w, name="st")
+    return b.build()
+
+
+class TestComputeTimes:
+    def test_asap_respects_latencies(self):
+        kernel = _chain()
+        machine = unified()
+        times = compute_times(kernel.ddg, machine, ii=1)
+        assert times.asap["ld"] == 0
+        assert times.asap["mul"] == 2     # load latency
+        assert times.asap["add"] == 4     # + fmul latency
+        assert times.asap["st"] == 6
+
+    def test_alap_leq_horizon(self):
+        kernel = _diamond()
+        times = compute_times(kernel.ddg, unified(), ii=1)
+        horizon = times.critical_path_length()
+        assert all(alap <= horizon for alap in times.alap.values())
+
+    def test_mobility_zero_on_critical_path(self):
+        kernel = _chain()
+        times = compute_times(kernel.ddg, unified(), ii=1)
+        assert all(times.mobility[n] == 0 for n in ("ld", "mul", "add", "st"))
+
+    def test_mobility_positive_off_critical_path(self):
+        kernel = _diamond()
+        times = compute_times(kernel.ddg, unified(), ii=1)
+        # FADD and FMUL share the same latency here, so introduce slack via
+        # the merge's other input: right (fadd, latency 2) == left; use the
+        # general invariant instead: mobility >= 0 and asap <= alap.
+        for node in kernel.ddg.nodes():
+            assert times.mobility[node] >= 0
+            assert times.asap[node] <= times.alap[node]
+
+    def test_loop_carried_edges_relaxed_by_ii(self):
+        kernel = _with_recurrence()
+        t_small = compute_times(kernel.ddg, unified(), ii=2)
+        # At II = RecMII the self-edge contributes latency - ii = 0.
+        assert t_small.asap["accum"] >= 0
+
+
+class TestSmsOrder:
+    @pytest.mark.parametrize("factory", [_chain, _diamond, _with_recurrence])
+    def test_permutation(self, factory):
+        kernel = factory()
+        machine = unified()
+        mii, _, _ = compute_mii(kernel.ddg, machine)
+        order = sms_order(kernel.ddg, machine, mii)
+        assert sorted(order) == sorted(kernel.ddg.nodes())
+
+    @pytest.mark.parametrize("factory", [_chain, _diamond, _with_recurrence])
+    def test_neighbourhood_property(self, factory):
+        """Every node after the first has a placed neighbour when one exists
+        — the property the paper's ordering is designed for (it avoids
+        placing a node whose predecessors AND successors are both already
+        ordered unless unavoidable)."""
+        kernel = factory()
+        machine = unified()
+        mii, _, _ = compute_mii(kernel.ddg, machine)
+        order = sms_order(kernel.ddg, machine, mii)
+        placed = {order[0]}
+        both_sided = 0
+        for node in order[1:]:
+            preds = kernel.ddg.predecessors(node) & placed
+            succs = kernel.ddg.successors(node) & placed
+            if preds and succs:
+                both_sided += 1
+            placed.add(node)
+        # The chain/diamond graphs admit an ordering with at most one
+        # both-sided node (the merge point).
+        assert both_sided <= 1
+
+    def test_recurrence_nodes_ordered_before_rest(self):
+        kernel = _with_recurrence()
+        machine = unified()
+        mii, _, _ = compute_mii(kernel.ddg, machine)
+        order = sms_order(kernel.ddg, machine, mii)
+        # The accumulation recurrence (and its feeding path) precedes the
+        # independent multiply chain.
+        assert order.index("accum") < order.index("independent")
+
+    def test_deterministic(self):
+        kernel = _diamond()
+        machine = unified()
+        mii, _, _ = compute_mii(kernel.ddg, machine)
+        assert sms_order(kernel.ddg, machine, mii) == sms_order(
+            kernel.ddg, machine, mii
+        )
+
+    def test_single_node(self):
+        b = LoopBuilder("one")
+        i = b.dim("i", 0, 4)
+        a = b.array("A", (8,))
+        b.load(a, [b.aff(i=1)], name="only")
+        kernel = b.build()
+        assert sms_order(kernel.ddg, unified(), 1) == ["only"]

@@ -1,0 +1,74 @@
+"""Tests for the random kernel generator."""
+
+import pytest
+
+from repro.machine import two_cluster, unified
+from repro.scheduler import BaselineScheduler
+from repro.workloads import GeneratorConfig, random_kernel
+
+
+class TestDeterminism:
+    def test_same_seed_same_kernel(self):
+        a = random_kernel(7)
+        b = random_kernel(7)
+        assert [op.name for op in a.loop.operations] == [
+            op.name for op in b.loop.operations
+        ]
+        assert a.loop.stats() == b.loop.stats()
+
+    def test_different_seeds_differ(self):
+        stats = {str(random_kernel(seed).loop.stats()) for seed in range(8)}
+        assert len(stats) > 1
+
+
+class TestStructuralValidity:
+    @pytest.mark.parametrize("seed", range(12))
+    def test_generated_kernels_wellformed(self, seed):
+        kernel = random_kernel(seed)
+        loop = kernel.loop
+        assert loop.operations
+        assert loop.memory_operations
+        for op in loop.memory_operations:
+            loop.ref_of(op)  # must not raise
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_addresses_nonnegative(self, seed):
+        kernel = random_kernel(seed)
+        loop = kernel.loop
+        for point in loop.iteration_points(limit=16):
+            for ref in loop.refs:
+                assert ref.address(point) >= 0
+
+    def test_config_bounds_respected(self):
+        config = GeneratorConfig(
+            max_dims=1, max_arrays=2, max_loads=3, max_arith=2, max_stores=1,
+        )
+        for seed in range(8):
+            kernel = random_kernel(seed, config)
+            loop = kernel.loop
+            assert len(loop.dims) == 1
+            loads = [op for op in loop.memory_operations if op.is_load]
+            stores = [op for op in loop.memory_operations if op.is_store]
+            assert 1 <= len(loads) <= 3 + 1  # +1: recurrence uses no load
+            assert len(stores) == 1
+
+
+class TestConfigValidation:
+    def test_bad_probability(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(recurrence_probability=1.5)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_loads=0)
+        with pytest.raises(ValueError):
+            GeneratorConfig(max_dims=0)
+
+
+class TestSchedulability:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_generated_kernels_schedule_and_validate(self, seed):
+        kernel = random_kernel(seed)
+        for machine in (unified(), two_cluster()):
+            schedule = BaselineScheduler().schedule(kernel, machine)
+            schedule.validate()

@@ -1,0 +1,100 @@
+"""Tests for the SPECfp95-style kernel suite."""
+
+import pytest
+
+from repro.cme.reuse import analyze_reuse
+from repro.machine import four_cluster, two_cluster, unified
+from repro.scheduler import BaselineScheduler
+from repro.scheduler.mii import rec_mii
+from repro.workloads import SPEC_KERNELS, kernel_by_name, spec_suite, suite_stats
+
+
+class TestSuiteRegistry:
+    def test_eight_kernels_in_paper_order(self):
+        assert list(SPEC_KERNELS) == [
+            "tomcatv", "swim", "su2cor", "hydro2d",
+            "mgrid", "applu", "turb3d", "apsi",
+        ]
+
+    def test_spec_suite_instantiates_all(self):
+        kernels = spec_suite()
+        assert [k.name for k in kernels] == list(SPEC_KERNELS)
+
+    def test_subset_selection(self):
+        kernels = spec_suite(["swim", "applu"])
+        assert [k.name for k in kernels] == ["swim", "applu"]
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(KeyError, match="unknown kernels"):
+            spec_suite(["gcc"])
+        with pytest.raises(KeyError, match="unknown kernel"):
+            kernel_by_name("gcc")
+
+    def test_kernel_by_name(self):
+        assert kernel_by_name("mgrid").name == "mgrid"
+
+    def test_suite_stats_structure(self):
+        stats = suite_stats()
+        assert set(stats) == set(SPEC_KERNELS)
+        for record in stats.values():
+            assert record["memory_operations"] >= 1
+            assert record["niter"] > 4  # the paper's selection criterion
+
+
+class TestKernelStructure:
+    @pytest.mark.parametrize("name", list(SPEC_KERNELS))
+    def test_every_memory_op_has_a_ref(self, name):
+        kernel = kernel_by_name(name)
+        for op in kernel.loop.memory_operations:
+            ref = kernel.loop.ref_of(op)
+            assert ref.is_store == op.is_store
+
+    @pytest.mark.parametrize("name", list(SPEC_KERNELS))
+    def test_refs_affine_in_loop_variables(self, name):
+        kernel = kernel_by_name(name)
+        dim_vars = {d.var for d in kernel.loop.dims}
+        for ref in kernel.loop.refs:
+            assert set(ref.variables) <= dim_vars
+
+    @pytest.mark.parametrize("name", list(SPEC_KERNELS))
+    def test_addresses_in_bounds(self, name):
+        kernel = kernel_by_name(name)
+        loop = kernel.loop
+        for point in loop.iteration_points(limit=64):
+            for ref in loop.refs:
+                element = ref.element(point)
+                for index, extent in zip(element, ref.array.shape):
+                    assert 0 <= index < extent, (
+                        f"{name}: {ref} out of bounds at {point}"
+                    )
+
+    def test_recurrence_kernels_have_recmii_above_one(self):
+        for name in ("applu", "apsi", "su2cor"):
+            kernel = kernel_by_name(name)
+            assert kernel.ddg.has_recurrences(), name
+        assert rec_mii(kernel_by_name("applu").ddg, unified()) > 1
+
+    def test_stencils_have_group_reuse(self):
+        for name in ("tomcatv", "swim", "hydro2d", "mgrid"):
+            kernel = kernel_by_name(name)
+            infos = analyze_reuse(kernel.loop.refs, kernel.loop, 32)
+            assert any(info.group_leaders for info in infos), name
+
+    def test_turb3d_streams_conflict_in_direct_mapped_cache(self):
+        """The RE/IM butterfly streams alias a 2KB direct-mapped image."""
+        kernel = kernel_by_name("turb3d")
+        loop = kernel.loop
+        cache = four_cluster().cluster(0).cache
+        point = next(loop.iteration_points(limit=1))
+        re_lo = loop.ref_of(loop.operation("ld_rlo")).address(point)
+        im_lo = loop.ref_of(loop.operation("ld_ilo")).address(point)
+        assert cache.set_index(re_lo) == cache.set_index(im_lo)
+
+
+class TestSchedulability:
+    @pytest.mark.parametrize("name", list(SPEC_KERNELS))
+    def test_schedulable_on_all_presets(self, name):
+        kernel = kernel_by_name(name)
+        for machine in (unified(), two_cluster(), four_cluster()):
+            schedule = BaselineScheduler().schedule(kernel, machine)
+            schedule.validate()
