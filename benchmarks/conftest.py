@@ -8,11 +8,13 @@ rows/series the paper reports, saves the rendering under
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
 
 from repro.cme import SamplingCME
+from repro.harness.grid import ExperimentGrid
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
@@ -21,6 +23,22 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 def locality():
     """One memoized analyzer shared by all benchmarks."""
     return SamplingCME(max_points=512)
+
+
+@pytest.fixture(scope="session")
+def grid(locality):
+    """One experiment grid shared by every figure benchmark.
+
+    The figures submit their cells through this grid, so the Unified
+    normalization reference (and any other shared cell) is computed once
+    per session instead of once per figure.  ``REPRO_BENCH_JOBS`` fans
+    the cells out over worker processes; results are identical either
+    way.
+    """
+    return ExperimentGrid(
+        locality=locality,
+        n_jobs=int(os.environ.get("REPRO_BENCH_JOBS", "1")),
+    )
 
 
 @pytest.fixture(scope="session")

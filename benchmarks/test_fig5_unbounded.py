@@ -25,14 +25,14 @@ LATENCIES = (1, 2, 4)
 
 
 @pytest.mark.parametrize("n_clusters", [2, 4])
-def test_figure5(benchmark, results_dir, locality, n_clusters):
+def test_figure5(benchmark, results_dir, grid, n_clusters):
     figure = benchmark.pedantic(
         figure5,
         kwargs=dict(
             n_clusters=n_clusters,
             latencies=LATENCIES,
             thresholds=DEFAULT_THRESHOLDS,
-            locality=locality,
+            grid=grid,
         ),
         rounds=1,
         iterations=1,

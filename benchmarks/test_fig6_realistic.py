@@ -29,7 +29,7 @@ _gaps = {}
 
 
 @pytest.mark.parametrize("n_clusters", [2, 4])
-def test_figure6(benchmark, results_dir, locality, n_clusters):
+def test_figure6(benchmark, results_dir, grid, n_clusters):
     figure = benchmark.pedantic(
         figure6,
         kwargs=dict(
@@ -37,7 +37,7 @@ def test_figure6(benchmark, results_dir, locality, n_clusters):
             bus_counts=BUS_COUNTS,
             bus_latencies=BUS_LATENCIES,
             thresholds=DEFAULT_THRESHOLDS,
-            locality=locality,
+            grid=grid,
         ),
         rounds=1,
         iterations=1,

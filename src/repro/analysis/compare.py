@@ -20,9 +20,37 @@ from ..scheduler.rmca import RMCAScheduler
 from ..simulator.executor import simulate
 from ..simulator.stats import SimulationResult
 
-__all__ = ["RunResult", "run_cell", "make_scheduler", "normalized_cycles"]
+__all__ = [
+    "RunResult",
+    "run_cell",
+    "make_scheduler",
+    "normalized_cycles",
+    "ExecutionCounter",
+    "CELL_EXECUTIONS",
+]
 
 _SCHEDULERS = ("baseline", "rmca")
+
+
+class ExecutionCounter:
+    """Process-local count of :func:`run_cell` executions.
+
+    The sweep grid's cache tests assert that warm runs perform *zero*
+    schedule/simulate computations; this counter is what they observe.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def increment(self) -> None:
+        self.count += 1
+
+    def reset(self) -> None:
+        self.count = 0
+
+
+#: Incremented on every run_cell call in this process.
+CELL_EXECUTIONS = ExecutionCounter()
 
 
 @dataclass(frozen=True)
@@ -47,6 +75,33 @@ class RunResult:
     @property
     def stall_cycles(self) -> int:
         return self.simulation.stall_cycles
+
+    def canonical(self) -> Dict[str, object]:
+        """Plain-data projection of everything the cell observed.
+
+        Two results are equivalent iff their canonical forms are equal;
+        unlike ``==`` this also holds across pickling boundaries (the
+        dependence graph inside ``schedule.kernel`` compares by identity),
+        so the parallel-equivalence tests compare these.
+        """
+        return {
+            "kernel": self.kernel,
+            "machine": self.machine,
+            "scheduler": self.scheduler,
+            "threshold": self.threshold,
+            "ii": self.schedule.ii,
+            "mii": self.schedule.mii,
+            "placements": sorted(
+                (p.op, p.cluster, p.time, p.assumed_latency)
+                for p in self.schedule.placements.values()
+            ),
+            "communications": sorted(
+                (c.producer, c.src_cluster, c.dst_cluster, c.bus,
+                 c.start, c.latency)
+                for c in self.schedule.communications
+            ),
+            "simulation": self.simulation.as_dict(),
+        }
 
 
 def make_scheduler(
@@ -79,6 +134,7 @@ def run_cell(
     n_times: Optional[int] = None,
 ) -> RunResult:
     """Schedule and simulate one experiment cell."""
+    CELL_EXECUTIONS.increment()
     engine = make_scheduler(scheduler, threshold, locality)
     schedule = engine.schedule(kernel, machine)
     result = simulate(schedule, n_iterations=n_iterations, n_times=n_times)
@@ -104,7 +160,13 @@ def normalized_cycles(
     """
     records = []
     for result in results:
-        reference = baselines[result.kernel]
+        try:
+            reference = baselines[result.kernel]
+        except KeyError:
+            raise KeyError(
+                f"no baseline for kernel {result.kernel!r}; "
+                f"baselines cover {sorted(baselines)}"
+            ) from None
         if reference <= 0:
             raise ValueError(f"non-positive baseline for {result.kernel!r}")
         records.append(

@@ -6,11 +6,16 @@ Exposes the main experiments without writing Python::
     python -m repro.cli suite
     python -m repro.cli schedule tomcatv --machine 2-cluster --scheduler rmca
     python -m repro.cli simulate swim --machine 4-cluster --threshold 0.25
-    python -m repro.cli figure5 --clusters 2 --latencies 1 4 --out fig5.json
-    python -m repro.cli figure6 --clusters 4 --csv fig6.csv
+    python -m repro.cli fig5 --clusters 2 --latencies 1 4 --jobs 4 --out fig5.json
+    python -m repro.cli fig6 --clusters 4 --csv fig6.csv
 
 Every command prints its table/chart to stdout; the figure commands can
 additionally persist the raw records (``--csv`` / ``--out`` JSON).
+``figure5``/``figure6`` (aliases ``fig5``/``fig6``) run their cells
+through the experiment grid: ``--jobs N`` fans them out over N worker
+processes, repeated invocations reuse the on-disk cell cache under
+``--cache-dir`` (or ``$REPRO_GRID_CACHE``), and per-cell progress is
+reported on stderr (suppress with ``--no-progress``).
 """
 
 from __future__ import annotations
@@ -22,6 +27,7 @@ from typing import List, Optional
 from .analysis.compare import make_scheduler
 from .cme import SamplingCME
 from .harness.charts import render_figure
+from .harness.grid import CellSpec, ExperimentGrid, ProgressCallback
 from .harness.io import figure_to_csv, figure_to_json
 from .harness.report import format_table
 from .harness.sweep import figure5, figure6
@@ -30,6 +36,13 @@ from .simulator import simulate
 from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -60,8 +73,10 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--threshold", type=float, default=1.0)
         cmd.add_argument("--max-points", type=int, default=512)
 
-    for name in ("figure5", "figure6"):
-        cmd = sub.add_parser(name, help=f"regenerate {name} of the paper")
+    for name, alias in (("figure5", "fig5"), ("figure6", "fig6")):
+        cmd = sub.add_parser(
+            name, aliases=[alias], help=f"regenerate {name} of the paper"
+        )
         cmd.add_argument("--clusters", type=int, default=2, choices=(2, 4))
         cmd.add_argument(
             "--thresholds", type=float, nargs="+",
@@ -71,6 +86,22 @@ def build_parser() -> argparse.ArgumentParser:
         cmd.add_argument("--max-points", type=int, default=512)
         cmd.add_argument("--csv", help="write per-kernel records as CSV")
         cmd.add_argument("--out", help="write the figure as JSON")
+        cmd.add_argument(
+            "--jobs", type=_positive_int, default=1, metavar="N",
+            help="worker processes for the experiment grid (default: 1)",
+        )
+        cmd.add_argument(
+            "--no-cache", action="store_true",
+            help="recompute every cell (disable memory and disk caching)",
+        )
+        cmd.add_argument(
+            "--cache-dir", metavar="DIR",
+            help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
+        )
+        cmd.add_argument(
+            "--no-progress", action="store_true",
+            help="suppress per-cell progress reporting on stderr",
+        )
         if name == "figure5":
             cmd.add_argument(
                 "--latencies", type=int, nargs="+", default=[1, 2, 4]
@@ -145,6 +176,17 @@ def _cmd_schedule(args: argparse.Namespace, run_simulation: bool) -> int:
     return 0
 
 
+def _progress_printer(stream) -> "ProgressCallback":
+    """Per-cell progress line, overwritten in place on a terminal."""
+    def report(done: int, total: int, spec: CellSpec, source: str) -> None:
+        end = "\r" if stream.isatty() and done < total else "\n"
+        print(
+            f"[{done}/{total}] {spec} ({source})",
+            end=end, file=stream, flush=True,
+        )
+    return report
+
+
 def _cmd_figure(args: argparse.Namespace, which: str) -> int:
     locality = SamplingCME(max_points=args.max_points)
     kernels = (
@@ -152,13 +194,20 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
         if not args.kernels
         else [kernel_by_name(name) for name in args.kernels]
     )
+    grid = ExperimentGrid(
+        locality=locality,
+        n_jobs=args.jobs,
+        cache=not args.no_cache,
+        cache_dir=args.cache_dir,
+        progress=None if args.no_progress else _progress_printer(sys.stderr),
+    )
     if which == "figure5":
         figure = figure5(
             n_clusters=args.clusters,
             latencies=tuple(args.latencies),
             thresholds=tuple(args.thresholds),
             kernels=kernels,
-            locality=locality,
+            grid=grid,
         )
     else:
         figure = figure6(
@@ -167,7 +216,15 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             bus_latencies=tuple(args.bus_latencies),
             thresholds=tuple(args.thresholds),
             kernels=kernels,
-            locality=locality,
+            grid=grid,
+        )
+    stats = grid.stats
+    if not args.no_progress:
+        print(
+            f"cells: {stats.requested} requested, {stats.computed} computed, "
+            f"{stats.memory_hits + stats.disk_hits} cached, "
+            f"{stats.deduplicated} deduplicated",
+            file=sys.stderr,
         )
     print(render_figure(figure))
     if args.csv:
@@ -187,8 +244,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schedule(args, run_simulation=False)
     if args.command == "simulate":
         return _cmd_schedule(args, run_simulation=True)
-    if args.command in ("figure5", "figure6"):
-        return _cmd_figure(args, args.command)
+    aliases = {"fig5": "figure5", "fig6": "figure6"}
+    command = aliases.get(args.command, args.command)
+    if command in ("figure5", "figure6"):
+        return _cmd_figure(args, command)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

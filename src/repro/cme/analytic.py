@@ -46,6 +46,12 @@ class AnalyticCME:
     def __init__(self):
         self._memo: Dict[Tuple, Dict[str, float]] = {}
 
+    def __getstate__(self):
+        # The memo is keyed by id(loop): never ship it across processes.
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state
+
     # ------------------------------------------------------------------
     def per_op_miss_ratio(
         self,

@@ -78,6 +78,12 @@ class EquationCME:
         self.max_points = max_points
         self._memo: Dict[Tuple, MissBreakdown] = {}
 
+    def __getstate__(self):
+        # The memo is keyed by id(loop): never ship it across processes.
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state
+
     # ------------------------------------------------------------------
     def solve(
         self,

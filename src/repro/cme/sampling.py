@@ -97,6 +97,14 @@ class SamplingCME:
         self.max_points = max_points
         self._memo: Dict[Tuple, MissEstimate] = {}
 
+    def __getstate__(self):
+        # Memo entries are keyed by id(loop); in another process a fresh
+        # loop object could reuse such an address and alias a stale
+        # entry, so a pickled analyzer always starts with a cold memo.
+        state = self.__dict__.copy()
+        state["_memo"] = {}
+        return state
+
     # ------------------------------------------------------------------
     def estimate(
         self,

@@ -1,6 +1,15 @@
-"""Experiment harness: sweeps, tables, ASCII charts."""
+"""Experiment harness: the cell grid engine, sweeps, tables, charts."""
 
 from .charts import render_bar, render_figure
+from .grid import (
+    CellSpec,
+    ExperimentGrid,
+    GridStats,
+    kernel_fingerprint,
+    locality_fingerprint,
+    machine_from_key,
+    machine_key,
+)
 from .io import figure_to_csv, figure_to_json, load_records, records_to_csv, records_to_json
 from .report import figure_table, format_float, format_table
 from .sweep import (
@@ -15,8 +24,15 @@ from .sweep import (
 
 __all__ = [
     "Bar",
+    "CellSpec",
     "DEFAULT_THRESHOLDS",
+    "ExperimentGrid",
     "FigureData",
+    "GridStats",
+    "kernel_fingerprint",
+    "locality_fingerprint",
+    "machine_from_key",
+    "machine_key",
     "figure5",
     "figure6",
     "figure_table",

@@ -1,0 +1,487 @@
+"""Parallel experiment-grid engine with cell caching.
+
+Every figure of the paper's evaluation is a grid of independent
+``kernel × machine × scheduler × threshold`` cells.  This module turns
+that observation into infrastructure:
+
+* :class:`CellSpec` — a hashable, JSON-serializable description of one
+  cell.  The machine is carried as its canonical
+  :meth:`~repro.machine.config.MachineConfig.to_dict` JSON encoding and
+  the kernel as ``name`` plus a content fingerprint, so a spec fully
+  identifies the computation without holding live objects.
+* :class:`ExperimentGrid` — an engine that executes a sequence of specs,
+  optionally fanning them out over a :class:`ProcessPoolExecutor`
+  (``n_jobs``), with results returned **in submission order** regardless
+  of completion order.  Identical specs are deduplicated within a call
+  and across calls through a content-keyed cache (in-memory always; on
+  disk when ``cache_dir`` is set or ``REPRO_GRID_CACHE`` is exported).
+
+The cache key covers the kernel fingerprint, machine encoding, scheduler
+name, threshold, iteration overrides and the locality analyzer's
+fingerprint, so two sweeps sharing cells — e.g. ``figure5`` and
+``figure6`` both normalizing against the Unified reference — never
+recompute them.  Cache entries are invalidated implicitly: any change to
+a kernel's structure, a machine parameter, the analyzer configuration or
+:data:`CACHE_VERSION` changes the key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pathlib
+import pickle
+import uuid
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from ..analysis.compare import RunResult, run_cell
+from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..ir.builder import Kernel
+from ..machine.config import MachineConfig
+from ..workloads.suite import SPEC_KERNELS, kernel_by_name
+
+__all__ = [
+    "CACHE_VERSION",
+    "CellSpec",
+    "GridStats",
+    "ExperimentGrid",
+    "kernel_fingerprint",
+    "locality_fingerprint",
+    "machine_key",
+    "machine_from_key",
+]
+
+#: Bump to invalidate every existing cache entry (schema or semantics
+#: changes in the schedule/simulate pipeline).
+CACHE_VERSION = 1
+
+#: Environment variable providing a default on-disk cache directory.
+CACHE_ENV_VAR = "REPRO_GRID_CACHE"
+
+ProgressCallback = Callable[[int, int, "CellSpec", str], None]
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+def kernel_fingerprint(kernel: Kernel) -> str:
+    """Content hash of a kernel's loop structure and dependence graph.
+
+    Everything the schedulers and the CME analyzers read is covered: loop
+    dims, operations (name/class/operands/reference), the memory-reference
+    table and the DDG edge multiset.  Two kernels with equal fingerprints
+    produce identical cells on identical machines.
+    """
+    edges = sorted(
+        (e.src, e.dst, e.kind, e.distance) for e in kernel.ddg.edges()
+    )
+    digest = hashlib.sha256()
+    digest.update(repr(kernel.loop).encode())
+    digest.update(repr(edges).encode())
+    return digest.hexdigest()[:16]
+
+
+def locality_fingerprint(analyzer: LocalityAnalyzer) -> str:
+    """Stable description of a locality analyzer's configuration."""
+    name = getattr(analyzer, "name", type(analyzer).__name__)
+    max_points = getattr(analyzer, "max_points", None)
+    if max_points is not None:
+        return f"{name}:{max_points}"
+    return str(name)
+
+
+def machine_key(machine: MachineConfig) -> str:
+    """Canonical JSON encoding of a machine (hashable cache-key part)."""
+    return json.dumps(
+        machine.to_dict(), sort_keys=True, separators=(",", ":")
+    )
+
+
+def machine_from_key(key: str) -> MachineConfig:
+    """Rebuild the machine a :func:`machine_key` string describes."""
+    return MachineConfig.from_dict(json.loads(key))
+
+
+# ----------------------------------------------------------------------
+# Cell specification
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CellSpec:
+    """One ``kernel × machine × scheduler × threshold`` experiment cell.
+
+    Instances are hashable (usable as dict keys / dedup targets) and
+    JSON-serializable (:meth:`to_json` / :meth:`from_json`).  Build them
+    with :meth:`of`, which captures the kernel content fingerprint and
+    the machine encoding.
+    """
+
+    kernel: str
+    machine: str  # canonical machine_key() JSON
+    scheduler: str
+    threshold: float
+    kernel_fp: str
+    n_iterations: Optional[int] = None
+    n_times: Optional[int] = None
+
+    @classmethod
+    def of(
+        cls,
+        kernel: Union[Kernel, str],
+        machine: MachineConfig,
+        scheduler: str,
+        threshold: float,
+        n_iterations: Optional[int] = None,
+        n_times: Optional[int] = None,
+    ) -> "CellSpec":
+        if isinstance(kernel, str):
+            kernel = kernel_by_name(kernel)
+        return cls(
+            kernel=kernel.name,
+            machine=machine_key(machine),
+            scheduler=scheduler,
+            threshold=float(threshold),
+            kernel_fp=kernel_fingerprint(kernel),
+            n_iterations=n_iterations,
+            n_times=n_times,
+        )
+
+    @property
+    def machine_name(self) -> str:
+        return json.loads(self.machine)["name"]
+
+    def build_machine(self) -> MachineConfig:
+        return machine_from_key(self.machine)
+
+    def cache_key(self, locality_fp: str) -> str:
+        """Content hash naming this cell's cache entry."""
+        material = "|".join(
+            (
+                f"v{CACHE_VERSION}",
+                self.kernel,
+                self.kernel_fp,
+                self.machine,
+                self.scheduler,
+                repr(self.threshold),
+                repr(self.n_iterations),
+                repr(self.n_times),
+                locality_fp,
+            )
+        )
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "kernel": self.kernel,
+                "machine": json.loads(self.machine),
+                "scheduler": self.scheduler,
+                "threshold": self.threshold,
+                "kernel_fp": self.kernel_fp,
+                "n_iterations": self.n_iterations,
+                "n_times": self.n_times,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "CellSpec":
+        data = json.loads(text)
+        return cls(
+            kernel=data["kernel"],
+            machine=json.dumps(
+                data["machine"], sort_keys=True, separators=(",", ":")
+            ),
+            scheduler=data["scheduler"],
+            threshold=data["threshold"],
+            kernel_fp=data["kernel_fp"],
+            n_iterations=data["n_iterations"],
+            n_times=data["n_times"],
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.kernel}@{self.machine_name} "
+            f"{self.scheduler} thr={self.threshold:.2f}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+@dataclass
+class GridStats:
+    """Where each requested cell came from (one engine instance)."""
+
+    requested: int = 0
+    computed: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    deduplicated: int = 0
+
+    def reset(self) -> None:
+        self.requested = 0
+        self.computed = 0
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.deduplicated = 0
+
+
+def _execute_cell(
+    spec: CellSpec, kernel: Kernel, locality: LocalityAnalyzer
+) -> RunResult:
+    """Execute one cell with an explicit analyzer (serial path)."""
+    return run_cell(
+        kernel,
+        spec.build_machine(),
+        spec.scheduler,
+        spec.threshold,
+        locality,
+        n_iterations=spec.n_iterations,
+        n_times=spec.n_times,
+    )
+
+
+#: Per-worker analyzer installed by :func:`_init_worker`.  Shipping the
+#: analyzer once per worker (instead of once per task) lets its CME memo
+#: accumulate across the cells that worker executes.
+_WORKER_LOCALITY: Optional[LocalityAnalyzer] = None
+
+
+def _init_worker(locality: LocalityAnalyzer) -> None:
+    global _WORKER_LOCALITY
+    _WORKER_LOCALITY = locality
+
+
+def _execute_cell_pooled(spec: CellSpec, kernel: Kernel) -> RunResult:
+    """Pool entry point; uses the worker's installed analyzer."""
+    if _WORKER_LOCALITY is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process missing its locality analyzer")
+    return _execute_cell(spec, kernel, _WORKER_LOCALITY)
+
+
+class ExperimentGrid:
+    """Executes :class:`CellSpec` grids, in parallel, with caching.
+
+    Parameters
+    ----------
+    locality:
+        The analyzer every cell uses (default: the paper's sampling CME).
+        Its fingerprint is part of the cache key.
+    n_jobs:
+        Worker processes.  ``1`` (default) runs serially in-process;
+        results are identical either way — cells are deterministic and
+        results are returned in submission order.
+    cache:
+        ``False`` disables all caching (every run recomputes).
+    cache_dir:
+        Directory for the on-disk cache layer.  Defaults to
+        ``$REPRO_GRID_CACHE`` when exported, else in-memory caching only.
+    kernels:
+        Optional name → :class:`Kernel` registry for kernels that are not
+        part of the SPECfp95 suite; suite kernels resolve automatically.
+    progress:
+        ``callback(done, total, spec, source)`` invoked once per
+        requested cell with ``source`` in ``{"computed", "memory",
+        "disk", "dedup"}``.
+    """
+
+    def __init__(
+        self,
+        locality: Optional[LocalityAnalyzer] = None,
+        n_jobs: int = 1,
+        cache: bool = True,
+        cache_dir: Optional[Union[str, pathlib.Path]] = None,
+        kernels: Optional[Mapping[str, Kernel]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ):
+        if n_jobs < 1:
+            raise ValueError("n_jobs must be >= 1")
+        self.locality = (
+            locality if locality is not None else default_analyzer()
+        )
+        self.n_jobs = n_jobs
+        self.cache_enabled = cache
+        if cache_dir is None:
+            env_dir = os.environ.get(CACHE_ENV_VAR)
+            cache_dir = pathlib.Path(env_dir) if env_dir else None
+        self.cache_dir = pathlib.Path(cache_dir) if cache_dir else None
+        self.progress = progress
+        self.stats = GridStats()
+        self._memory: Dict[str, RunResult] = {}
+        self._kernels: Dict[str, Kernel] = dict(kernels or {})
+        self._locality_fp = locality_fingerprint(self.locality)
+
+    # ------------------------------------------------------------------
+    # Kernel resolution
+    # ------------------------------------------------------------------
+    def register(self, kernels: Sequence[Kernel]) -> None:
+        """Make non-suite kernels resolvable by the specs naming them."""
+        for kernel in kernels:
+            self._kernels[kernel.name] = kernel
+
+    def _resolve_kernel(self, spec: CellSpec) -> Kernel:
+        kernel = self._kernels.get(spec.kernel)
+        if kernel is None:
+            if spec.kernel not in SPEC_KERNELS:
+                raise KeyError(
+                    f"cannot resolve kernel {spec.kernel!r}: not in the "
+                    f"suite and not registered on this grid"
+                )
+            kernel = kernel_by_name(spec.kernel)
+            self._kernels[spec.kernel] = kernel
+        actual = kernel_fingerprint(kernel)
+        if actual != spec.kernel_fp:
+            raise ValueError(
+                f"kernel {spec.kernel!r} content mismatch: spec expects "
+                f"fingerprint {spec.kernel_fp}, resolved kernel has "
+                f"{actual} (register the right kernel object)"
+            )
+        return kernel
+
+    # ------------------------------------------------------------------
+    # Cache layers
+    # ------------------------------------------------------------------
+    def _disk_path(self, key: str) -> Optional[pathlib.Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.pkl"
+
+    def _disk_load(self, key: str) -> Optional[RunResult]:
+        path = self._disk_path(key)
+        if path is None or not path.exists():
+            return None
+        try:
+            with path.open("rb") as handle:
+                return pickle.load(handle)
+        except Exception:  # corrupt entry: treat as a miss
+            return None
+
+    def _disk_store(self, key: str, result: RunResult) -> None:
+        path = self._disk_path(key)
+        if path is None:
+            return
+        path.parent.mkdir(parents=True, exist_ok=True)
+        # Unique temp name: concurrent processes sharing a cache dir must
+        # not clobber each other's in-flight writes before the rename.
+        tmp = path.with_name(
+            f".{path.stem}.{os.getpid()}.{uuid.uuid4().hex}.tmp"
+        )
+        with tmp.open("wb") as handle:
+            pickle.dump(result, handle)
+        tmp.replace(path)  # atomic within one filesystem
+
+    def clear_cache(self) -> None:
+        """Drop the in-memory layer and delete on-disk entries."""
+        self._memory.clear()
+        if self.cache_dir is not None and self.cache_dir.exists():
+            for path in self.cache_dir.glob("*/*.pkl"):
+                path.unlink(missing_ok=True)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, spec: CellSpec) -> RunResult:
+        return self.run([spec])[0]
+
+    def run(self, specs: Sequence[CellSpec]) -> List[RunResult]:
+        """Execute the grid; results align with ``specs`` by index.
+
+        Duplicate specs execute once.  Cached cells (memory, then disk)
+        are returned without recomputation; the rest run serially or on a
+        process pool depending on ``n_jobs``.
+        """
+        specs = list(specs)
+        self.stats.requested += len(specs)
+        total = len(specs)
+        done = 0
+        results: Dict[CellSpec, RunResult] = {}
+        pending: List[Tuple[CellSpec, str]] = []
+        seen: Dict[CellSpec, None] = {}
+
+        def report(spec: CellSpec, source: str) -> None:
+            nonlocal done
+            done += 1
+            if self.progress is not None:
+                self.progress(done, total, spec, source)
+
+        for spec in specs:
+            if spec in seen:
+                self.stats.deduplicated += 1
+                report(spec, "dedup")
+                continue
+            seen[spec] = None
+            key = spec.cache_key(self._locality_fp)
+            if self.cache_enabled:
+                hit = self._memory.get(key)
+                if hit is not None:
+                    self.stats.memory_hits += 1
+                    results[spec] = hit
+                    report(spec, "memory")
+                    continue
+                hit = self._disk_load(key)
+                if hit is not None:
+                    self.stats.disk_hits += 1
+                    self._memory[key] = hit
+                    results[spec] = hit
+                    report(spec, "disk")
+                    continue
+            pending.append((spec, key))
+
+        if pending:
+            computed = self._compute(pending, report)
+            for (spec, key), result in zip(pending, computed):
+                results[spec] = result
+                if self.cache_enabled:
+                    self._memory[key] = result
+                    self._disk_store(key, result)
+
+        self.stats.computed += len(pending)
+        return [results[spec] for spec in specs]
+
+    def _compute(
+        self,
+        pending: Sequence[Tuple[CellSpec, str]],
+        report: Callable[[CellSpec, str], None],
+    ) -> List[RunResult]:
+        kernels = [self._resolve_kernel(spec) for spec, _key in pending]
+        if self.n_jobs == 1 or len(pending) == 1:
+            out = []
+            for (spec, _key), kernel in zip(pending, kernels):
+                out.append(_execute_cell(spec, kernel, self.locality))
+                report(spec, "computed")
+            return out
+        workers = min(self.n_jobs, len(pending))
+        results: List[Optional[RunResult]] = [None] * len(pending)
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_worker,
+            initargs=(self.locality,),
+        ) as pool:
+            futures = {
+                pool.submit(_execute_cell_pooled, spec, kernel): index
+                for index, ((spec, _key), kernel) in enumerate(
+                    zip(pending, kernels)
+                )
+            }
+            not_done = set(futures)
+            while not_done:
+                finished, not_done = wait(
+                    not_done, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    index = futures[future]
+                    results[index] = future.result()
+                    report(pending[index][0], "computed")
+        return results  # type: ignore[return-value]

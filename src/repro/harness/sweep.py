@@ -13,19 +13,33 @@ The two figure generators mirror the paper's methodology:
 *unbounded* number of buses (Section 5.2); :func:`figure6` fixes
 2 register buses @ 1 cycle and sweeps the number and latency of memory
 buses (Section 5.3).
+
+Both figures enumerate their cells as :class:`~repro.harness.grid.CellSpec`
+grids and submit them through one
+:class:`~repro.harness.grid.ExperimentGrid` run, so cells shared between
+sweeps (most importantly the Unified normalization reference) are
+computed once, and ``n_jobs > 1`` fans the whole figure out over worker
+processes without changing any result.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..analysis.compare import RunResult, run_cell
-from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..analysis.compare import RunResult
+from ..cme.locality import LocalityAnalyzer
 from ..ir.builder import Kernel
 from ..machine.config import BusConfig, MachineConfig
 from ..machine.presets import four_cluster, two_cluster, unified
 from ..workloads.suite import spec_suite
+from .grid import (
+    CellSpec,
+    ExperimentGrid,
+    ProgressCallback,
+    locality_fingerprint,
+)
 
 __all__ = [
     "Bar",
@@ -40,6 +54,9 @@ __all__ = [
 DEFAULT_THRESHOLDS: Tuple[float, ...] = (1.0, 0.75, 0.25, 0.0)
 
 _CLUSTER_PRESETS = {2: two_cluster, 4: four_cluster}
+
+#: The bandwidth-free memory system the normalization reference runs on.
+_REFERENCE_BUS = BusConfig(count=None, latency=1)
 
 
 @dataclass(frozen=True)
@@ -77,7 +94,10 @@ class FigureData:
             if (
                 candidate.group == group
                 and candidate.scheduler == scheduler
-                and abs(candidate.threshold - threshold) < 1e-9
+                and math.isclose(
+                    candidate.threshold, threshold,
+                    rel_tol=1e-9, abs_tol=1e-9,
+                )
             ):
                 return candidate
         raise KeyError(f"no bar ({group!r}, {scheduler!r}, {threshold})")
@@ -90,42 +110,47 @@ class FigureData:
         return list(seen)
 
 
-def unified_reference(
-    kernels: Sequence[Kernel],
-    locality: Optional[LocalityAnalyzer] = None,
-    memory_bus: Optional[BusConfig] = None,
-) -> Dict[str, int]:
-    """Per-kernel total cycles on Unified at threshold 1.00.
+def _resolve_grid(
+    locality: Optional[LocalityAnalyzer],
+    grid: Optional[ExperimentGrid],
+    n_jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
+) -> ExperimentGrid:
+    """The grid a sweep runs on; refuses silently-conflicting analyzers.
 
-    This is the figures' normalization denominator.  The memory bus
-    defaults to an unbounded 1-cycle pool so the reference measures the
-    machine, not bus starvation; pass an explicit bus to reproduce a
-    bandwidth-limited reference.
+    An explicit ``grid`` carries its own analyzer, so a ``locality``
+    argument naming a *different* configuration would be ignored —
+    raise instead of computing bars the caller didn't ask for.
     """
-    locality = locality if locality is not None else default_analyzer()
-    machine = unified(memory_bus=memory_bus or BusConfig(count=None, latency=1))
-    totals: Dict[str, int] = {}
-    for kernel in kernels:
-        result = run_cell(kernel, machine, "baseline", 1.0, locality)
-        totals[kernel.name] = result.total_cycles
-    return totals
+    if grid is None:
+        return ExperimentGrid(
+            locality=locality, n_jobs=n_jobs, progress=progress
+        )
+    if locality is not None and locality_fingerprint(
+        locality
+    ) != locality_fingerprint(grid.locality):
+        raise ValueError(
+            f"conflicting locality analyzers: the sweep was given "
+            f"{locality_fingerprint(locality)!r} but the grid runs "
+            f"{locality_fingerprint(grid.locality)!r}; pass one or the "
+            f"other"
+        )
+    return grid
 
 
-def suite_bar(
+def _aggregate(
     group: str,
     kernels: Sequence[Kernel],
-    machine: MachineConfig,
+    results: Sequence[RunResult],
     scheduler: str,
     threshold: float,
-    locality: LocalityAnalyzer,
     reference: Dict[str, int],
 ) -> Tuple[Bar, List[Dict[str, object]]]:
-    """Run one bar's cells and average the normalized components."""
+    """Average one bar's per-kernel cells (fixed kernel order)."""
     records: List[Dict[str, object]] = []
     compute_sum = 0.0
     stall_sum = 0.0
-    for kernel in kernels:
-        result = run_cell(kernel, machine, scheduler, threshold, locality)
+    for kernel, result in zip(kernels, results):
         denom = reference[kernel.name]
         compute_sum += result.compute_cycles / denom
         stall_sum += result.stall_cycles / denom
@@ -149,21 +174,112 @@ def suite_bar(
     return bar, records
 
 
-def _unified_bars(
+def unified_reference(
+    kernels: Sequence[Kernel],
+    locality: Optional[LocalityAnalyzer] = None,
+    memory_bus: Optional[BusConfig] = None,
+    grid: Optional[ExperimentGrid] = None,
+) -> Dict[str, int]:
+    """Per-kernel total cycles on Unified at threshold 1.00.
+
+    This is the figures' normalization denominator.  The memory bus
+    defaults to an unbounded 1-cycle pool so the reference measures the
+    machine, not bus starvation; pass an explicit bus to reproduce a
+    bandwidth-limited reference.
+    """
+    grid = _resolve_grid(locality, grid)
+    grid.register(kernels)
+    machine = unified(memory_bus=memory_bus or _REFERENCE_BUS)
+    specs = [
+        CellSpec.of(kernel, machine, "baseline", 1.0) for kernel in kernels
+    ]
+    results = grid.run(specs)
+    return {
+        kernel.name: result.total_cycles
+        for kernel, result in zip(kernels, results)
+    }
+
+
+def suite_bar(
+    group: str,
+    kernels: Sequence[Kernel],
+    machine: MachineConfig,
+    scheduler: str,
+    threshold: float,
+    locality: Optional[LocalityAnalyzer],
+    reference: Dict[str, int],
+    grid: Optional[ExperimentGrid] = None,
+) -> Tuple[Bar, List[Dict[str, object]]]:
+    """Run one bar's cells (through the grid) and average them."""
+    grid = _resolve_grid(locality, grid)
+    grid.register(kernels)
+    specs = [
+        CellSpec.of(kernel, machine, scheduler, threshold)
+        for kernel in kernels
+    ]
+    results = grid.run(specs)
+    return _aggregate(
+        group, kernels, results, scheduler, threshold, reference
+    )
+
+
+def _assemble_figure(
+    title: str,
     kernels: Sequence[Kernel],
     thresholds: Sequence[float],
-    locality: LocalityAnalyzer,
-    reference: Dict[str, int],
-    memory_bus: BusConfig,
-    figure: FigureData,
-) -> None:
-    machine = unified(memory_bus=memory_bus)
+    unified_machine: MachineConfig,
+    groups: Sequence[Tuple[str, MachineConfig, str]],
+    grid: ExperimentGrid,
+) -> FigureData:
+    """Enumerate every cell of a figure, run them in one grid wave.
+
+    ``groups`` lists ``(group name, machine, scheduler)`` in figure
+    order; the Unified reference cells lead the submission so their
+    totals normalize everything else.  Bar and record ordering is fully
+    determined by the enumeration, never by completion order.
+    """
+    grid.register(kernels)
+    reference_machine = unified(memory_bus=_REFERENCE_BUS)
+    specs: List[CellSpec] = [
+        CellSpec.of(kernel, reference_machine, "baseline", 1.0)
+        for kernel in kernels
+    ]
+    bar_plan: List[Tuple[str, str, float, int]] = []
+
+    def plan(
+        group: str, machine: MachineConfig, scheduler: str, threshold: float
+    ) -> None:
+        bar_plan.append((group, scheduler, threshold, len(specs)))
+        specs.extend(
+            CellSpec.of(kernel, machine, scheduler, threshold)
+            for kernel in kernels
+        )
+
     for threshold in thresholds:
-        bar, records = suite_bar(
-            "unified", kernels, machine, "baseline", threshold, locality, reference
+        plan("unified", unified_machine, "baseline", threshold)
+    for group, machine, scheduler in groups:
+        for threshold in thresholds:
+            plan(group, machine, scheduler, threshold)
+
+    results = grid.run(specs)
+    n = len(kernels)
+    reference = {
+        kernel.name: result.total_cycles
+        for kernel, result in zip(kernels, results[:n])
+    }
+    figure = FigureData(title=title)
+    for group, scheduler, threshold, start in bar_plan:
+        bar, records = _aggregate(
+            group,
+            kernels,
+            results[start:start + n],
+            scheduler,
+            threshold,
+            reference,
         )
         figure.bars.append(bar)
         figure.records.extend(records)
+    return figure
 
 
 def figure5(
@@ -172,29 +288,23 @@ def figure5(
     thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     kernels: Optional[Sequence[Kernel]] = None,
     locality: Optional[LocalityAnalyzer] = None,
+    grid: Optional[ExperimentGrid] = None,
+    n_jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> FigureData:
     """Figure 5: unbounded buses, LRB × LMB latency sweep.
 
     Groups are named ``LRB=x,LMB=y baseline|rmca`` plus the leading
-    ``unified`` group; each group holds one bar per threshold.
+    ``unified`` group; each group holds one bar per threshold.  Pass a
+    shared :class:`ExperimentGrid` (or ``n_jobs``/``progress`` to build
+    one) to parallelize and to reuse cached cells across figures.
     """
     if n_clusters not in _CLUSTER_PRESETS:
         raise ValueError(f"n_clusters must be one of {sorted(_CLUSTER_PRESETS)}")
     kernels = list(kernels) if kernels is not None else spec_suite()
-    locality = locality if locality is not None else default_analyzer()
-    reference = unified_reference(kernels, locality)
-    figure = FigureData(
-        title=f"Figure 5 ({n_clusters}-cluster): unbounded buses"
-    )
-    _unified_bars(
-        kernels,
-        thresholds,
-        locality,
-        reference,
-        BusConfig(count=None, latency=1),
-        figure,
-    )
+    grid = _resolve_grid(locality, grid, n_jobs, progress)
     preset = _CLUSTER_PRESETS[n_clusters]
+    groups: List[Tuple[str, MachineConfig, str]] = []
     for lrb in latencies:
         for lmb in latencies:
             machine = preset(
@@ -202,20 +312,17 @@ def figure5(
                 memory_bus=BusConfig(count=None, latency=lmb),
             )
             for scheduler in ("baseline", "rmca"):
-                group = f"LRB={lrb},LMB={lmb} {scheduler}"
-                for threshold in thresholds:
-                    bar, records = suite_bar(
-                        group,
-                        kernels,
-                        machine,
-                        scheduler,
-                        threshold,
-                        locality,
-                        reference,
-                    )
-                    figure.bars.append(bar)
-                    figure.records.extend(records)
-    return figure
+                groups.append(
+                    (f"LRB={lrb},LMB={lmb} {scheduler}", machine, scheduler)
+                )
+    return _assemble_figure(
+        title=f"Figure 5 ({n_clusters}-cluster): unbounded buses",
+        kernels=kernels,
+        thresholds=thresholds,
+        unified_machine=unified(memory_bus=_REFERENCE_BUS),
+        groups=groups,
+        grid=grid,
+    )
 
 
 def figure6(
@@ -225,6 +332,9 @@ def figure6(
     thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
     kernels: Optional[Sequence[Kernel]] = None,
     locality: Optional[LocalityAnalyzer] = None,
+    grid: Optional[ExperimentGrid] = None,
+    n_jobs: int = 1,
+    progress: Optional[ProgressCallback] = None,
 ) -> FigureData:
     """Figure 6: realistic buses — 2 register buses @ 1 cycle, NMB × LMB.
 
@@ -235,21 +345,10 @@ def figure6(
     if n_clusters not in _CLUSTER_PRESETS:
         raise ValueError(f"n_clusters must be one of {sorted(_CLUSTER_PRESETS)}")
     kernels = list(kernels) if kernels is not None else spec_suite()
-    locality = locality if locality is not None else default_analyzer()
-    reference = unified_reference(kernels, locality)
-    figure = FigureData(
-        title=f"Figure 6 ({n_clusters}-cluster): realistic buses"
-    )
-    _unified_bars(
-        kernels,
-        thresholds,
-        locality,
-        reference,
-        BusConfig(count=1, latency=1),
-        figure,
-    )
+    grid = _resolve_grid(locality, grid, n_jobs, progress)
     preset = _CLUSTER_PRESETS[n_clusters]
     register_bus = BusConfig(count=2, latency=1)
+    groups: List[Tuple[str, MachineConfig, str]] = []
     for nmb in bus_counts:
         for lmb in bus_latencies:
             machine = preset(
@@ -257,17 +356,14 @@ def figure6(
                 memory_bus=BusConfig(count=nmb, latency=lmb),
             )
             for scheduler in ("baseline", "rmca"):
-                group = f"NMB={nmb},LMB={lmb} {scheduler}"
-                for threshold in thresholds:
-                    bar, records = suite_bar(
-                        group,
-                        kernels,
-                        machine,
-                        scheduler,
-                        threshold,
-                        locality,
-                        reference,
-                    )
-                    figure.bars.append(bar)
-                    figure.records.extend(records)
-    return figure
+                groups.append(
+                    (f"NMB={nmb},LMB={lmb} {scheduler}", machine, scheduler)
+                )
+    return _assemble_figure(
+        title=f"Figure 6 ({n_clusters}-cluster): realistic buses",
+        kernels=kernels,
+        thresholds=thresholds,
+        unified_machine=unified(memory_bus=BusConfig(count=1, latency=1)),
+        groups=groups,
+        grid=grid,
+    )

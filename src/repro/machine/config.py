@@ -231,6 +231,71 @@ class MachineConfig:
             memory_bus=memory_bus or self.memory_bus,
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        """Lossless, JSON-able description (see :meth:`from_dict`).
+
+        The sweep grid uses this as the machine part of its cache key, so
+        the encoding must be canonical: latencies are emitted sorted by
+        operation-class name.
+        """
+        return {
+            "name": self.name,
+            "clusters": [
+                {
+                    "n_integer": c.n_integer,
+                    "n_fp": c.n_fp,
+                    "n_memory": c.n_memory,
+                    "n_registers": c.n_registers,
+                    "cache": {
+                        "size": c.cache.size,
+                        "line_size": c.cache.line_size,
+                        "associativity": c.cache.associativity,
+                        "mshr_entries": c.cache.mshr_entries,
+                        "hit_latency": c.cache.hit_latency,
+                    },
+                }
+                for c in self.clusters
+            ],
+            "register_bus": {
+                "count": self.register_bus.count,
+                "latency": self.register_bus.latency,
+            },
+            "memory_bus": {
+                "count": self.memory_bus.count,
+                "latency": self.memory_bus.latency,
+            },
+            "main_memory_latency": self.main_memory_latency,
+            "latencies": {
+                oc.value: self.latencies[oc]
+                for oc in sorted(self.latencies, key=lambda o: o.value)
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "MachineConfig":
+        """Rebuild a configuration from :meth:`to_dict` output."""
+        clusters = tuple(
+            ClusterConfig(
+                n_integer=c["n_integer"],
+                n_fp=c["n_fp"],
+                n_memory=c["n_memory"],
+                n_registers=c["n_registers"],
+                cache=CacheConfig(**c["cache"]),
+            )
+            for c in data["clusters"]
+        )
+        return cls(
+            name=data["name"],
+            clusters=clusters,
+            register_bus=BusConfig(**data["register_bus"]),
+            memory_bus=BusConfig(**data["memory_bus"]),
+            main_memory_latency=data["main_memory_latency"],
+            latencies={
+                OpClass(name): lat
+                for name, lat in data["latencies"].items()
+            },
+        )
+
     def describe(self) -> Dict[str, object]:
         """Summary dictionary used by Table 1 rendering."""
         first = self.clusters[0]

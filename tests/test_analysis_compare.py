@@ -72,3 +72,10 @@ class TestNormalizedCycles:
         result = run_cell(saxpy, unified(), "baseline", 1.0, sampling_cme)
         with pytest.raises(ValueError, match="non-positive baseline"):
             normalized_cycles([result], {"saxpy": 0})
+
+    def test_missing_baseline_names_kernel(self, saxpy, sampling_cme):
+        result = run_cell(saxpy, unified(), "baseline", 1.0, sampling_cme)
+        with pytest.raises(
+            KeyError, match=r"no baseline for kernel 'saxpy'.*'tomcatv'"
+        ):
+            normalized_cycles([result], {"tomcatv": 100})

@@ -27,6 +27,16 @@ class TestParser:
         assert args.clusters == 2
         assert args.latencies == [1, 2, 4]
         assert args.thresholds == [1.0, 0.75, 0.25, 0.0]
+        assert args.jobs == 1
+        assert not args.no_cache
+        assert args.cache_dir is None
+
+    def test_fig_aliases(self):
+        args = build_parser().parse_args(["fig5", "--jobs", "4"])
+        assert args.command == "fig5"
+        assert args.jobs == 4
+        args = build_parser().parse_args(["fig6", "--no-cache"])
+        assert args.no_cache
 
 
 class TestCommands:
@@ -91,4 +101,45 @@ class TestCommands:
                 "--max-points", "64",
             ]
         ) == 0
-        assert "Figure 5" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "Figure 5" in captured.out
+        assert "cells:" in captured.err  # progress summary on stderr
+
+    def test_fig5_alias_with_jobs_and_disk_cache(self, capsys, tmp_path):
+        argv = [
+            "fig5",
+            "--jobs", "2",
+            "--thresholds", "1.0",
+            "--kernels", "applu",
+            "--latencies", "1",
+            "--max-points", "64",
+            "--cache-dir", str(tmp_path),
+            "--no-progress",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr()
+        assert "Figure 5" in first.out
+        assert first.err == ""  # --no-progress silences stderr
+        assert list(tmp_path.glob("*/*.pkl"))  # disk cache populated
+        # A second invocation rides the disk cache and prints the same.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first.out
+
+    def test_fig6_no_cache(self, capsys):
+        assert main(
+            [
+                "fig6",
+                "--thresholds", "1.0",
+                "--kernels", "applu",
+                "--bus-counts", "1",
+                "--bus-latencies", "1",
+                "--max-points", "64",
+                "--no-cache",
+                "--no-progress",
+            ]
+        ) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig5", "--jobs", "0"])

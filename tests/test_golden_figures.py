@@ -1,0 +1,156 @@
+"""Golden-regression tests against the recorded paper figures.
+
+``benchmarks/results/*.txt`` are the renderings the benchmark suite last
+committed.  These tests parse them back and assert that a reduced grid —
+the ``LRB=1,LMB=1`` / ``NMB=1,LMB=1`` panels plus the Unified group, all
+four thresholds, full kernel suite — reproduces the recorded bars, and
+that ``table1.txt`` still matches the machine presets.  The pipeline is
+deterministic, so the tolerance only absorbs the files' 3-decimal
+rounding; any real change to the scheduler, simulator, CME analyzer or
+sweep normalization trips these tests.
+"""
+
+import pathlib
+import re
+
+import pytest
+
+from repro.cme import SamplingCME
+from repro.harness.grid import ExperimentGrid
+from repro.harness.sweep import figure5, figure6
+from repro.ir.operations import OpClass
+from repro.machine import preset, unified
+
+RESULTS = pathlib.Path(__file__).parent.parent / "benchmarks" / "results"
+
+#: The renderings round to 3 decimals.
+TOLERANCE = 1.5e-3
+
+_BAR_RE = re.compile(
+    r"^\s+thr=(?P<thr>[\d.]+) \|.*\| "
+    r"(?P<total>[\d.]+) \((?P<compute>[\d.]+)\+(?P<stall>[\d.]+)\)$"
+)
+
+
+def parse_figure_txt(path):
+    """Parse a rendered figure back into {group: {thr: (comp, stall)}}."""
+    groups = {}
+    current = None
+    for line in path.read_text().splitlines():
+        match = _BAR_RE.match(line)
+        if match:
+            assert current is not None, f"bar before any group in {path}"
+            groups[current][float(match["thr"])] = (
+                float(match["compute"]),
+                float(match["stall"]),
+            )
+            continue
+        stripped = line.strip()
+        if (
+            stripped
+            and not line.startswith((" ", "\t"))
+            and not stripped.startswith(("Figure", "(full width"))
+        ):
+            current = stripped
+            groups[current] = {}
+    return groups
+
+
+@pytest.fixture(scope="module")
+def grid():
+    """One grid for both figure tests: the benchmarks use
+    ``SamplingCME(max_points=512)``, so matching it here makes the
+    reduced runs bit-compatible with the recorded bars; sharing the grid
+    computes the Unified reference once."""
+    return ExperimentGrid(locality=SamplingCME(max_points=512))
+
+
+def _assert_bars_match(figure, golden, groups):
+    for group in groups:
+        assert group in golden, f"group {group!r} missing from golden file"
+        for threshold, (compute, stall) in golden[group].items():
+            bar = next(
+                b for b in figure.bars_in_group(group)
+                if abs(b.threshold - threshold) < 1e-9
+            )
+            assert bar.norm_compute == pytest.approx(
+                compute, abs=TOLERANCE
+            ), f"{group} thr={threshold} compute drifted"
+            assert bar.norm_stall == pytest.approx(
+                stall, abs=TOLERANCE
+            ), f"{group} thr={threshold} stall drifted"
+
+
+class TestFigure5Golden:
+    def test_reduced_grid_reproduces_recorded_bars(self, grid):
+        golden = parse_figure_txt(RESULTS / "fig5_2cluster.txt")
+        figure = figure5(n_clusters=2, latencies=(1,), grid=grid)
+        _assert_bars_match(
+            figure,
+            golden,
+            ["unified", "LRB=1,LMB=1 baseline", "LRB=1,LMB=1 rmca"],
+        )
+
+    def test_golden_file_structure(self):
+        golden = parse_figure_txt(RESULTS / "fig5_2cluster.txt")
+        # 1 unified + 9 bus combos x 2 schedulers, 4 thresholds each.
+        assert len(golden) == 19
+        assert all(len(bars) == 4 for bars in golden.values())
+
+
+class TestFigure6Golden:
+    def test_reduced_grid_reproduces_recorded_bars(self, grid):
+        golden = parse_figure_txt(RESULTS / "fig6_2cluster.txt")
+        figure = figure6(
+            n_clusters=2, bus_counts=(1,), bus_latencies=(1,), grid=grid
+        )
+        _assert_bars_match(
+            figure,
+            golden,
+            ["unified", "NMB=1,LMB=1 baseline", "NMB=1,LMB=1 rmca"],
+        )
+
+    def test_golden_file_structure(self):
+        golden = parse_figure_txt(RESULTS / "fig6_2cluster.txt")
+        # 1 unified + 4 bus configs x 2 schedulers.
+        assert len(golden) == 9
+        assert all(len(bars) == 4 for bars in golden.values())
+
+
+class TestTable1Golden:
+    _ROW_RE = re.compile(
+        r"^(?P<name>[\w-]+)\s+(?P<clusters>\d+)\s+"
+        r"(?P<ni>\d+)I/(?P<nf>\d+)F/(?P<nm>\d+)M\s+"
+        r"(?P<regs>\d+)\s+(?P<cache>\d+)\s+(?P<issue>\d+)\s*$"
+    )
+
+    def test_configurations_match_presets(self):
+        text = (RESULTS / "table1.txt").read_text()
+        rows = {
+            m["name"]: m
+            for m in map(self._ROW_RE.match, text.splitlines())
+            if m
+        }
+        assert set(rows) == {"unified", "2-cluster", "4-cluster"}
+        for name, row in rows.items():
+            machine = preset(name)
+            cluster = machine.cluster(0)
+            assert machine.n_clusters == int(row["clusters"])
+            assert cluster.n_integer == int(row["ni"])
+            assert cluster.n_fp == int(row["nf"])
+            assert cluster.n_memory == int(row["nm"])
+            assert cluster.n_registers == int(row["regs"])
+            assert cluster.cache.size == int(row["cache"])
+            assert machine.issue_width == int(row["issue"])
+
+    def test_latencies_match_defaults(self):
+        text = (RESULTS / "table1.txt").read_text()
+        machine = unified()
+        recorded = dict(
+            re.findall(r"^(\w+)\s+(\d+)\s*$", text, flags=re.MULTILINE)
+        )
+        for opclass in OpClass:
+            assert opclass.value in recorded, f"{opclass.value} not recorded"
+            assert machine.latency(opclass) == int(recorded[opclass.value])
+        main = re.search(r"main memory: (\d+) cycles", text)
+        assert main and machine.main_memory_latency == int(main.group(1))

@@ -1,0 +1,286 @@
+"""Tests for the parallel experiment-grid engine (harness.grid)."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.analysis.compare import CELL_EXECUTIONS
+from repro.cme import SamplingCME
+from repro.harness.grid import (
+    CellSpec,
+    ExperimentGrid,
+    kernel_fingerprint,
+    locality_fingerprint,
+    machine_from_key,
+    machine_key,
+)
+from repro.harness.sweep import figure5
+from repro.machine import BusConfig, two_cluster, unified
+from repro.workloads import spec_suite
+
+
+@pytest.fixture(scope="module")
+def small_suite():
+    return spec_suite(["su2cor", "applu"])
+
+
+def _locality():
+    return SamplingCME(max_points=128)
+
+
+def _specs(kernels, thresholds=(1.0, 0.0)):
+    """A small mixed grid: both kernels x both schedulers x thresholds."""
+    machines = [unified(), two_cluster()]
+    return [
+        CellSpec.of(kernel, machine, scheduler, threshold)
+        for kernel in kernels
+        for machine in machines
+        for scheduler in ("baseline", "rmca")
+        for threshold in thresholds
+    ]
+
+
+class TestFingerprints:
+    def test_machine_key_roundtrip(self):
+        machine = two_cluster(
+            register_bus=BusConfig(count=None, latency=2),
+            memory_bus=BusConfig(count=2, latency=4),
+        )
+        assert machine_from_key(machine_key(machine)) == machine
+
+    def test_machine_key_canonical(self):
+        assert machine_key(two_cluster()) == machine_key(two_cluster())
+        assert machine_key(two_cluster()) != machine_key(unified())
+
+    def test_kernel_fingerprint_stable(self, small_suite):
+        a, b = spec_suite(["su2cor"])[0], small_suite[0]
+        assert kernel_fingerprint(a) == kernel_fingerprint(b)
+
+    def test_kernel_fingerprint_distinguishes(self, small_suite):
+        fps = {kernel_fingerprint(k) for k in small_suite}
+        assert len(fps) == len(small_suite)
+
+    def test_locality_fingerprint(self):
+        assert locality_fingerprint(SamplingCME(max_points=64)) == "sampling:64"
+        assert locality_fingerprint(
+            SamplingCME(max_points=64)
+        ) != locality_fingerprint(SamplingCME(max_points=128))
+
+
+class TestCellSpec:
+    def test_hashable_and_equal(self, small_suite):
+        kernel = small_suite[0]
+        a = CellSpec.of(kernel, two_cluster(), "rmca", 0.25)
+        b = CellSpec.of(kernel, two_cluster(), "rmca", 0.25)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_json_roundtrip(self, small_suite):
+        spec = CellSpec.of(
+            small_suite[0], two_cluster(), "rmca", 0.25, n_iterations=8
+        )
+        again = CellSpec.from_json(spec.to_json())
+        assert again == spec
+        assert json.loads(spec.to_json())["kernel"] == spec.kernel
+
+    def test_build_machine(self, small_suite):
+        spec = CellSpec.of(small_suite[0], two_cluster(), "baseline", 1.0)
+        assert spec.build_machine() == two_cluster()
+        assert spec.machine_name == "2-cluster"
+
+    def test_cache_key_covers_locality(self, small_suite):
+        spec = CellSpec.of(small_suite[0], two_cluster(), "baseline", 1.0)
+        assert spec.cache_key("sampling:64") != spec.cache_key("sampling:128")
+
+    def test_suite_kernel_by_name(self):
+        by_name = CellSpec.of("applu", unified(), "baseline", 1.0)
+        by_object = CellSpec.of(
+            spec_suite(["applu"])[0], unified(), "baseline", 1.0
+        )
+        assert by_name == by_object
+
+
+class TestCaching:
+    def test_warm_run_computes_nothing(self, small_suite):
+        grid = ExperimentGrid(locality=_locality())
+        specs = _specs(small_suite)
+        cold = grid.run(specs)
+        assert grid.stats.computed == len(specs)
+        CELL_EXECUTIONS.reset()
+        warm = grid.run(specs)
+        assert CELL_EXECUTIONS.count == 0
+        assert grid.stats.computed == len(specs)  # unchanged
+        assert grid.stats.memory_hits == len(specs)
+        assert [r.canonical() for r in warm] == [
+            r.canonical() for r in cold
+        ]
+
+    def test_duplicates_computed_once(self, small_suite):
+        grid = ExperimentGrid(locality=_locality())
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        results = grid.run([spec, spec, spec])
+        assert grid.stats.computed == 1
+        assert grid.stats.deduplicated == 2
+        assert results[0] is results[1] is results[2]
+
+    def test_disk_cache_survives_new_engine(self, small_suite, tmp_path):
+        specs = _specs(small_suite, thresholds=(1.0,))
+        first = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        cold = first.run(specs)
+        second = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        CELL_EXECUTIONS.reset()
+        warm = second.run(specs)
+        assert CELL_EXECUTIONS.count == 0
+        assert second.stats.computed == 0
+        assert second.stats.disk_hits == len(specs)
+        assert [r.canonical() for r in warm] == [
+            r.canonical() for r in cold
+        ]
+
+    def test_different_locality_invalidates(self, small_suite, tmp_path):
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        ExperimentGrid(
+            locality=SamplingCME(max_points=64), cache_dir=tmp_path
+        ).run_one(spec)
+        other = ExperimentGrid(
+            locality=SamplingCME(max_points=128), cache_dir=tmp_path
+        )
+        other.run_one(spec)
+        assert other.stats.computed == 1
+
+    def test_no_cache_recomputes(self, small_suite):
+        grid = ExperimentGrid(locality=_locality(), cache=False)
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        grid.run_one(spec)
+        grid.run_one(spec)
+        assert grid.stats.computed == 2
+        assert grid.stats.memory_hits == 0
+
+    def test_corrupt_disk_entry_recomputed(self, small_suite, tmp_path):
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        grid = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        grid.run_one(spec)
+        for path in tmp_path.glob("*/*.pkl"):
+            path.write_bytes(b"not a pickle")
+        fresh = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        result = fresh.run_one(spec)
+        assert fresh.stats.computed == 1
+        assert result.kernel == small_suite[0].name
+
+    def test_clear_cache(self, small_suite, tmp_path):
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        grid = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        grid.run_one(spec)
+        grid.clear_cache()
+        assert not list(tmp_path.glob("*/*.pkl"))
+        grid.run_one(spec)
+        assert grid.stats.computed == 2
+
+
+class TestKernelResolution:
+    def test_unknown_kernel_rejected(self):
+        grid = ExperimentGrid(locality=_locality())
+        spec = CellSpec(
+            kernel="nonesuch",
+            machine=machine_key(unified()),
+            scheduler="baseline",
+            threshold=1.0,
+            kernel_fp="0" * 16,
+        )
+        with pytest.raises(KeyError, match="nonesuch"):
+            grid.run_one(spec)
+
+    def test_fingerprint_mismatch_rejected(self, small_suite):
+        grid = ExperimentGrid(locality=_locality())
+        spec = CellSpec(
+            kernel="applu",
+            machine=machine_key(unified()),
+            scheduler="baseline",
+            threshold=1.0,
+            kernel_fp="deadbeefdeadbeef",
+        )
+        with pytest.raises(ValueError, match="content mismatch"):
+            grid.run_one(spec)
+
+    def test_registered_custom_kernel(self, saxpy):
+        grid = ExperimentGrid(locality=_locality())
+        grid.register([saxpy])
+        result = grid.run_one(
+            CellSpec.of(saxpy, unified(), "baseline", 1.0)
+        )
+        assert result.kernel == "saxpy"
+
+
+class TestParallelEquivalence:
+    def test_results_identical_and_ordered(self, small_suite):
+        specs = _specs(small_suite)
+        serial = ExperimentGrid(locality=_locality(), n_jobs=1).run(specs)
+        parallel = ExperimentGrid(locality=_locality(), n_jobs=4).run(specs)
+        assert len(serial) == len(parallel) == len(specs)
+        for spec, s, p in zip(specs, serial, parallel):
+            assert s.kernel == p.kernel == spec.kernel
+            assert s.scheduler == p.scheduler == spec.scheduler
+            assert s.canonical() == p.canonical()
+
+    def test_results_picklable(self, small_suite):
+        grid = ExperimentGrid(locality=_locality(), n_jobs=2)
+        results = grid.run(_specs(small_suite, thresholds=(0.0,)))
+        for result in results:
+            clone = pickle.loads(pickle.dumps(result))
+            assert clone.canonical() == result.canonical()
+
+    def test_parallel_warm_cache_identical_to_cold(self, small_suite):
+        grid = ExperimentGrid(locality=_locality(), n_jobs=4)
+        specs = _specs(small_suite)
+        cold = grid.run(specs)
+        CELL_EXECUTIONS.reset()
+        warm = grid.run(specs)
+        assert CELL_EXECUTIONS.count == 0
+        assert [r.canonical() for r in warm] == [
+            r.canonical() for r in cold
+        ]
+
+    def test_figure5_parallel_matches_serial(self, small_suite):
+        """Acceptance: figure5 via ExperimentGrid(n_jobs=4) == serial."""
+        kwargs = dict(
+            n_clusters=2,
+            latencies=(1,),
+            thresholds=(1.0, 0.0),
+            kernels=small_suite,
+        )
+        serial = figure5(locality=_locality(), **kwargs)
+        parallel_grid = ExperimentGrid(locality=_locality(), n_jobs=4)
+        parallel = figure5(grid=parallel_grid, **kwargs)
+        assert serial.bars == parallel.bars
+        assert serial.records == parallel.records
+        # Warm repeat: zero cell computations, identical bars.
+        computed_before = parallel_grid.stats.computed
+        CELL_EXECUTIONS.reset()
+        warm = figure5(grid=parallel_grid, **kwargs)
+        assert CELL_EXECUTIONS.count == 0
+        assert parallel_grid.stats.computed == computed_before
+        assert warm.bars == parallel.bars
+
+
+class TestProgress:
+    def test_progress_reports_every_cell(self, small_suite):
+        events = []
+        grid = ExperimentGrid(
+            locality=_locality(),
+            progress=lambda done, total, spec, source: events.append(
+                (done, total, source)
+            ),
+        )
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        other = CellSpec.of(small_suite[1], unified(), "baseline", 1.0)
+        grid.run([spec, other, spec])
+        assert [e[0] for e in events] == [1, 2, 3]
+        assert all(e[1] == 3 for e in events)
+        assert sorted(e[2] for e in events) == [
+            "computed", "computed", "dedup"
+        ]
+
+    def test_rejects_bad_n_jobs(self):
+        with pytest.raises(ValueError):
+            ExperimentGrid(n_jobs=0)

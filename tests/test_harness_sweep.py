@@ -3,7 +3,15 @@
 import pytest
 
 from repro.cme import SamplingCME
-from repro.harness.sweep import figure5, figure6, suite_bar, unified_reference
+from repro.harness.grid import ExperimentGrid
+from repro.harness.sweep import (
+    Bar,
+    FigureData,
+    figure5,
+    figure6,
+    suite_bar,
+    unified_reference,
+)
 from repro.machine import BusConfig, two_cluster
 from repro.workloads import spec_suite
 
@@ -17,6 +25,29 @@ def small_suite():
 @pytest.fixture(scope="module")
 def locality():
     return SamplingCME(max_points=256)
+
+
+class TestFigureDataBar:
+    @staticmethod
+    def _figure(threshold):
+        figure = FigureData(title="t")
+        figure.bars.append(
+            Bar(
+                group="g", scheduler="baseline", threshold=threshold,
+                norm_compute=0.3, norm_stall=0.2,
+            )
+        )
+        return figure
+
+    def test_float_threshold_tolerates_representation_error(self):
+        # 0.1 + 0.2 != 0.3 exactly; lookup must still find the bar.
+        figure = self._figure(0.1 + 0.2)
+        assert figure.bar("g", "baseline", 0.3).norm_compute == 0.3
+
+    def test_missing_bar_raises_keyerror(self):
+        figure = self._figure(0.5)
+        with pytest.raises(KeyError, match="no bar"):
+            figure.bar("g", "baseline", 0.25)
 
 
 class TestUnifiedReference:
@@ -87,6 +118,52 @@ class TestFigure5:
         base = figure.bar("LRB=1,LMB=1 baseline", "baseline", 0.0)
         rmca = figure.bar("LRB=1,LMB=1 rmca", "rmca", 0.0)
         assert rmca.norm_total <= base.norm_total * 1.05
+
+
+class TestSharedGrid:
+    def test_figures_share_cells_through_one_grid(self, small_suite):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=256))
+        figure5(
+            n_clusters=2, latencies=(1,), thresholds=(1.0,),
+            kernels=small_suite, grid=grid,
+        )
+        after_fig5 = grid.stats.computed
+        figure6(
+            n_clusters=2, bus_counts=(1,), bus_latencies=(1,),
+            thresholds=(1.0,), kernels=small_suite, grid=grid,
+        )
+        # figure6 reuses figure5's Unified reference cells: it only adds
+        # its own unified group and the NMB=1,LMB=1 cells.
+        fig6_new = grid.stats.computed - after_fig5
+        assert fig6_new == 3 * len(small_suite)
+        assert grid.stats.memory_hits >= len(small_suite)
+
+    def test_conflicting_locality_and_grid_rejected(self, small_suite):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=256))
+        with pytest.raises(ValueError, match="conflicting locality"):
+            figure5(
+                n_clusters=2, latencies=(1,), thresholds=(1.0,),
+                kernels=small_suite,
+                locality=SamplingCME(max_points=64), grid=grid,
+            )
+
+    def test_matching_locality_and_grid_accepted(self, small_suite):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=256))
+        reference = unified_reference(
+            small_suite, SamplingCME(max_points=256), grid=grid
+        )
+        assert set(reference) == {k.name for k in small_suite}
+
+    def test_suite_bar_and_reference_accept_grid(self, small_suite):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=256))
+        reference = unified_reference(small_suite, grid=grid)
+        bar, records = suite_bar(
+            "g", small_suite, two_cluster(), "baseline", 1.0,
+            None, reference, grid=grid,
+        )
+        assert bar.group == "g"
+        assert len(records) == len(small_suite)
+        assert grid.stats.computed == 2 * len(small_suite)
 
 
 class TestFigure6:

@@ -1,11 +1,16 @@
 """Unit tests for MII computation (ResMII, RecMII)."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
+from repro.analysis.compare import run_cell
+from repro.cme import SamplingCME
 from repro.ir import LoopBuilder
 from repro.ir.ddg import DepEdge, build_ddg
-from repro.machine import four_cluster, two_cluster, unified
+from repro.machine import BusConfig, four_cluster, two_cluster, unified
 from repro.scheduler.mii import compute_mii, edge_latency, rec_mii, res_mii
+from repro.workloads import kernel_by_name
 
 
 def _n_loads(n, with_recurrence=False, distance=1):
@@ -150,3 +155,62 @@ class TestEdgeLatency:
         kernel = _n_loads(1)
         op = kernel.loop.operation("ld0")
         assert edge_latency(op, "flow", unified(), latency_of=lambda _o: 42) == 42
+
+
+# ----------------------------------------------------------------------
+# Property tests over a random sample of experiment-grid cells
+# ----------------------------------------------------------------------
+_PROPERTY_ANALYZER = SamplingCME(max_points=64)
+
+_MACHINES = {
+    "unified": unified(),
+    "2-cluster": two_cluster(),
+    "4-cluster": four_cluster(),
+    "2-cluster-unbounded": two_cluster(
+        register_bus=BusConfig(count=None, latency=2),
+        memory_bus=BusConfig(count=None, latency=1),
+    ),
+    "4-cluster-slow-bus": four_cluster(
+        memory_bus=BusConfig(count=2, latency=4),
+    ),
+}
+
+cell_strategy = st.tuples(
+    st.sampled_from(("su2cor", "applu")),
+    st.sampled_from(sorted(_MACHINES)),
+    st.sampled_from(("baseline", "rmca")),
+    st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0)),
+)
+
+
+class TestCellInvariantProperties:
+    """Scheduler invariants over a random cell sample (II/MII, cycles)."""
+
+    @given(cell=cell_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_ii_bounds_and_cycle_decomposition(self, cell):
+        kernel_name, machine_name, scheduler, threshold = cell
+        result = run_cell(
+            kernel_by_name(kernel_name),
+            _MACHINES[machine_name],
+            scheduler,
+            threshold,
+            _PROPERTY_ANALYZER,
+        )
+        schedule = result.schedule
+        # The achieved II can never beat the MII lower bound, and the
+        # MII is the max of its resource and recurrence components.
+        assert schedule.ii >= schedule.mii >= 1
+        assert schedule.mii == max(schedule.res_mii, schedule.rec_mii)
+        # Cycle accounting: compute is the static modulo-schedule
+        # formula, stalls are non-negative, and the components add up.
+        simulation = result.simulation
+        assert simulation.compute_cycles == schedule.compute_cycles(
+            simulation.n_iterations, simulation.n_times
+        )
+        assert simulation.stall_cycles >= 0
+        assert (
+            simulation.compute_cycles + simulation.stall_cycles
+            == simulation.total_cycles
+        )
+        assert simulation.as_dict()["total_cycles"] == result.total_cycles

@@ -147,3 +147,75 @@ class TestValidation:
     def test_ii_must_be_positive(self):
         with pytest.raises(ValueError):
             ModuloReservationTable(two_cluster(), 0)
+
+
+# ----------------------------------------------------------------------
+# Property tests: no reservation-table conflicts on real schedules
+# ----------------------------------------------------------------------
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.compare import run_cell
+from repro.cme import SamplingCME
+from repro.machine import four_cluster, unified
+from repro.workloads import kernel_by_name
+
+_PROPERTY_ANALYZER = SamplingCME(max_points=64)
+
+_MACHINES = {
+    "unified": unified(),
+    "2-cluster": two_cluster(),
+    "2-cluster-1bus": two_cluster(
+        register_bus=BusConfig(count=1, latency=2)
+    ),
+    "4-cluster": four_cluster(),
+}
+
+cell_strategy = st.tuples(
+    st.sampled_from(("su2cor", "applu")),
+    st.sampled_from(sorted(_MACHINES)),
+    st.sampled_from(("baseline", "rmca")),
+    st.sampled_from((0.0, 0.25, 0.5, 0.75, 1.0)),
+)
+
+
+class TestScheduleResourceProperties:
+    """Random cells never oversubscribe FUs or register buses."""
+
+    @given(cell=cell_strategy)
+    @settings(max_examples=12, deadline=None)
+    def test_no_mrt_resource_conflicts(self, cell):
+        kernel_name, machine_name, scheduler, threshold = cell
+        machine = _MACHINES[machine_name]
+        result = run_cell(
+            kernel_by_name(kernel_name),
+            machine,
+            scheduler,
+            threshold,
+            _PROPERTY_ANALYZER,
+        )
+        schedule = result.schedule
+        # validate() re-checks dependences, FU capacity per modulo slot
+        # and bounded register-bus occupancy; any conflict raises.
+        schedule.validate()
+        # Re-derive FU usage directly against cluster capacity.
+        usage = {}
+        loop = schedule.kernel.loop
+        for name, placement in schedule.placements.items():
+            op = loop.operation(name)
+            key = (
+                placement.time % schedule.ii,
+                placement.cluster,
+                op.fu_type,
+            )
+            usage[key] = usage.get(key, 0) + 1
+        for (slot, cluster, fu), used in usage.items():
+            assert used <= machine.cluster(cluster).n_units(fu), (
+                f"slot {slot} cluster {cluster} {fu} oversubscribed"
+            )
+        # Bounded buses: every communication fits the pool.
+        if machine.register_bus.count is not None:
+            assert all(
+                0 <= c.bus < machine.register_bus.count
+                for c in schedule.communications
+            )
