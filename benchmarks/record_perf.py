@@ -1,0 +1,138 @@
+"""Record the PR 2 hot-path win: fig5/fig6 single-job wall-clock.
+
+Runs each figure sweep twice on a cold, cache-disabled grid — once with
+``exact=True`` (every loop entry simulated instance by instance, the
+PR 1 execution strategy) and once with steady-state memoization enabled
+— asserts the bars are identical, and writes the timings plus
+cells-computed counts to ``benchmarks/BENCH_pr2.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_perf.py [--out PATH] [--skip-fig5]
+
+Single-job on purpose: the point is the per-cell speedup, not process
+fan-out (which composes with it).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import sys
+import time
+
+from repro.cme import SamplingCME
+from repro.harness.grid import ExperimentGrid
+from repro.harness.scenarios import run_scenario
+
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_pr2.json"
+
+#: fig6 2-cluster, single job, measured at the PR 1 tree (commit
+#: f9f1a5f, same protocol: cache disabled, no progress output).  The
+#: acceptance bar for this PR is memoized fig6 >= 2x faster than this.
+PR1_FIG6_SECONDS = 42.7
+
+
+def _measure(scenario_name: str, exact: bool) -> dict:
+    grid = ExperimentGrid(
+        locality=SamplingCME(max_points=512), cache=False, exact=exact
+    )
+    start = time.perf_counter()
+    outcome = run_scenario(scenario_name, grid=grid)
+    seconds = time.perf_counter() - start
+    return {
+        "seconds": round(seconds, 3),
+        "cells_requested": grid.stats.requested,
+        "cells_computed": grid.stats.computed,
+        "stage_seconds": {
+            stage: round(value, 3)
+            for stage, value in grid.stats.stage_seconds.items()
+        },
+        "bars": [
+            (bar.group, bar.scheduler, bar.threshold,
+             bar.norm_compute, bar.norm_stall)
+            for bar in outcome.figure.bars
+        ],
+    }
+
+
+def record(scenarios: list, out: pathlib.Path) -> dict:
+    figures = {}
+    for name in scenarios:
+        print(f"[{name}] exact (PR 1 strategy) ...", flush=True)
+        exact = _measure(name, exact=True)
+        print(f"[{name}]   {exact['seconds']}s, "
+              f"{exact['cells_computed']} cells computed", flush=True)
+        print(f"[{name}] memoized ...", flush=True)
+        memoized = _measure(name, exact=False)
+        print(f"[{name}]   {memoized['seconds']}s, "
+              f"{memoized['cells_computed']} cells computed", flush=True)
+        if memoized["bars"] != exact["bars"]:
+            raise AssertionError(
+                f"{name}: memoized bars diverge from exact replay"
+            )
+        if memoized["cells_computed"] != exact["cells_computed"]:
+            raise AssertionError(f"{name}: cells-computed count changed")
+        for run in (exact, memoized):
+            del run["bars"]
+        figures[name] = {
+            "exact": exact,
+            "memoized": memoized,
+            "speedup_vs_exact": round(
+                exact["seconds"] / memoized["seconds"], 2
+            ),
+        }
+    payload = {
+        "pr": 2,
+        "protocol": (
+            "single-job ExperimentGrid, cell cache disabled, identical "
+            "bars asserted between modes; exact=True reproduces the PR 1 "
+            "execution strategy (every loop entry simulated)"
+        ),
+        "platform": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+            "system": platform.system(),
+        },
+        "pr1_baseline": {
+            "fig6-2cluster_seconds": PR1_FIG6_SECONDS,
+            "note": (
+                "measured at commit f9f1a5f with the same protocol; the "
+                "PR 2 memoized run must be >= 2x faster"
+            ),
+        },
+        "figures": figures,
+    }
+    if "fig6-2cluster" in figures:
+        memo_seconds = figures["fig6-2cluster"]["memoized"]["seconds"]
+        payload["fig6_speedup_vs_pr1"] = round(
+            PR1_FIG6_SECONDS / memo_seconds, 2
+        )
+    out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {out}")
+    return payload
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
+    parser.add_argument(
+        "--skip-fig5", action="store_true",
+        help="record only the fig6 sweep (fig5 is the larger grid)",
+    )
+    args = parser.parse_args(argv)
+    scenarios = ["fig6-2cluster"]
+    if not args.skip_fig5:
+        scenarios.append("fig5-2cluster")
+    payload = record(scenarios, args.out)
+    speedup = payload.get("fig6_speedup_vs_pr1")
+    if speedup is not None and speedup < 2.0:
+        print(f"WARNING: fig6 speedup vs PR 1 is {speedup}x (< 2x)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,38 +12,48 @@ Three studies quantify the design decisions DESIGN.md calls out:
 
 import pytest
 
-from repro.analysis.compare import run_cell
-from repro.cme import AnalyticCME, EquationCME, SamplingCME
+from repro.cme import SamplingCME
 from repro.harness.report import format_table
+from repro.harness.scenarios import ABLATION_KERNELS, run_scenario
 from repro.machine import four_cluster, two_cluster
 from repro.scheduler import BaselineScheduler, SchedulerConfig
 from repro.workloads import spec_suite
 
 from conftest import save_and_print
 
-KERNELS = ("tomcatv", "su2cor", "hydro2d", "turb3d", "applu")
+KERNELS = ABLATION_KERNELS
 
 
-def test_cme_backend_ablation(benchmark, results_dir, locality):
+def test_cme_backend_ablation(benchmark, results_dir, grid):
     """RMCA driven by all three locality backends: the sampled functional
     simulation (the paper's practical solver), the exact per-access miss
-    equations, and the closed-form analytic model."""
+    equations, and the closed-form analytic model.
+
+    One registered scenario per backend; the sampling one shares the
+    session grid (same analyzer), the others expand on their own grids.
+    """
 
     def run():
+        sampled = run_scenario("ablation-cme-sampling", grid=grid)
+        exact = run_scenario("ablation-cme-equations")
+        closed = run_scenario("ablation-cme-analytic")
         rows = []
-        analytic = AnalyticCME()
-        equations = EquationCME(max_points=512)
-        for kernel in spec_suite(list(KERNELS)):
-            sampled = run_cell(kernel, four_cluster(), "rmca", 0.0, locality)
-            exact = run_cell(kernel, four_cluster(), "rmca", 0.0, equations)
-            closed = run_cell(kernel, four_cluster(), "rmca", 0.0, analytic)
+        for kernel in sampled.kernels:
+            cells = [
+                outcome.result_for(label, 0.0, kernel.name)
+                for outcome, label in (
+                    (sampled, "sampling"),
+                    (exact, "equations"),
+                    (closed, "analytic"),
+                )
+            ]
             rows.append(
                 (
                     kernel.name,
-                    sampled.total_cycles,
-                    exact.total_cycles,
-                    closed.total_cycles,
-                    closed.total_cycles / sampled.total_cycles,
+                    cells[0].total_cycles,
+                    cells[1].total_cycles,
+                    cells[2].total_cycles,
+                    cells[2].total_cycles / cells[0].total_cycles,
                 )
             )
         return rows

@@ -17,21 +17,22 @@ miss-count minimization is the wrong objective once prefetching has made
 misses latency-free.
 """
 
-from repro.analysis.compare import run_cell
 from repro.harness.report import format_table
-from repro.machine import four_cluster
-from repro.workloads import dsp_suite
+from repro.harness.scenarios import run_scenario
 
 from conftest import save_and_print
 
 
-def _run(locality):
-    machine = four_cluster()
+def _run(grid):
+    """The whole study is the registered ``dsp-4cluster`` scenario: its
+    cells run on the shared session grid (one wave, deduplicated and
+    cached) instead of a raw ``run_cell`` loop."""
+    outcome = run_scenario("dsp-4cluster", grid=grid)
     rows = []
     ratios = []
-    for kernel in dsp_suite():
-        base = run_cell(kernel, machine, "baseline", 0.25, locality)
-        rmca = run_cell(kernel, machine, "rmca", 0.25, locality)
+    for kernel in outcome.kernels:
+        base = outcome.result_for("baseline", 0.25, kernel.name)
+        rmca = outcome.result_for("rmca", 0.25, kernel.name)
         ratio = rmca.total_cycles / base.total_cycles
         ratios.append(ratio)
         rows.append(
@@ -47,9 +48,9 @@ def _run(locality):
     return rows, ratios
 
 
-def test_dsp_suite_extension(benchmark, results_dir, locality):
+def test_dsp_suite_extension(benchmark, results_dir, grid):
     rows, ratios = benchmark.pedantic(
-        _run, args=(locality,), rounds=1, iterations=1
+        _run, args=(grid,), rounds=1, iterations=1
     )
     table = format_table(
         ["kernel", "II (baseline)", "II (rmca)", "baseline cycles",

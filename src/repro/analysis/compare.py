@@ -1,24 +1,25 @@
 """Scheduler comparison helpers.
 
-Wraps the schedule→simulate pipeline for one kernel × machine ×
-scheduler × threshold cell and provides the normalization the paper's
-figures use (cycles relative to the Unified configuration).
+Historically this module *was* the cell executor: ``run_cell`` did the
+schedule→simulate pipeline inline.  That monolith now lives in
+:mod:`repro.engine` as an explicit build → analyze → schedule → simulate
+→ measure pipeline; ``run_cell`` remains as a thin compatibility wrapper
+with the same signature and the same :class:`RunResult`, so external
+callers and old examples keep working.  New code should build a
+:class:`~repro.engine.CellRequest` (or better, submit
+:class:`~repro.harness.grid.CellSpec` grids) instead.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
-from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..cme.locality import LocalityAnalyzer
+from ..engine.pipeline import execute_cell
+from ..engine.result import CELL_EXECUTIONS, ExecutionCounter, RunResult
+from ..engine.stages import CellRequest, make_scheduler
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
-from ..scheduler.base import SchedulerConfig
-from ..scheduler.baseline import BaselineScheduler
-from ..scheduler.result import Schedule
-from ..scheduler.rmca import RMCAScheduler
-from ..simulator.executor import simulate
-from ..simulator.stats import SimulationResult
 
 __all__ = [
     "RunResult",
@@ -28,100 +29,6 @@ __all__ = [
     "ExecutionCounter",
     "CELL_EXECUTIONS",
 ]
-
-_SCHEDULERS = ("baseline", "rmca")
-
-
-class ExecutionCounter:
-    """Process-local count of :func:`run_cell` executions.
-
-    The sweep grid's cache tests assert that warm runs perform *zero*
-    schedule/simulate computations; this counter is what they observe.
-    """
-
-    def __init__(self) -> None:
-        self.count = 0
-
-    def increment(self) -> None:
-        self.count += 1
-
-    def reset(self) -> None:
-        self.count = 0
-
-
-#: Incremented on every run_cell call in this process.
-CELL_EXECUTIONS = ExecutionCounter()
-
-
-@dataclass(frozen=True)
-class RunResult:
-    """One (kernel, machine, scheduler, threshold) experiment cell."""
-
-    kernel: str
-    machine: str
-    scheduler: str
-    threshold: float
-    schedule: Schedule
-    simulation: SimulationResult
-
-    @property
-    def total_cycles(self) -> int:
-        return self.simulation.total_cycles
-
-    @property
-    def compute_cycles(self) -> int:
-        return self.simulation.compute_cycles
-
-    @property
-    def stall_cycles(self) -> int:
-        return self.simulation.stall_cycles
-
-    def canonical(self) -> Dict[str, object]:
-        """Plain-data projection of everything the cell observed.
-
-        Two results are equivalent iff their canonical forms are equal;
-        unlike ``==`` this also holds across pickling boundaries (the
-        dependence graph inside ``schedule.kernel`` compares by identity),
-        so the parallel-equivalence tests compare these.
-        """
-        return {
-            "kernel": self.kernel,
-            "machine": self.machine,
-            "scheduler": self.scheduler,
-            "threshold": self.threshold,
-            "ii": self.schedule.ii,
-            "mii": self.schedule.mii,
-            "placements": sorted(
-                (p.op, p.cluster, p.time, p.assumed_latency)
-                for p in self.schedule.placements.values()
-            ),
-            "communications": sorted(
-                (c.producer, c.src_cluster, c.dst_cluster, c.bus,
-                 c.start, c.latency)
-                for c in self.schedule.communications
-            ),
-            "simulation": self.simulation.as_dict(),
-        }
-
-
-def make_scheduler(
-    name: str,
-    threshold: float = 1.0,
-    locality: Optional[LocalityAnalyzer] = None,
-):
-    """Instantiate a scheduler by its paper name (``baseline``/``rmca``).
-
-    Both schedulers receive the locality analyzer: the figures apply the
-    miss-threshold binding-prefetch step to Baseline too (its bars also
-    sweep the threshold); only *cluster selection* differs.
-    """
-    if name not in _SCHEDULERS:
-        raise KeyError(f"unknown scheduler {name!r}; choose from {_SCHEDULERS}")
-    analyzer = locality if locality is not None else default_analyzer()
-    config = SchedulerConfig(threshold=threshold)
-    if name == "rmca":
-        return RMCAScheduler(analyzer, config)
-    return BaselineScheduler(config=config, locality=analyzer)
 
 
 def run_cell(
@@ -133,19 +40,23 @@ def run_cell(
     n_iterations: Optional[int] = None,
     n_times: Optional[int] = None,
 ) -> RunResult:
-    """Schedule and simulate one experiment cell."""
-    CELL_EXECUTIONS.increment()
-    engine = make_scheduler(scheduler, threshold, locality)
-    schedule = engine.schedule(kernel, machine)
-    result = simulate(schedule, n_iterations=n_iterations, n_times=n_times)
-    return RunResult(
-        kernel=kernel.name,
-        machine=machine.name,
-        scheduler=scheduler,
-        threshold=threshold,
-        schedule=schedule,
-        simulation=result,
+    """Schedule and simulate one experiment cell.
+
+    Compatibility wrapper over the :mod:`repro.engine` pipeline — one
+    call, one :class:`RunResult`, identical to the historical monolith.
+    """
+    outcome = execute_cell(
+        CellRequest(
+            kernel=kernel,
+            machine=machine,
+            scheduler=scheduler,
+            threshold=threshold,
+            locality=locality,
+            n_iterations=n_iterations,
+            n_times=n_times,
+        )
     )
+    return outcome.result
 
 
 def normalized_cycles(

@@ -8,14 +8,19 @@ Exposes the main experiments without writing Python::
     python -m repro.cli simulate swim --machine 4-cluster --threshold 0.25
     python -m repro.cli fig5 --clusters 2 --latencies 1 4 --jobs 4 --out fig5.json
     python -m repro.cli fig6 --clusters 4 --csv fig6.csv
+    python -m repro.cli scenarios
+    python -m repro.cli run fig6-smoke --jobs 2
 
 Every command prints its table/chart to stdout; the figure commands can
 additionally persist the raw records (``--csv`` / ``--out`` JSON).
-``figure5``/``figure6`` (aliases ``fig5``/``fig6``) run their cells
-through the experiment grid: ``--jobs N`` fans them out over N worker
-processes, repeated invocations reuse the on-disk cell cache under
-``--cache-dir`` (or ``$REPRO_GRID_CACHE``), and per-cell progress is
-reported on stderr (suppress with ``--no-progress``).
+``figure5``/``figure6`` (aliases ``fig5``/``fig6``) and ``run`` execute
+their cells through the experiment grid: ``--jobs N`` fans them out over
+N worker processes, repeated invocations reuse the on-disk cell cache
+under ``--cache-dir`` (or ``$REPRO_GRID_CACHE``), and per-cell progress
+is reported on stderr (suppress with ``--no-progress``).  ``scenarios``
+lists the registry; ``run <scenario>`` executes one entry end-to-end
+(``--exact`` disables the simulator's steady-state memoization, ``--spec``
+prints the JSON spec instead of running).
 """
 
 from __future__ import annotations
@@ -24,15 +29,15 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .analysis.compare import make_scheduler
 from .cme import SamplingCME
+from .engine import CellPipeline, CellRequest, make_scheduler
 from .harness.charts import render_figure
 from .harness.grid import CellSpec, ExperimentGrid, ProgressCallback
 from .harness.io import figure_to_csv, figure_to_json
 from .harness.report import format_table
+from .harness.scenarios import all_scenarios, get_scenario, run_scenario
 from .harness.sweep import figure5, figure6
 from .machine import ALL_PRESETS, preset
-from .simulator import simulate
 from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
 
 __all__ = ["main", "build_parser"]
@@ -113,6 +118,40 @@ def build_parser() -> argparse.ArgumentParser:
             cmd.add_argument(
                 "--bus-latencies", type=int, nargs="+", default=[1, 4]
             )
+
+    sub.add_parser("scenarios", help="list the scenario registry")
+
+    run_cmd = sub.add_parser(
+        "run", help="execute a registered scenario on the experiment grid"
+    )
+    run_cmd.add_argument("scenario", help="scenario name (see `scenarios`)")
+    run_cmd.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the experiment grid (default: 1)",
+    )
+    run_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell (disable memory and disk caching)",
+    )
+    run_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
+    )
+    run_cmd.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-cell progress reporting on stderr",
+    )
+    run_cmd.add_argument(
+        "--exact", action="store_true",
+        help="disable the simulator's steady-state memoization "
+             "(results are bit-identical either way)",
+    )
+    run_cmd.add_argument(
+        "--spec", action="store_true",
+        help="print the scenario's JSON spec instead of running it",
+    )
+    run_cmd.add_argument("--csv", help="figure scenarios: records as CSV")
+    run_cmd.add_argument("--out", help="figure scenarios: figure as JSON")
     return parser
 
 
@@ -157,8 +196,23 @@ def _cmd_schedule(args: argparse.Namespace, run_simulation: bool) -> int:
     kernel = kernel_by_name(args.kernel)
     machine = preset(args.machine)
     locality = SamplingCME(max_points=args.max_points)
-    engine = make_scheduler(args.scheduler, args.threshold, locality)
-    schedule = engine.schedule(kernel, machine)
+    outcome = None
+    if run_simulation:
+        # Full pipeline: build -> analyze -> schedule -> simulate -> measure,
+        # with per-stage wall-clock reported.
+        outcome = CellPipeline().run(
+            CellRequest(
+                kernel=kernel,
+                machine=machine,
+                scheduler=args.scheduler,
+                threshold=args.threshold,
+                locality=locality,
+            )
+        )
+        schedule = outcome.result.schedule
+    else:
+        engine = make_scheduler(args.scheduler, args.threshold, locality)
+        schedule = engine.schedule(kernel, machine)
     schedule.validate()
     print(schedule.format_reservation_table())
     print(
@@ -166,13 +220,18 @@ def _cmd_schedule(args: argparse.Namespace, run_simulation: bool) -> int:
         f"comms/iter={schedule.n_communications}  "
         f"prefetched={schedule.prefetched_loads() or '-'}"
     )
-    if run_simulation:
-        result = simulate(schedule)
+    if outcome is not None:
+        result = outcome.result.simulation
         print(
             f"cycles: total={result.total_cycles} "
             f"(compute={result.compute_cycles}, stall={result.stall_cycles})"
         )
         print(f"memory: {result.memory.as_dict()}")
+        stages = "  ".join(
+            f"{record.stage}={record.seconds * 1000:.1f}ms"
+            for record in outcome.report.records
+        )
+        print(f"pipeline: {stages}")
     return 0
 
 
@@ -187,20 +246,36 @@ def _progress_printer(stream) -> "ProgressCallback":
     return report
 
 
-def _cmd_figure(args: argparse.Namespace, which: str) -> int:
-    locality = SamplingCME(max_points=args.max_points)
-    kernels = (
-        None
-        if not args.kernels
-        else [kernel_by_name(name) for name in args.kernels]
-    )
-    grid = ExperimentGrid(
+def _build_grid(args: argparse.Namespace, locality) -> ExperimentGrid:
+    """The grid shared by the figure and scenario commands: one place
+    maps the common --jobs/--no-cache/--cache-dir/--no-progress (and,
+    where offered, --exact) flags onto the engine."""
+    return ExperimentGrid(
         locality=locality,
         n_jobs=args.jobs,
         cache=not args.no_cache,
         cache_dir=args.cache_dir,
         progress=None if args.no_progress else _progress_printer(sys.stderr),
+        exact=getattr(args, "exact", False),
     )
+
+
+def _emit_figure(figure, args: argparse.Namespace) -> None:
+    """Render a figure to stdout plus the optional --csv/--out files."""
+    print(render_figure(figure))
+    if args.csv:
+        print(f"records written to {figure_to_csv(figure, args.csv)}")
+    if args.out:
+        print(f"figure written to {figure_to_json(figure, args.out)}")
+
+
+def _cmd_figure(args: argparse.Namespace, which: str) -> int:
+    kernels = (
+        None
+        if not args.kernels
+        else [kernel_by_name(name) for name in args.kernels]
+    )
+    grid = _build_grid(args, SamplingCME(max_points=args.max_points))
     if which == "figure5":
         figure = figure5(
             n_clusters=args.clusters,
@@ -218,19 +293,75 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             kernels=kernels,
             grid=grid,
         )
-    stats = grid.stats
     if not args.no_progress:
-        print(
-            f"cells: {stats.requested} requested, {stats.computed} computed, "
-            f"{stats.memory_hits + stats.disk_hits} cached, "
-            f"{stats.deduplicated} deduplicated",
-            file=sys.stderr,
+        _grid_stats_line(grid, sys.stderr)
+    _emit_figure(figure, args)
+    return 0
+
+
+def _grid_stats_line(grid: ExperimentGrid, stream) -> None:
+    stats = grid.stats
+    stages = "  ".join(
+        f"{stage}={seconds:.2f}s"
+        for stage, seconds in stats.stage_seconds.items()
+    )
+    print(
+        f"cells: {stats.requested} requested, {stats.computed} computed, "
+        f"{stats.memory_hits + stats.disk_hits} cached, "
+        f"{stats.deduplicated} deduplicated"
+        + (f"\nstage seconds: {stages}" if stages else ""),
+        file=stream,
+    )
+
+
+def _cmd_scenarios() -> int:
+    rows = []
+    for scenario in all_scenarios():
+        cells = scenario.n_cells()
+        rows.append(
+            (
+                scenario.name,
+                "figure" if scenario.is_figure else "grid",
+                "-" if cells is None else cells,
+                scenario.description,
+            )
         )
-    print(render_figure(figure))
-    if args.csv:
-        print(f"records written to {figure_to_csv(figure, args.csv)}")
-    if args.out:
-        print(f"figure written to {figure_to_json(figure, args.out)}")
+    print(format_table(["scenario", "kind", "cells", "description"], rows))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    if args.spec:
+        print(scenario.to_json())
+        return 0
+    grid = _build_grid(args, scenario.locality.build())
+    outcome = run_scenario(scenario, grid=grid)
+    if not args.no_progress:
+        _grid_stats_line(grid, sys.stderr)
+    if outcome.figure is not None:
+        _emit_figure(outcome.figure, args)
+        return 0
+    rows = [
+        (
+            group,
+            kernel,
+            result.scheduler,
+            f"{threshold:.2f}",
+            result.schedule.ii,
+            result.total_cycles,
+            result.compute_cycles,
+            result.stall_cycles,
+        )
+        for group, threshold, kernel, result in outcome.iter_rows()
+    ]
+    print(
+        format_table(
+            ["group", "kernel", "scheduler", "thr", "II",
+             "total", "compute", "stall"],
+            rows,
+        )
+    )
     return 0
 
 
@@ -244,6 +375,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_schedule(args, run_simulation=False)
     if args.command == "simulate":
         return _cmd_schedule(args, run_simulation=True)
+    if args.command == "scenarios":
+        return _cmd_scenarios()
+    if args.command == "run":
+        return _cmd_run(args)
     aliases = {"fig5": "figure5", "fig6": "figure6"}
     command = aliases.get(args.command, args.command)
     if command in ("figure5", "figure6"):

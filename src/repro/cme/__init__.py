@@ -2,7 +2,7 @@
 
 from .analytic import AnalyticCME
 from .equations import EquationCME, MissBreakdown
-from .locality import LocalityAnalyzer, default_analyzer
+from .locality import LocalityAnalyzer, default_analyzer, locality_fingerprint
 from .reuse import (
     ReuseInfo,
     analyze_reuse,
@@ -25,6 +25,7 @@ __all__ = [
     "default_analyzer",
     "group_pairs",
     "innermost_stride",
+    "locality_fingerprint",
     "self_spatial",
     "self_temporal",
 ]

@@ -21,7 +21,7 @@ from ..machine.config import CacheConfig
 from .analytic import AnalyticCME
 from .sampling import SamplingCME
 
-__all__ = ["LocalityAnalyzer", "default_analyzer"]
+__all__ = ["LocalityAnalyzer", "default_analyzer", "locality_fingerprint"]
 
 
 @runtime_checkable
@@ -50,3 +50,16 @@ class LocalityAnalyzer(Protocol):
 def default_analyzer(max_points: int = 2048) -> SamplingCME:
     """The analyzer used throughout the paper's experiments."""
     return SamplingCME(max_points=max_points)
+
+
+def locality_fingerprint(analyzer: LocalityAnalyzer) -> str:
+    """Stable description of a locality analyzer's configuration.
+
+    Part of every grid cache key: two analyzers with equal fingerprints
+    must drive the schedulers to identical decisions.
+    """
+    name = getattr(analyzer, "name", type(analyzer).__name__)
+    max_points = getattr(analyzer, "max_points", None)
+    if max_points is not None:
+        return f"{name}:{max_points}"
+    return str(name)

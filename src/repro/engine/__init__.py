@@ -1,0 +1,52 @@
+"""Layered cell-execution engine.
+
+The experiment cell — schedule one kernel on one machine with one
+scheduler/threshold, simulate it, measure it — used to be a monolithic
+function; this package decomposes it into an explicit pipeline of five
+small stages with typed inputs/outputs and per-stage timing records.
+The grid, the sweeps, the scenario runner and the CLI all consume it.
+"""
+
+from .pipeline import (
+    CellOutcome,
+    CellPipeline,
+    PipelineReport,
+    StageRecord,
+    default_stages,
+    execute_cell,
+)
+from .result import CELL_EXECUTIONS, ExecutionCounter, RunResult
+from .stages import (
+    SCHEDULER_NAMES,
+    AnalyzeStage,
+    BuildStage,
+    CellContext,
+    CellRequest,
+    MeasureStage,
+    ScheduleStage,
+    SimulateStage,
+    Stage,
+    make_scheduler,
+)
+
+__all__ = [
+    "AnalyzeStage",
+    "BuildStage",
+    "CELL_EXECUTIONS",
+    "CellContext",
+    "CellOutcome",
+    "CellPipeline",
+    "CellRequest",
+    "ExecutionCounter",
+    "MeasureStage",
+    "PipelineReport",
+    "RunResult",
+    "SCHEDULER_NAMES",
+    "ScheduleStage",
+    "SimulateStage",
+    "Stage",
+    "StageRecord",
+    "default_stages",
+    "execute_cell",
+    "make_scheduler",
+]

@@ -1,0 +1,137 @@
+"""The composable cell pipeline: build → analyze → schedule → simulate →
+measure.
+
+:class:`CellPipeline` threads a :class:`~repro.engine.stages.CellContext`
+through an ordered list of stages, timing each one into a
+:class:`StageRecord`.  The default stage list reproduces exactly what the
+historical ``run_cell`` monolith did; custom pipelines can drop, replace
+or wrap stages (e.g. a tracing simulate stage) without touching the grid
+or the sweeps, which only consume :class:`CellOutcome`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .result import CELL_EXECUTIONS, RunResult
+from .stages import (
+    AnalyzeStage,
+    BuildStage,
+    CellContext,
+    CellRequest,
+    MeasureStage,
+    ScheduleStage,
+    SimulateStage,
+    Stage,
+)
+
+__all__ = [
+    "StageRecord",
+    "PipelineReport",
+    "CellOutcome",
+    "CellPipeline",
+    "default_stages",
+    "execute_cell",
+]
+
+
+@dataclass(frozen=True)
+class StageRecord:
+    """Timing plus stage-specific statistics of one stage execution."""
+
+    stage: str
+    seconds: float
+    stats: Mapping[str, object]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "stage": self.stage,
+            "seconds": self.seconds,
+            **dict(self.stats),
+        }
+
+
+@dataclass
+class PipelineReport:
+    """Per-stage records of one cell execution, in pipeline order."""
+
+    records: List[StageRecord] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(record.seconds for record in self.records)
+
+    @property
+    def stage_seconds(self) -> Dict[str, float]:
+        return {record.stage: record.seconds for record in self.records}
+
+    def stage(self, name: str) -> StageRecord:
+        for record in self.records:
+            if record.stage == name:
+                return record
+        raise KeyError(
+            f"no stage {name!r}; ran {[r.stage for r in self.records]}"
+        )
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "total_seconds": self.total_seconds,
+            "stages": [record.as_dict() for record in self.records],
+        }
+
+
+@dataclass
+class CellOutcome:
+    """What executing one cell produced: the result plus its report."""
+
+    result: RunResult
+    report: PipelineReport
+
+
+def default_stages() -> List[Stage]:
+    """The canonical stage list (fresh instances, stages are stateless)."""
+    return [
+        BuildStage(),
+        AnalyzeStage(),
+        ScheduleStage(),
+        SimulateStage(),
+        MeasureStage(),
+    ]
+
+
+class CellPipeline:
+    """Executes cell requests through an ordered list of stages."""
+
+    def __init__(self, stages: Optional[Sequence[Stage]] = None):
+        self.stages: List[Stage] = (
+            list(stages) if stages is not None else default_stages()
+        )
+
+    def run(self, request: CellRequest) -> CellOutcome:
+        """Execute one cell; every stage runs, each timed into a record."""
+        CELL_EXECUTIONS.increment()
+        ctx = CellContext(request=request)
+        records: List[StageRecord] = []
+        for stage in self.stages:
+            start = time.perf_counter()
+            stats = stage.run(ctx) or {}
+            records.append(
+                StageRecord(
+                    stage=stage.name,
+                    seconds=time.perf_counter() - start,
+                    stats=stats,
+                )
+            )
+        if ctx.result is None:
+            raise RuntimeError(
+                "pipeline finished without producing a result; stage list "
+                f"{[stage.name for stage in self.stages]} lacks a measure stage"
+            )
+        return CellOutcome(result=ctx.result, report=PipelineReport(records))
+
+
+def execute_cell(request: CellRequest) -> CellOutcome:
+    """Run one request through a default pipeline."""
+    return CellPipeline().run(request)

@@ -1,0 +1,222 @@
+"""The five stages of the cell pipeline.
+
+Each stage is a small object with one job, reading its typed inputs
+from — and writing its product back to — the :class:`CellContext` that
+flows through the pipeline:
+
+=========  ==========================  ==========================
+stage      consumes                    produces
+=========  ==========================  ==========================
+build      request (kernel/machine)    resolved ``Kernel`` + machine
+analyze    request.locality            the locality analyzer
+schedule   kernel, machine, analyzer   the modulo ``Schedule``
+simulate   schedule, sim overrides     the ``SimulationResult``
+measure    everything above            the final ``RunResult``
+=========  ==========================  ==========================
+
+Every stage returns a statistics mapping; the pipeline wraps it with
+wall-clock timing into a :class:`~repro.engine.pipeline.StageRecord`, so
+any cell execution can report where its time went.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+from ..cme.locality import LocalityAnalyzer, default_analyzer, locality_fingerprint
+from ..ir.builder import Kernel
+from ..machine.config import MachineConfig
+from ..scheduler.base import SchedulerConfig
+from ..scheduler.baseline import BaselineScheduler
+from ..scheduler.result import Schedule
+from ..scheduler.rmca import RMCAScheduler
+from ..simulator.executor import LockstepSimulator
+from ..simulator.stats import SimulationResult
+from ..workloads.suite import kernel_by_name
+from .result import RunResult
+
+__all__ = [
+    "SCHEDULER_NAMES",
+    "CellRequest",
+    "CellContext",
+    "Stage",
+    "BuildStage",
+    "AnalyzeStage",
+    "ScheduleStage",
+    "SimulateStage",
+    "MeasureStage",
+    "make_scheduler",
+]
+
+SCHEDULER_NAMES = ("baseline", "rmca")
+
+
+def make_scheduler(
+    name: str,
+    threshold: float = 1.0,
+    locality: Optional[LocalityAnalyzer] = None,
+):
+    """Instantiate a scheduler by its paper name (``baseline``/``rmca``).
+
+    Both schedulers receive the locality analyzer: the figures apply the
+    miss-threshold binding-prefetch step to Baseline too (its bars also
+    sweep the threshold); only *cluster selection* differs.
+    """
+    if name not in SCHEDULER_NAMES:
+        raise KeyError(
+            f"unknown scheduler {name!r}; choose from {SCHEDULER_NAMES}"
+        )
+    analyzer = locality if locality is not None else default_analyzer()
+    config = SchedulerConfig(threshold=threshold)
+    if name == "rmca":
+        return RMCAScheduler(analyzer, config)
+    return BaselineScheduler(config=config, locality=analyzer)
+
+
+@dataclass
+class CellRequest:
+    """Everything needed to execute one experiment cell.
+
+    ``kernel`` may be a live :class:`Kernel` or a name, resolved against
+    ``kernels`` (an optional registry for non-suite kernels) and then the
+    SPECfp95 suite.  ``exact=True`` disables the simulator's steady-state
+    memoization (bit-identical results either way).
+    """
+
+    kernel: Union[Kernel, str]
+    machine: MachineConfig
+    scheduler: str
+    threshold: float = 1.0
+    locality: Optional[LocalityAnalyzer] = None
+    n_iterations: Optional[int] = None
+    n_times: Optional[int] = None
+    exact: bool = False
+    kernels: Mapping[str, Kernel] = field(default_factory=dict)
+
+
+@dataclass
+class CellContext:
+    """Mutable state flowing through the pipeline stages."""
+
+    request: CellRequest
+    kernel: Optional[Kernel] = None
+    machine: Optional[MachineConfig] = None
+    locality: Optional[LocalityAnalyzer] = None
+    engine: Optional[object] = None
+    schedule: Optional[Schedule] = None
+    simulation: Optional[SimulationResult] = None
+    result: Optional[RunResult] = None
+
+
+class Stage:
+    """One pipeline step: ``run`` mutates the context, returns stats."""
+
+    name: str = "stage"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        raise NotImplementedError
+
+
+class BuildStage(Stage):
+    """Resolve the kernel (object or registry/suite name) and machine."""
+
+    name = "build"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        request = ctx.request
+        kernel = request.kernel
+        if isinstance(kernel, str):
+            registered = request.kernels.get(kernel)
+            kernel = registered if registered is not None else kernel_by_name(kernel)
+        ctx.kernel = kernel
+        ctx.machine = request.machine
+        stats = kernel.loop.stats()
+        return {
+            "kernel": kernel.name,
+            "machine": request.machine.name,
+            "operations": stats["operations"],
+            "memory_operations": stats["memory_operations"],
+            "niter": stats["niter"],
+            "ntimes": stats["ntimes"],
+        }
+
+
+class AnalyzeStage(Stage):
+    """Attach the locality analyzer every scheduling decision reads."""
+
+    name = "analyze"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        locality = ctx.request.locality
+        ctx.locality = locality if locality is not None else default_analyzer()
+        return {"analyzer": locality_fingerprint(ctx.locality)}
+
+
+class ScheduleStage(Stage):
+    """Modulo-schedule the kernel with the requested scheduler."""
+
+    name = "schedule"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        request = ctx.request
+        ctx.engine = make_scheduler(
+            request.scheduler, request.threshold, ctx.locality
+        )
+        ctx.schedule = ctx.engine.schedule(ctx.kernel, ctx.machine)
+        return {
+            "scheduler": request.scheduler,
+            "threshold": request.threshold,
+            "ii": ctx.schedule.ii,
+            "mii": ctx.schedule.mii,
+            "stage_count": ctx.schedule.stage_count,
+            "communications": ctx.schedule.n_communications,
+        }
+
+
+class SimulateStage(Stage):
+    """Execute the schedule on the distributed-memory timing model."""
+
+    name = "simulate"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        request = ctx.request
+        simulator = LockstepSimulator(
+            ctx.schedule,
+            n_iterations=request.n_iterations,
+            n_times=request.n_times,
+            exact=request.exact,
+        )
+        ctx.simulation = simulator.run()
+        steady = simulator.steady_state
+        return {
+            "exact": request.exact,
+            "entries": ctx.simulation.n_times,
+            "entries_simulated": (
+                steady.simulated_entries if steady else ctx.simulation.n_times
+            ),
+            "entries_replayed": steady.replayed_entries if steady else 0,
+            "steady_state_period": steady.period if steady else None,
+        }
+
+
+class MeasureStage(Stage):
+    """Assemble the cell's :class:`RunResult`."""
+
+    name = "measure"
+
+    def run(self, ctx: CellContext) -> Dict[str, object]:
+        ctx.result = RunResult(
+            kernel=ctx.kernel.name,
+            machine=ctx.machine.name,
+            scheduler=ctx.request.scheduler,
+            threshold=ctx.request.threshold,
+            schedule=ctx.schedule,
+            simulation=ctx.simulation,
+        )
+        return {
+            "total_cycles": ctx.result.total_cycles,
+            "compute_cycles": ctx.result.compute_cycles,
+            "stall_cycles": ctx.result.stall_cycles,
+            "local_miss_ratio": ctx.simulation.memory.local_miss_ratio,
+        }

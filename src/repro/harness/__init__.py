@@ -12,6 +12,18 @@ from .grid import (
 )
 from .io import figure_to_csv, figure_to_json, load_records, records_to_csv, records_to_json
 from .report import figure_table, format_float, format_table
+from .scenarios import (
+    GroupSpec,
+    LocalitySpec,
+    MachineSpec,
+    ScenarioOutcome,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
 from .sweep import (
     DEFAULT_THRESHOLDS,
     Bar,
@@ -29,6 +41,16 @@ __all__ = [
     "ExperimentGrid",
     "FigureData",
     "GridStats",
+    "GroupSpec",
+    "LocalitySpec",
+    "MachineSpec",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "all_scenarios",
+    "get_scenario",
+    "register_scenario",
+    "run_scenario",
+    "scenario_names",
     "kernel_fingerprint",
     "locality_fingerprint",
     "machine_from_key",

@@ -46,8 +46,14 @@ from typing import (
     Union,
 )
 
-from ..analysis.compare import RunResult, run_cell
-from ..cme.locality import LocalityAnalyzer, default_analyzer
+from ..cme.locality import (
+    LocalityAnalyzer,
+    default_analyzer,
+    locality_fingerprint,
+)
+from ..engine.pipeline import CellOutcome, CellPipeline
+from ..engine.result import RunResult
+from ..engine.stages import CellRequest
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
 from ..workloads.suite import SPEC_KERNELS, kernel_by_name
@@ -91,15 +97,6 @@ def kernel_fingerprint(kernel: Kernel) -> str:
     digest.update(repr(kernel.loop).encode())
     digest.update(repr(edges).encode())
     return digest.hexdigest()[:16]
-
-
-def locality_fingerprint(analyzer: LocalityAnalyzer) -> str:
-    """Stable description of a locality analyzer's configuration."""
-    name = getattr(analyzer, "name", type(analyzer).__name__)
-    max_points = getattr(analyzer, "max_points", None)
-    if max_points is not None:
-        return f"{name}:{max_points}"
-    return str(name)
 
 
 def machine_key(machine: MachineConfig) -> str:
@@ -229,6 +226,15 @@ class GridStats:
     memory_hits: int = 0
     disk_hits: int = 0
     deduplicated: int = 0
+    #: Wall-clock seconds per pipeline stage, summed over computed cells
+    #: (workers report their stage timings back with each result).
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def add_stage_seconds(self, seconds: Mapping[str, float]) -> None:
+        for stage, value in seconds.items():
+            self.stage_seconds[stage] = (
+                self.stage_seconds.get(stage, 0.0) + value
+            )
 
     def reset(self) -> None:
         self.requested = 0
@@ -236,20 +242,27 @@ class GridStats:
         self.memory_hits = 0
         self.disk_hits = 0
         self.deduplicated = 0
+        self.stage_seconds = {}
 
 
 def _execute_cell(
-    spec: CellSpec, kernel: Kernel, locality: LocalityAnalyzer
-) -> RunResult:
-    """Execute one cell with an explicit analyzer (serial path)."""
-    return run_cell(
-        kernel,
-        spec.build_machine(),
-        spec.scheduler,
-        spec.threshold,
-        locality,
-        n_iterations=spec.n_iterations,
-        n_times=spec.n_times,
+    spec: CellSpec,
+    kernel: Kernel,
+    locality: LocalityAnalyzer,
+    exact: bool = False,
+) -> CellOutcome:
+    """Execute one cell through the engine pipeline (serial path)."""
+    return CellPipeline().run(
+        CellRequest(
+            kernel=kernel,
+            machine=spec.build_machine(),
+            scheduler=spec.scheduler,
+            threshold=spec.threshold,
+            locality=locality,
+            n_iterations=spec.n_iterations,
+            n_times=spec.n_times,
+            exact=exact,
+        )
     )
 
 
@@ -257,18 +270,23 @@ def _execute_cell(
 #: analyzer once per worker (instead of once per task) lets its CME memo
 #: accumulate across the cells that worker executes.
 _WORKER_LOCALITY: Optional[LocalityAnalyzer] = None
+_WORKER_EXACT: bool = False
 
 
-def _init_worker(locality: LocalityAnalyzer) -> None:
-    global _WORKER_LOCALITY
+def _init_worker(locality: LocalityAnalyzer, exact: bool = False) -> None:
+    global _WORKER_LOCALITY, _WORKER_EXACT
     _WORKER_LOCALITY = locality
+    _WORKER_EXACT = exact
 
 
-def _execute_cell_pooled(spec: CellSpec, kernel: Kernel) -> RunResult:
-    """Pool entry point; uses the worker's installed analyzer."""
+def _execute_cell_pooled(
+    spec: CellSpec, kernel: Kernel
+) -> Tuple[RunResult, Dict[str, float]]:
+    """Pool entry point; ships the result plus per-stage timings back."""
     if _WORKER_LOCALITY is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process missing its locality analyzer")
-    return _execute_cell(spec, kernel, _WORKER_LOCALITY)
+    outcome = _execute_cell(spec, kernel, _WORKER_LOCALITY, _WORKER_EXACT)
+    return outcome.result, outcome.report.stage_seconds
 
 
 class ExperimentGrid:
@@ -295,6 +313,11 @@ class ExperimentGrid:
         ``callback(done, total, spec, source)`` invoked once per
         requested cell with ``source`` in ``{"computed", "memory",
         "disk", "dedup"}``.
+    exact:
+        ``True`` runs every cell with the simulator's steady-state
+        memoization disabled.  Results are bit-identical either way (the
+        cache key is deliberately execution-strategy-agnostic); the flag
+        exists for benchmarking and paranoia runs.
     """
 
     def __init__(
@@ -305,6 +328,7 @@ class ExperimentGrid:
         cache_dir: Optional[Union[str, pathlib.Path]] = None,
         kernels: Optional[Mapping[str, Kernel]] = None,
         progress: Optional[ProgressCallback] = None,
+        exact: bool = False,
     ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -312,6 +336,7 @@ class ExperimentGrid:
             locality if locality is not None else default_analyzer()
         )
         self.n_jobs = n_jobs
+        self.exact = exact
         self.cache_enabled = cache
         if cache_dir is None:
             env_dir = os.environ.get(CACHE_ENV_VAR)
@@ -459,7 +484,11 @@ class ExperimentGrid:
         if self.n_jobs == 1 or len(pending) == 1:
             out = []
             for (spec, _key), kernel in zip(pending, kernels):
-                out.append(_execute_cell(spec, kernel, self.locality))
+                outcome = _execute_cell(
+                    spec, kernel, self.locality, self.exact
+                )
+                self.stats.add_stage_seconds(outcome.report.stage_seconds)
+                out.append(outcome.result)
                 report(spec, "computed")
             return out
         workers = min(self.n_jobs, len(pending))
@@ -467,7 +496,7 @@ class ExperimentGrid:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.locality,),
+            initargs=(self.locality, self.exact),
         ) as pool:
             futures = {
                 pool.submit(_execute_cell_pooled, spec, kernel): index
@@ -482,6 +511,8 @@ class ExperimentGrid:
                 )
                 for future in finished:
                     index = futures[future]
-                    results[index] = future.result()
+                    result, stage_seconds = future.result()
+                    results[index] = result
+                    self.stats.add_stage_seconds(stage_seconds)
                     report(pending[index][0], "computed")
         return results  # type: ignore[return-value]

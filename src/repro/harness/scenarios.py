@@ -1,0 +1,575 @@
+"""Declarative scenario registry: every sweep as a named, serializable spec.
+
+A *scenario* is a JSON-serializable description of one experiment —
+machine preset (with optional bus overrides), scheduler, thresholds,
+workload selection, locality-analyzer configuration and simulation
+overrides — that expands to a :class:`~repro.harness.grid.CellSpec` grid
+and runs on a shared :class:`~repro.harness.grid.ExperimentGrid`.  The
+registry gives every sweep in the repository a name: the paper figures,
+the DSP extension and the CME-backend ablations are all entries, runnable
+via ``python -m repro.cli run <scenario>`` and reusable from benchmarks.
+
+Two kinds of scenario exist:
+
+* **grid** scenarios enumerate ``groups × thresholds × kernels`` cells
+  explicitly; :func:`run_scenario` returns the per-cell
+  :class:`RunResult` list in enumeration order.
+* **figure** scenarios delegate to the figure generators
+  (:func:`~repro.harness.sweep.figure5` / ``figure6``), which do their
+  own cell enumeration plus the paper's Unified normalization;
+  :func:`run_scenario` returns the :class:`FigureData`.
+
+Adding a scenario is one :func:`register_scenario` call (or an entry in
+``_BUILTIN_SCENARIOS`` below); specs round-trip through
+:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict` so they can
+live in JSON files or CLI pipelines.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..cme import AnalyticCME, EquationCME, SamplingCME
+from ..cme.locality import LocalityAnalyzer, locality_fingerprint
+from ..engine.result import RunResult
+from ..engine.stages import SCHEDULER_NAMES
+from ..ir.builder import Kernel
+from ..machine.config import BusConfig, MachineConfig
+from ..machine.presets import ALL_PRESETS, preset
+from ..workloads.dsp import DSP_KERNELS, dsp_suite
+from ..workloads.suite import SPEC_KERNELS, spec_suite
+from .grid import CellSpec, ExperimentGrid, ProgressCallback
+from .sweep import FigureData, figure5, figure6
+
+__all__ = [
+    "MachineSpec",
+    "LocalitySpec",
+    "GroupSpec",
+    "ScenarioSpec",
+    "ScenarioOutcome",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+    "all_scenarios",
+    "run_scenario",
+]
+
+_SUITES = {
+    "spec": (SPEC_KERNELS, spec_suite),
+    "dsp": (DSP_KERNELS, dsp_suite),
+}
+
+_FIGURES = {"figure5": figure5, "figure6": figure6}
+
+
+def _bus_to_json(bus: Optional[Tuple[Optional[int], int]]):
+    return None if bus is None else list(bus)
+
+
+def _bus_from_json(data) -> Optional[Tuple[Optional[int], int]]:
+    return None if data is None else (data[0], data[1])
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A machine preset plus optional bus overrides.
+
+    Buses are ``(count, latency)`` pairs; ``count=None`` means the
+    unbounded pool of the paper's Section 5.2 study.
+    """
+
+    preset: str
+    register_bus: Optional[Tuple[Optional[int], int]] = None
+    memory_bus: Optional[Tuple[Optional[int], int]] = None
+
+    def __post_init__(self) -> None:
+        if self.preset not in ALL_PRESETS:
+            raise KeyError(
+                f"unknown machine preset {self.preset!r}; "
+                f"choose from {sorted(ALL_PRESETS)}"
+            )
+
+    def build(self) -> MachineConfig:
+        kwargs = {}
+        if self.register_bus is not None:
+            kwargs["register_bus"] = BusConfig(*self.register_bus)
+        if self.memory_bus is not None:
+            kwargs["memory_bus"] = BusConfig(*self.memory_bus)
+        return preset(self.preset, **kwargs)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "preset": self.preset,
+            "register_bus": _bus_to_json(self.register_bus),
+            "memory_bus": _bus_to_json(self.memory_bus),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MachineSpec":
+        return cls(
+            preset=data["preset"],
+            register_bus=_bus_from_json(data.get("register_bus")),
+            memory_bus=_bus_from_json(data.get("memory_bus")),
+        )
+
+
+@dataclass(frozen=True)
+class LocalitySpec:
+    """Which CME backend drives the schedulers, and at what budget."""
+
+    kind: str = "sampling"
+    max_points: Optional[int] = 512
+
+    _BUILDERS = {
+        "sampling": lambda points: SamplingCME(max_points=points),
+        "equations": lambda points: EquationCME(max_points=points),
+        "analytic": lambda points: AnalyticCME(),
+    }
+
+    def __post_init__(self) -> None:
+        if self.kind not in self._BUILDERS:
+            raise KeyError(
+                f"unknown locality kind {self.kind!r}; "
+                f"choose from {sorted(self._BUILDERS)}"
+            )
+
+    def build(self) -> LocalityAnalyzer:
+        return self._BUILDERS[self.kind](self.max_points)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"kind": self.kind, "max_points": self.max_points}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "LocalitySpec":
+        return cls(kind=data["kind"], max_points=data.get("max_points"))
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One bar group of a grid scenario: a machine and a scheduler."""
+
+    label: str
+    machine: MachineSpec
+    scheduler: str
+
+    def __post_init__(self) -> None:
+        if self.scheduler not in SCHEDULER_NAMES:
+            raise KeyError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"choose from {SCHEDULER_NAMES}"
+            )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "machine": self.machine.to_dict(),
+            "scheduler": self.scheduler,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "GroupSpec":
+        return cls(
+            label=data["label"],
+            machine=MachineSpec.from_dict(data["machine"]),
+            scheduler=data["scheduler"],
+        )
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A named, serializable experiment description.
+
+    Grid scenarios set ``groups`` (+ ``thresholds``/workload selection);
+    figure scenarios set ``figure`` (+ ``figure_args`` forwarded to the
+    generator).  ``kernels=None`` selects the whole suite.
+    """
+
+    name: str
+    description: str
+    groups: Tuple[GroupSpec, ...] = ()
+    thresholds: Tuple[float, ...] = (1.0,)
+    suite: str = "spec"
+    kernels: Optional[Tuple[str, ...]] = None
+    locality: LocalitySpec = LocalitySpec()
+    n_iterations: Optional[int] = None
+    n_times: Optional[int] = None
+    figure: Optional[str] = None
+    figure_args: Tuple[Tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.suite not in _SUITES:
+            raise KeyError(
+                f"unknown suite {self.suite!r}; choose from {sorted(_SUITES)}"
+            )
+        if self.figure is not None and self.figure not in _FIGURES:
+            raise KeyError(
+                f"unknown figure {self.figure!r}; "
+                f"choose from {sorted(_FIGURES)}"
+            )
+        if self.figure is None and not self.groups:
+            raise ValueError(
+                f"scenario {self.name!r} needs groups (grid kind) or a "
+                f"figure (figure kind)"
+            )
+        registry, _factory = _SUITES[self.suite]
+        unknown = [
+            name for name in (self.kernels or ()) if name not in registry
+        ]
+        if unknown:
+            raise KeyError(
+                f"scenario {self.name!r} selects unknown {self.suite} "
+                f"kernels {unknown}; known: {list(registry)}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_figure(self) -> bool:
+        return self.figure is not None
+
+    def build_kernels(self) -> List[Kernel]:
+        """Instantiate the selected workload kernels, in suite order."""
+        registry, factory = _SUITES[self.suite]
+        if self.kernels is None:
+            return factory()
+        return factory(list(self.kernels))
+
+    def expand(
+        self, kernels: Optional[Sequence[Kernel]] = None
+    ) -> List[CellSpec]:
+        """The scenario's cell grid: groups × thresholds × kernels."""
+        if self.is_figure:
+            raise ValueError(
+                f"figure scenario {self.name!r} delegates enumeration to "
+                f"{self.figure}; run it via run_scenario()"
+            )
+        kernels = (
+            list(kernels) if kernels is not None else self.build_kernels()
+        )
+        return [
+            CellSpec.of(
+                kernel,
+                group.machine.build(),
+                group.scheduler,
+                threshold,
+                n_iterations=self.n_iterations,
+                n_times=self.n_times,
+            )
+            for group in self.groups
+            for threshold in self.thresholds
+            for kernel in kernels
+        ]
+
+    def n_cells(self) -> Optional[int]:
+        """Cell count of a grid scenario (``None`` for figure kind)."""
+        if self.is_figure:
+            return None
+        registry, _factory = _SUITES[self.suite]
+        n_kernels = (
+            len(registry) if self.kernels is None else len(self.kernels)
+        )
+        return len(self.groups) * len(self.thresholds) * n_kernels
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "groups": [group.to_dict() for group in self.groups],
+            "thresholds": list(self.thresholds),
+            "suite": self.suite,
+            "kernels": None if self.kernels is None else list(self.kernels),
+            "locality": self.locality.to_dict(),
+            "n_iterations": self.n_iterations,
+            "n_times": self.n_times,
+            "figure": self.figure,
+            "figure_args": {key: value for key, value in self.figure_args},
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
+        def _tupled(value):
+            return tuple(value) if isinstance(value, list) else value
+
+        return cls(
+            name=data["name"],
+            description=data["description"],
+            groups=tuple(
+                GroupSpec.from_dict(group) for group in data.get("groups", [])
+            ),
+            thresholds=tuple(data.get("thresholds", [1.0])),
+            suite=data.get("suite", "spec"),
+            kernels=(
+                None
+                if data.get("kernels") is None
+                else tuple(data["kernels"])
+            ),
+            locality=LocalitySpec.from_dict(
+                data.get("locality", {"kind": "sampling", "max_points": 512})
+            ),
+            n_iterations=data.get("n_iterations"),
+            n_times=data.get("n_times"),
+            figure=data.get("figure"),
+            figure_args=tuple(
+                sorted(
+                    (key, _tupled(value))
+                    for key, value in data.get("figure_args", {}).items()
+                )
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass
+class ScenarioOutcome:
+    """What running a scenario produced.
+
+    Grid scenarios fill ``results`` (aligned with
+    ``scenario.expand()``); figure scenarios fill ``figure``.
+    """
+
+    scenario: ScenarioSpec
+    grid: ExperimentGrid
+    kernels: List[Kernel] = field(default_factory=list)
+    results: Optional[List[RunResult]] = None
+    figure: Optional[FigureData] = None
+
+    def iter_rows(
+        self,
+    ) -> Iterator[Tuple[str, float, str, RunResult]]:
+        """Yield ``(group label, threshold, kernel name, result)`` in
+        enumeration order (grid scenarios only)."""
+        if self.results is None:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} is a figure scenario; "
+                f"read .figure instead"
+            )
+        index = 0
+        for group in self.scenario.groups:
+            for threshold in self.scenario.thresholds:
+                for kernel in self.kernels:
+                    yield group.label, threshold, kernel.name, self.results[
+                        index
+                    ]
+                    index += 1
+
+    def result_for(
+        self, label: str, threshold: float, kernel: str
+    ) -> RunResult:
+        """Look one cell result up by its enumeration coordinates."""
+        for row_label, row_threshold, row_kernel, result in self.iter_rows():
+            if (
+                row_label == label
+                and row_kernel == kernel
+                and abs(row_threshold - threshold) < 1e-12
+            ):
+                return result
+        raise KeyError(
+            f"no cell ({label!r}, {threshold}, {kernel!r}) in scenario "
+            f"{self.scenario.name!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register_scenario(
+    scenario: ScenarioSpec, replace: bool = False
+) -> ScenarioSpec:
+    """Add a scenario to the registry (``replace=True`` to overwrite)."""
+    if scenario.name in _REGISTRY and not replace:
+        raise KeyError(f"scenario {scenario.name!r} already registered")
+    _REGISTRY[scenario.name] = scenario
+    return scenario
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; known: {scenario_names()}"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+def run_scenario(
+    scenario: Union[ScenarioSpec, str],
+    grid: Optional[ExperimentGrid] = None,
+    n_jobs: int = 1,
+    cache: bool = True,
+    cache_dir=None,
+    progress: Optional[ProgressCallback] = None,
+    exact: bool = False,
+) -> ScenarioOutcome:
+    """Execute a scenario (by spec or registry name) on a grid.
+
+    An explicit ``grid`` must run the analyzer configuration the
+    scenario declares — silently computing different bars would poison
+    its cache — otherwise a grid is built from the scenario's
+    :class:`LocalitySpec`.
+    """
+    if isinstance(scenario, str):
+        scenario = get_scenario(scenario)
+    if grid is None:
+        grid = ExperimentGrid(
+            locality=scenario.locality.build(),
+            n_jobs=n_jobs,
+            cache=cache,
+            cache_dir=cache_dir,
+            progress=progress,
+            exact=exact,
+        )
+    else:
+        wanted = locality_fingerprint(scenario.locality.build())
+        actual = locality_fingerprint(grid.locality)
+        if wanted != actual:
+            raise ValueError(
+                f"scenario {scenario.name!r} declares analyzer {wanted!r} "
+                f"but the grid runs {actual!r}; pass a matching grid or "
+                f"none"
+            )
+    if scenario.is_figure:
+        figure_fn = _FIGURES[scenario.figure]
+        kwargs = {key: value for key, value in scenario.figure_args}
+        if scenario.kernels is not None:
+            kwargs["kernels"] = scenario.build_kernels()
+        figure = figure_fn(grid=grid, **kwargs)
+        return ScenarioOutcome(scenario=scenario, grid=grid, figure=figure)
+    kernels = scenario.build_kernels()
+    grid.register(kernels)
+    specs = scenario.expand(kernels)
+    results = grid.run(specs)
+    return ScenarioOutcome(
+        scenario=scenario, grid=grid, kernels=kernels, results=results
+    )
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios: every sweep in the repository has a name
+# ----------------------------------------------------------------------
+#: Kernel subset the CME-backend ablation studies (benchmarks/test_ablations).
+ABLATION_KERNELS = ("tomcatv", "su2cor", "hydro2d", "turb3d", "applu")
+
+
+def _ablation_scenario(kind: str, max_points: Optional[int]) -> ScenarioSpec:
+    return ScenarioSpec(
+        name=f"ablation-cme-{kind}",
+        description=(
+            f"RMCA at threshold 0.0 on the 4-cluster machine, driven by "
+            f"the {kind} CME backend"
+        ),
+        groups=(
+            GroupSpec(
+                label=kind,
+                machine=MachineSpec(preset="4-cluster"),
+                scheduler="rmca",
+            ),
+        ),
+        thresholds=(0.0,),
+        kernels=ABLATION_KERNELS,
+        locality=LocalitySpec(kind=kind, max_points=max_points),
+    )
+
+
+_BUILTIN_SCENARIOS = (
+    ScenarioSpec(
+        name="fig5-2cluster",
+        description="Figure 5, 2-cluster: unbounded buses, LRB x LMB sweep",
+        figure="figure5",
+        figure_args=(("n_clusters", 2),),
+    ),
+    ScenarioSpec(
+        name="fig5-4cluster",
+        description="Figure 5, 4-cluster: unbounded buses, LRB x LMB sweep",
+        figure="figure5",
+        figure_args=(("n_clusters", 4),),
+    ),
+    ScenarioSpec(
+        name="fig6-2cluster",
+        description="Figure 6, 2-cluster: realistic buses, NMB x LMB sweep",
+        figure="figure6",
+        figure_args=(("n_clusters", 2),),
+    ),
+    ScenarioSpec(
+        name="fig6-4cluster",
+        description="Figure 6, 4-cluster: realistic buses, NMB x LMB sweep",
+        figure="figure6",
+        figure_args=(("n_clusters", 4),),
+    ),
+    ScenarioSpec(
+        name="fig6-smoke",
+        description=(
+            "Figure 6 reduced grid (NMB=1, LMB=1): the golden-regression "
+            "panel, full suite"
+        ),
+        figure="figure6",
+        figure_args=(
+            ("bus_counts", (1,)),
+            ("bus_latencies", (1,)),
+            ("n_clusters", 2),
+        ),
+    ),
+    ScenarioSpec(
+        name="dsp-4cluster",
+        description=(
+            "DSP/multimedia extension: Baseline vs RMCA at threshold "
+            "0.25 on the 4-cluster machine"
+        ),
+        groups=(
+            GroupSpec(
+                label="baseline",
+                machine=MachineSpec(preset="4-cluster"),
+                scheduler="baseline",
+            ),
+            GroupSpec(
+                label="rmca",
+                machine=MachineSpec(preset="4-cluster"),
+                scheduler="rmca",
+            ),
+        ),
+        thresholds=(0.25,),
+        suite="dsp",
+    ),
+    ScenarioSpec(
+        name="unified-reference",
+        description=(
+            "Unified machine with an unbounded 1-cycle memory bus at "
+            "threshold 1.0: the figures' normalization denominator"
+        ),
+        groups=(
+            GroupSpec(
+                label="unified",
+                machine=MachineSpec(preset="unified", memory_bus=(None, 1)),
+                scheduler="baseline",
+            ),
+        ),
+        thresholds=(1.0,),
+    ),
+    _ablation_scenario("sampling", 512),
+    _ablation_scenario("equations", 512),
+    _ablation_scenario("analytic", None),
+)
+
+for _scenario in _BUILTIN_SCENARIOS:
+    register_scenario(_scenario)

@@ -18,6 +18,7 @@ simulator never queues.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import cached_property
 from typing import Dict, Mapping, Optional, Tuple
 
 from ..ir.operations import FUType, OpClass
@@ -77,11 +78,15 @@ class CacheConfig:
         if self.mshr_entries < 1:
             raise ValueError("MSHR needs at least one entry")
 
-    @property
+    # cached_property (not property): set_index/tag/line_address sit on
+    # the simulators' per-access path, and the divisions add up over
+    # hundreds of thousands of calls.  Works on a frozen dataclass
+    # because the cache writes straight into __dict__.
+    @cached_property
     def n_lines(self) -> int:
         return self.size // self.line_size
 
-    @property
+    @cached_property
     def n_sets(self) -> int:
         return self.n_lines // self.associativity
 

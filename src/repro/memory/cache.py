@@ -57,6 +57,11 @@ class MSHR:
     def allocate(self, time: int) -> int:
         """Allocate an entry; returns the time the allocation succeeds."""
         in_use = sorted(t for t in self._release_times if t > time)
+        # Entries released at or before ``time`` can never constrain this
+        # or any later allocation (issue times are non-decreasing), so
+        # drop them — the list stays at MSHR size instead of growing with
+        # every miss of the run.
+        self._release_times = in_use
         if len(in_use) < self.n_entries:
             grant = time
         else:
@@ -74,6 +79,14 @@ class MSHR:
     def reset_stats(self) -> None:
         self.total_wait_cycles = 0
         self.peak_occupancy = 0
+
+    def pending_signature(self, base: int) -> Tuple[int, ...]:
+        """Entries still held after ``base``, as base-relative times.
+
+        Releases at or before ``base`` can never delay an allocation
+        issued at ``base`` or later, so they are behaviourally absent.
+        """
+        return tuple(sorted(t - base for t in self._release_times if t > base))
 
 
 class ClusterCache:
@@ -167,6 +180,52 @@ class ClusterCache:
         ) * self.config.line_size
 
     # ------------------------------------------------------------------
+    def state_signature(
+        self, base: int, addr_shift: int = 0
+    ) -> Tuple[object, ...]:
+        """Canonical description of everything that can affect a future
+        access, normalized for time and address translation.
+
+        Times are made relative to ``base`` (completions at or before it
+        are dropped: the hierarchy ignores them).  Line addresses are
+        shifted down by ``addr_shift`` and set indices rotated by the
+        matching amount, so two states reached by executions whose whole
+        address stream differs by ``addr_shift`` compare equal.  The
+        caller must ensure ``addr_shift`` is a multiple of the line size
+        (otherwise the shift does not commute with line/set mapping).
+
+        INVALID lines are included: a matching tag in state I is revived
+        by :meth:`fill` without an eviction, so presence and position of
+        such lines is genuine state.
+        """
+        config = self.config
+        rotation = (addr_shift // config.line_size) % config.n_sets
+        sets = []
+        for index, ways in self._sets.items():
+            if not ways:
+                continue
+            sets.append(
+                (
+                    (index - rotation) % config.n_sets,
+                    tuple(
+                        (
+                            self._line_address(index, line.tag) - addr_shift,
+                            line.state.value,
+                        )
+                        for line in ways
+                    ),
+                )
+            )
+        sets.sort()
+        fills = tuple(
+            sorted(
+                (address - addr_shift, t - base)
+                for address, t in self.in_flight.items()
+                if t > base
+            )
+        )
+        return (tuple(sets), fills, self.mshr.pending_signature(base))
+
     def resident_lines(self) -> int:
         """Number of valid lines (test/debug helper)."""
         return sum(

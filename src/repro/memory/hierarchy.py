@@ -17,6 +17,7 @@ earlier miss already started loading the same line (in-flight merging).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from math import gcd as _gcd
 from typing import Dict, List, Optional, Tuple
 
 from ..machine.config import MachineConfig
@@ -200,6 +201,105 @@ class DistributedMemorySystem:
             mshr_wait=mshr_wait,
             bus_wait=bus_wait,
         )
+
+    # ------------------------------------------------------------------
+    # Steady-state support: translation-normalized signatures + counters
+    # ------------------------------------------------------------------
+    def signature_shift_unit(self) -> int:
+        """Address-shift granularity under which signatures are exact.
+
+        A uniform shift of the whole address stream commutes with line
+        and set mapping only when it is a multiple of every cache's line
+        size; shifts passed to :meth:`state_signature` must be multiples
+        of this value.
+        """
+        unit = 1
+        for cache in self.caches:
+            line = cache.config.line_size
+            unit = unit * line // _gcd(unit, line)
+        return unit
+
+    def state_signature(
+        self, base: int, addr_shift: int = 0
+    ) -> Tuple[object, ...]:
+        """Hashable canonical form of all timing-relevant state.
+
+        Two memory systems with equal signatures behave identically on
+        any future access stream issued at times ``>= base`` whose
+        addresses differ by ``addr_shift``: tags/MSI/LRU state, pending
+        fills, MSHR occupancy, bus horizons and in-flight main-memory
+        fills are all covered, each normalized to ``base``-relative time
+        and shifted down by ``addr_shift`` (which must be a multiple of
+        :meth:`signature_shift_unit`).  Aggregate statistics are *not*
+        part of the signature — they record the past, not the future.
+        """
+        return (
+            tuple(
+                cache.state_signature(base, addr_shift)
+                for cache in self.caches
+            ),
+            self.bus.state_signature(base),
+            tuple(
+                sorted(
+                    (address - addr_shift, t - base)
+                    for address, t in self._main_in_flight.items()
+                    if t > base
+                )
+            ),
+        )
+
+    def counters(self) -> Dict[str, int]:
+        """Snapshot of every additive statistic (for delta replay)."""
+        values = {
+            "accesses": self.stats.accesses,
+            "local_hits": self.stats.local_hits,
+            "remote_hits": self.stats.remote_hits,
+            "main_memory": self.stats.main_memory,
+            "merged": self.stats.merged,
+            "mshr_wait_cycles": self.stats.mshr_wait_cycles,
+            "bus_wait_cycles": self.stats.bus_wait_cycles,
+            "coherence_upgrades": self.stats.coherence_upgrades,
+            "writebacks": self.stats.writebacks,
+            "bus_total_wait_cycles": self.bus.total_wait_cycles,
+            "bus_total_transactions": self.bus.total_transactions,
+            "bus_total_busy_cycles": self.bus.total_busy_cycles,
+            "msi_invalidations": self.msi.n_invalidations,
+            "msi_interventions": self.msi.n_interventions,
+            "msi_writebacks": self.msi.n_writebacks,
+        }
+        for index, cache in enumerate(self.caches):
+            values[f"mshr{index}_wait_cycles"] = cache.mshr.total_wait_cycles
+        return values
+
+    def add_counters(self, delta: Dict[str, int], times: int = 1) -> None:
+        """Apply ``times`` repetitions of a counter delta.
+
+        The inverse of two :meth:`counters` snapshots: replaying ``n``
+        memoized steady-state entries adds ``n`` deltas so aggregate
+        statistics match a full simulation exactly.  ``peak_occupancy``
+        is deliberately untouched — it is a maximum, and a replayed
+        steady-state entry repeats behaviour already observed.
+        """
+        stats = self.stats
+        stats.accesses += delta["accesses"] * times
+        stats.local_hits += delta["local_hits"] * times
+        stats.remote_hits += delta["remote_hits"] * times
+        stats.main_memory += delta["main_memory"] * times
+        stats.merged += delta["merged"] * times
+        stats.mshr_wait_cycles += delta["mshr_wait_cycles"] * times
+        stats.bus_wait_cycles += delta["bus_wait_cycles"] * times
+        stats.coherence_upgrades += delta["coherence_upgrades"] * times
+        stats.writebacks += delta["writebacks"] * times
+        self.bus.total_wait_cycles += delta["bus_total_wait_cycles"] * times
+        self.bus.total_transactions += delta["bus_total_transactions"] * times
+        self.bus.total_busy_cycles += delta["bus_total_busy_cycles"] * times
+        self.msi.n_invalidations += delta["msi_invalidations"] * times
+        self.msi.n_interventions += delta["msi_interventions"] * times
+        self.msi.n_writebacks += delta["msi_writebacks"] * times
+        for index, cache in enumerate(self.caches):
+            cache.mshr.total_wait_cycles += (
+                delta[f"mshr{index}_wait_cycles"] * times
+            )
 
     # ------------------------------------------------------------------
     def check_coherence(self, addresses: List[int]) -> None:

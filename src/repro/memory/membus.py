@@ -55,3 +55,15 @@ class MemoryBusPool:
         self.total_wait_cycles = 0
         self.total_transactions = 0
         self.total_busy_cycles = 0
+
+    def state_signature(self, base: int) -> Tuple[int, ...]:
+        """Busy horizon relative to ``base``, as an order-free multiset.
+
+        Arbitration picks the bus with the smallest ``busy_until``, so
+        behaviour depends only on the multiset of values; bus identity is
+        interchangeable.  Values at or before ``base`` are clamped to 0:
+        an idle-since-the-past bus grants exactly like a never-used one.
+        """
+        if self._busy_until is None:
+            return ()
+        return tuple(sorted(max(0, t - base) for t in self._busy_until))

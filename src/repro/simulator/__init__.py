@@ -1,12 +1,13 @@
 """Lockstep multiVLIWprocessor execution simulator."""
 
-from .executor import LockstepSimulator, simulate
+from .executor import LockstepSimulator, SteadyState, simulate
 from .stats import SimulationResult
 from .trace import Trace, TraceEvent, trace_schedule
 
 __all__ = [
     "LockstepSimulator",
     "SimulationResult",
+    "SteadyState",
     "Trace",
     "TraceEvent",
     "simulate",

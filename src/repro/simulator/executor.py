@@ -15,6 +15,32 @@ main-memory fill, in-flight merging.  The scheduler's *assumed* latency
 only influenced where consumers were placed; actual readiness comes from
 the memory system, which is how optimistic hit-latency scheduling turns
 into stalls when a load misses.
+
+Steady-state entry memoization
+------------------------------
+``NTIMES`` entries of the innermost loop mostly repeat each other: after
+a warm-up transient, the memory system settles into a per-entry pattern
+and re-walking all ``NITER × ops`` instances is redundant.  The engine
+exploits this without changing a single bit of the results:
+
+* before each entry it takes a *normalized signature* of the memory
+  system (:meth:`DistributedMemorySystem.state_signature`) — relative in
+  time to the entry's start and shifted in address space by the
+  cumulative per-entry address delta, so a stencil sweeping rows hashes
+  equal once its relative cache contents stop changing;
+* entry execution is a pure function of that signature plus the entry's
+  address stream, so when a signature repeats (same outer-point phase,
+  same normalized state) the engine proves the remaining entries replay
+  the recorded cycle — it verifies the future address deltas match the
+  shift under which the states compared equal — and replays their
+  (stall, statistics-delta) records instead of re-simulating;
+* entries whose address stream is not a uniform, line-aligned shift of
+  the previous one act as barriers: detection restarts after them, and
+  kernels that never converge (cache thrashing, irregular outer strides)
+  simply run every entry exactly as before.
+
+``exact=True`` disables the machinery entirely; results are guaranteed —
+and tested — to be bit-identical either way.
 """
 
 from __future__ import annotations
@@ -28,7 +54,7 @@ from ..memory.hierarchy import DistributedMemorySystem
 from ..scheduler.result import Schedule
 from .stats import SimulationResult
 
-__all__ = ["LockstepSimulator", "simulate"]
+__all__ = ["LockstepSimulator", "SteadyState", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -36,6 +62,32 @@ class _FlowInput:
     producer: str
     distance: int
     cross_cluster: bool
+
+
+@dataclass(frozen=True)
+class SteadyState:
+    """How a memoized run split its entries (``simulator.steady_state``)."""
+
+    detected_at: int  #: index of the first replayed entry
+    period: int  #: length of the repeating entry cycle
+    simulated_entries: int  #: entries executed instance by instance
+    replayed_entries: int  #: entries replayed from the memo record
+
+
+def _validate_count(name: str, value: Optional[int], default: int) -> int:
+    """Resolve an iteration-count override, rejecting non-positive values.
+
+    ``value or default`` would silently swallow an explicit ``0``; the
+    override is applied iff it ``is not None``, and whichever count wins
+    must be at least 1 — a loop that is never entered has no schedule to
+    execute.
+    """
+    resolved = default if value is None else value
+    if not isinstance(resolved, int) or isinstance(resolved, bool):
+        raise ValueError(f"{name} must be an int, got {resolved!r}")
+    if resolved < 1:
+        raise ValueError(f"{name} must be >= 1, got {resolved}")
+    return resolved
 
 
 class LockstepSimulator:
@@ -50,6 +102,11 @@ class LockstepSimulator:
     n_times:
         Override NTIMES (defaults to the loop's outer trip-count product).
         Cache state persists across executions, as on real hardware.
+    exact:
+        ``True`` forces every entry to be simulated instance by instance,
+        disabling steady-state memoization.  Results are bit-identical
+        either way; the flag exists as an escape hatch and for the
+        equivalence tests that prove it.
     """
 
     def __init__(
@@ -57,15 +114,24 @@ class LockstepSimulator:
         schedule: Schedule,
         n_iterations: Optional[int] = None,
         n_times: Optional[int] = None,
+        exact: bool = False,
     ):
         self.schedule = schedule
         self.loop: Loop = schedule.kernel.loop
         self.machine: MachineConfig = schedule.machine
-        self.n_iterations = n_iterations or self.loop.n_iterations
-        self.n_times = n_times or self.loop.n_times
+        self.n_iterations = _validate_count(
+            "n_iterations", n_iterations, self.loop.n_iterations
+        )
+        self.n_times = _validate_count(
+            "n_times", n_times, self.loop.n_times
+        )
+        self.exact = exact
+        #: Populated by :meth:`run` when memoization kicked in.
+        self.steady_state: Optional[SteadyState] = None
         self.memory = DistributedMemorySystem(self.machine)
         self._flow_inputs = self._collect_flow_inputs()
         self._instance_order = self._build_instance_order()
+        self._build_fast_tables()
 
     # ------------------------------------------------------------------
     def _collect_flow_inputs(self) -> Dict[str, List[_FlowInput]]:
@@ -99,22 +165,120 @@ class LockstepSimulator:
         instances.sort()
         return instances
 
+    def _build_fast_tables(self) -> None:
+        """Index-based mirrors of the per-instance lookups.
+
+        The entry hot loop runs ``NITER × ops`` times per entry; resolving
+        operations by name and rebuilding iteration-point dictionaries
+        there is pure overhead, so everything that is constant across
+        instances is precomputed once: operation indices, clusters,
+        functional-unit latencies, flow-operand index lists (with the
+        register-bus penalty folded in) and, for memory operations, the
+        per-iteration address stride of the affine reference.
+        """
+        loop = self.loop
+        placements = self.schedule.placements
+        lrb = self.machine.register_bus.latency
+        names = list(placements)
+        index_of = {name: i for i, name in enumerate(names)}
+        self._op_names = names
+        self._n_ops = len(names)
+        self._cluster = [placements[n].cluster for n in names]
+        self._is_memory = []
+        self._is_store = []
+        self._fu_latency = []
+        self._mem_ref = []
+        for name in names:
+            op = loop.operation(name)
+            self._is_memory.append(op.is_memory)
+            self._is_store.append(op.is_store)
+            self._fu_latency.append(
+                0 if op.is_memory else self.machine.latency(op.opclass)
+            )
+            self._mem_ref.append(loop.ref_of(op) if op.is_memory else None)
+        self._flows: List[Tuple[Tuple[int, int, int], ...]] = [
+            tuple(
+                (
+                    index_of[flow.producer],
+                    flow.distance,
+                    lrb if flow.cross_cluster else 0,
+                )
+                for flow in self._flow_inputs.get(name, ())
+            )
+            for name in names
+        ]
+        self._instances = [
+            (nominal, iteration, index_of[name])
+            for nominal, iteration, name in self._instance_order
+        ]
+
     # ------------------------------------------------------------------
     def run(self) -> SimulationResult:
         """Execute NTIMES entries of the loop and aggregate the cycles."""
-        loop = self.loop
         schedule = self.schedule
         lrb = self.machine.register_bus.latency
         total_stall = 0
 
         outer_points = list(self._outer_points())
+        n_points = len(outer_points)
         entry_compute = (self.n_iterations + schedule.stage_count - 1) * schedule.ii
+        memoize = not self.exact and self.n_times > 1
+        shift_table = self._entry_shift_table(outer_points) if memoize else None
+        shift_unit = self.memory.signature_shift_unit() if memoize else 1
+        # keyed signature -> (entry index, cumulative shift at that entry)
+        history: Dict[Tuple[object, ...], Tuple[int, int]] = {}
+        records: List[Tuple[int, Dict[str, int]]] = []
+        cumulative_shift = 0
+
         clock = 0  # global time: memory-system state spans loop entries
-        for execution in range(self.n_times):
-            outer = outer_points[execution % len(outer_points)]
+        entry = 0
+        while entry < self.n_times:
+            if memoize:
+                if entry > 0:
+                    delta = shift_table[(entry - 1) % n_points]
+                    if delta is None:
+                        # Non-uniform address step: states on either side
+                        # are incomparable, restart detection here.
+                        history.clear()
+                        cumulative_shift = 0
+                    else:
+                        cumulative_shift += delta
+                # Signatures normalize only by line-aligned shifts; the
+                # sub-line remainder is keyed alongside, so two entries
+                # compare iff their cumulative shifts differ by a whole
+                # number of shift units (e.g. a 328-byte row stride on
+                # 32-byte lines matches every 4th entry: 4*328 % 32 == 0).
+                remainder = cumulative_shift % shift_unit
+                key = (
+                    remainder,
+                    self.memory.state_signature(
+                        clock, cumulative_shift - remainder
+                    ),
+                )
+                match = history.get(key)
+                if match is not None and self._replay_is_sound(
+                    match, entry, cumulative_shift - match[1], outer_points
+                ):
+                    total_stall += self._replay(match[0], entry, records)
+                    break
+                history[key] = (entry, cumulative_shift)
+            counters_before = self.memory.counters() if memoize else None
+            outer = outer_points[entry % n_points]
             stall = self._run_once(outer, lrb, clock)
             total_stall += stall
             clock += entry_compute + stall
+            if memoize:
+                after = self.memory.counters()
+                records.append(
+                    (
+                        stall,
+                        {
+                            key: after[key] - counters_before[key]
+                            for key in after
+                        },
+                    )
+                )
+            entry += 1
 
         compute = schedule.compute_cycles(self.n_iterations, self.n_times)
         comms = schedule.n_communications * self.n_iterations * self.n_times
@@ -133,6 +297,114 @@ class LockstepSimulator:
             register_comms=comms,
         )
 
+    # ------------------------------------------------------------------
+    # Steady-state memoization
+    # ------------------------------------------------------------------
+    def _entry_shift_table(
+        self, outer_points: List[Dict[str, int]]
+    ) -> List[Optional[int]]:
+        """Per outer-point phase ``i``: the uniform byte shift every
+        memory reference undergoes from the entry at point ``i`` to the
+        entry at point ``(i+1) % P`` — or ``None`` when the references
+        move by *different* amounts, in which case no shift of the
+        memory state can align the two entries and detection must
+        restart.  A uniform but non-line-aligned shift is returned as
+        is: :meth:`run` normalizes signatures by the line-aligned part
+        only and keys the sub-line remainder alongside, so such entries
+        still match once their cumulative shifts differ by whole
+        lines."""
+        addresses = self._entry_base_addresses(outer_points)
+        n_points = len(outer_points)
+        table: List[Optional[int]] = []
+        for i in range(n_points):
+            here = addresses[i]
+            there = addresses[(i + 1) % n_points]
+            if not here:  # no memory operations: entries trivially align
+                table.append(0)
+                continue
+            deltas = {b - a for a, b in zip(here, there)}
+            table.append(deltas.pop() if len(deltas) == 1 else None)
+        return table
+
+    def _entry_base_addresses(
+        self, outer_points: List[Dict[str, int]]
+    ) -> List[List[int]]:
+        """First-iteration address of each memory op at each outer point.
+
+        Affine references move by a constant per inner iteration, so the
+        whole address stream of an entry is determined by these bases
+        plus the (outer-independent) inner strides."""
+        loop = self.loop
+        inner = loop.inner
+        refs = [
+            self._mem_ref[i] for i in range(self._n_ops) if self._is_memory[i]
+        ]
+        result = []
+        for outer in outer_points:
+            point = dict(outer)
+            point[inner.var] = inner.lower
+            result.append([ref.address(point) for ref in refs])
+        return result
+
+    def _replay_is_sound(
+        self,
+        match: Tuple[int, int],
+        entry: int,
+        shift: int,
+        outer_points: List[Dict[str, int]],
+    ) -> bool:
+        """Prove that entries ``entry..n_times-1`` replay the recorded
+        cycle ``match[0]..entry-1``.
+
+        The signature match establishes that the memory state before
+        ``entry`` equals the state before ``match[0]`` translated by
+        ``shift`` bytes.  Entry execution is a deterministic function of
+        (state, address stream), so the replay is exact iff every future
+        entry's address stream is the corresponding cycle entry's stream
+        translated by that same ``shift`` — checked here against the
+        affine reference bases (streams repeat with the outer-point
+        period, so only ``min(remaining, P)`` offsets are distinct)."""
+        start = match[0]
+        addresses = self._entry_base_addresses(outer_points)
+        n_points = len(outer_points)
+        remaining = self.n_times - entry
+        for offset in range(min(remaining, n_points)):
+            old = addresses[(start + offset) % n_points]
+            new = addresses[(entry + offset) % n_points]
+            if any(b - a != shift for a, b in zip(old, new)):
+                return False
+        return True
+
+    def _replay(
+        self,
+        start: int,
+        entry: int,
+        records: List[Tuple[int, Dict[str, int]]],
+    ) -> int:
+        """Replay entries ``entry..n_times-1`` from the recorded cycle
+        ``records[start:entry]``; returns the stall cycles they add and
+        applies their statistics deltas to the memory system."""
+        period = entry - start
+        cycle = records[start:entry]
+        remaining = self.n_times - entry
+        full, partial = divmod(remaining, period)
+        stall = 0
+        if full:
+            stall += full * sum(record[0] for record in cycle)
+            for _, delta in cycle:
+                self.memory.add_counters(delta, full)
+        for record_stall, delta in cycle[:partial]:
+            stall += record_stall
+            self.memory.add_counters(delta, 1)
+        self.steady_state = SteadyState(
+            detected_at=entry,
+            period=period,
+            simulated_entries=entry,
+            replayed_entries=remaining,
+        )
+        return stall
+
+    # ------------------------------------------------------------------
     def _outer_points(self) -> Iterator[Dict[str, int]]:
         """Iteration points of the outer dims (one per loop entry)."""
         outer = self.loop.outer_dims
@@ -155,40 +427,58 @@ class LockstepSimulator:
         """One entry of the innermost loop starting at global time ``base``;
         returns its stall cycles."""
         loop = self.loop
-        placements = self.schedule.placements
         inner = loop.inner
+        n_ops = self._n_ops
         offset = 0
-        ready: Dict[Tuple[str, int], int] = {}
+        ready: List[Optional[int]] = [None] * (self.n_iterations * n_ops)
 
-        for nominal, iteration, name in self._instance_order:
-            placement = placements[name]
-            op = loop.operation(name)
+        # Per-entry address bases: address(iteration) = base + stride*i.
+        mem_base: List[int] = [0] * n_ops
+        mem_stride: List[int] = [0] * n_ops
+        for op_index in range(n_ops):
+            ref = self._mem_ref[op_index]
+            if ref is None:
+                continue
+            point = dict(outer)
+            point[inner.var] = inner.lower
+            first = ref.address(point)
+            point[inner.var] = inner.lower + inner.step
+            mem_base[op_index] = first
+            mem_stride[op_index] = ref.address(point) - first
+
+        clusters = self._cluster
+        is_memory = self._is_memory
+        is_store = self._is_store
+        fu_latency = self._fu_latency
+        flows = self._flows
+        access = self.memory.access
+
+        for nominal, iteration, op_index in self._instances:
             issue = base + nominal + offset
 
             # Lockstep operand wait.
-            for flow in self._flow_inputs.get(name, ()):
-                src_iter = iteration - flow.distance
+            for src_index, distance, extra in flows[op_index]:
+                src_iter = iteration - distance
                 if src_iter < 0:
                     continue  # live-in from before this loop entry
-                produced = ready.get((flow.producer, src_iter))
+                produced = ready[src_iter * n_ops + src_index]
                 if produced is None:
                     continue
-                operand_ready = produced + (lrb if flow.cross_cluster else 0)
+                operand_ready = produced + extra
                 if operand_ready > issue:
-                    stall = operand_ready - issue
-                    offset += stall
-                    issue += stall
+                    offset += operand_ready - issue
+                    issue = operand_ready
 
-            if op.is_memory:
-                point = dict(outer)
-                point[inner.var] = inner.lower + iteration * inner.step
-                address = loop.ref_of(op).address(point)
-                result = self.memory.access(
-                    placement.cluster, address, op.is_store, issue
+            if is_memory[op_index]:
+                result = access(
+                    clusters[op_index],
+                    mem_base[op_index] + mem_stride[op_index] * iteration,
+                    is_store[op_index],
+                    issue,
                 )
-                ready[(name, iteration)] = result.ready_time
+                ready[iteration * n_ops + op_index] = result.ready_time
             else:
-                ready[(name, iteration)] = issue + self.machine.latency(op.opclass)
+                ready[iteration * n_ops + op_index] = issue + fu_latency[op_index]
         return offset
 
 
@@ -196,8 +486,9 @@ def simulate(
     schedule: Schedule,
     n_iterations: Optional[int] = None,
     n_times: Optional[int] = None,
+    exact: bool = False,
 ) -> SimulationResult:
     """Convenience one-shot simulation."""
     return LockstepSimulator(
-        schedule, n_iterations=n_iterations, n_times=n_times
+        schedule, n_iterations=n_iterations, n_times=n_times, exact=exact
     ).run()

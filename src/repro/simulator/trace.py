@@ -88,7 +88,11 @@ class _TracingSimulator(LockstepSimulator):
     """
 
     def __init__(self, schedule: Schedule, n_iterations=None, n_times=None):
-        super().__init__(schedule, n_iterations=n_iterations, n_times=n_times)
+        # exact=True: a trace wants one event per instance, so every
+        # entry must actually execute — no steady-state replay.
+        super().__init__(
+            schedule, n_iterations=n_iterations, n_times=n_times, exact=True
+        )
         self.trace = Trace(schedule=schedule)
         self._entry_index = 0
 

@@ -1,0 +1,216 @@
+"""Tests for the composable cell pipeline (repro.engine)."""
+
+import pytest
+
+from repro.analysis.compare import run_cell
+from repro.engine import (
+    CELL_EXECUTIONS,
+    AnalyzeStage,
+    BuildStage,
+    CellPipeline,
+    CellRequest,
+    MeasureStage,
+    RunResult,
+    ScheduleStage,
+    SimulateStage,
+    default_stages,
+    execute_cell,
+    make_scheduler,
+)
+from repro.machine import four_cluster, two_cluster, unified
+from repro.workloads import kernel_by_name
+
+STAGE_NAMES = ["build", "analyze", "schedule", "simulate", "measure"]
+
+
+class TestPipelineShape:
+    def test_default_stage_order(self):
+        assert [stage.name for stage in default_stages()] == STAGE_NAMES
+
+    def test_report_records_every_stage(self, saxpy, sampling_cme):
+        outcome = execute_cell(
+            CellRequest(
+                kernel=saxpy,
+                machine=unified(),
+                scheduler="baseline",
+                locality=sampling_cme,
+            )
+        )
+        assert [r.stage for r in outcome.report.records] == STAGE_NAMES
+        assert all(r.seconds >= 0 for r in outcome.report.records)
+        assert outcome.report.total_seconds == pytest.approx(
+            sum(r.seconds for r in outcome.report.records)
+        )
+
+    def test_stage_lookup(self, saxpy, sampling_cme):
+        outcome = execute_cell(
+            CellRequest(
+                kernel=saxpy,
+                machine=two_cluster(),
+                scheduler="rmca",
+                threshold=0.25,
+                locality=sampling_cme,
+            )
+        )
+        schedule_record = outcome.report.stage("schedule")
+        assert schedule_record.stats["ii"] >= schedule_record.stats["mii"]
+        assert outcome.report.stage("build").stats["kernel"] == "saxpy"
+        with pytest.raises(KeyError, match="no stage 'paint'"):
+            outcome.report.stage("paint")
+
+    def test_missing_measure_stage_rejected(self, saxpy, sampling_cme):
+        pipeline = CellPipeline(
+            [BuildStage(), AnalyzeStage(), ScheduleStage(), SimulateStage()]
+        )
+        with pytest.raises(RuntimeError, match="without producing a result"):
+            pipeline.run(
+                CellRequest(
+                    kernel=saxpy,
+                    machine=unified(),
+                    scheduler="baseline",
+                    locality=sampling_cme,
+                )
+            )
+
+
+class TestPipelineSemantics:
+    def test_matches_run_cell_shim(self, stencil, sampling_cme):
+        """The shim and the pipeline are the same computation."""
+        via_pipeline = execute_cell(
+            CellRequest(
+                kernel=stencil,
+                machine=two_cluster(),
+                scheduler="rmca",
+                threshold=0.25,
+                locality=sampling_cme,
+            )
+        ).result
+        via_shim = run_cell(
+            stencil, two_cluster(), "rmca", 0.25, sampling_cme
+        )
+        assert isinstance(via_shim, RunResult)
+        assert via_pipeline.canonical() == via_shim.canonical()
+
+    def test_kernel_resolved_by_suite_name(self, sampling_cme):
+        outcome = execute_cell(
+            CellRequest(
+                kernel="applu",
+                machine=unified(),
+                scheduler="baseline",
+                locality=sampling_cme,
+            )
+        )
+        assert outcome.result.kernel == "applu"
+
+    def test_kernel_resolved_from_registry(self, saxpy, sampling_cme):
+        outcome = execute_cell(
+            CellRequest(
+                kernel="saxpy",
+                machine=unified(),
+                scheduler="baseline",
+                locality=sampling_cme,
+                kernels={"saxpy": saxpy},
+            )
+        )
+        assert outcome.result.kernel == "saxpy"
+
+    def test_unknown_kernel_name_rejected(self, sampling_cme):
+        with pytest.raises(KeyError, match="unknown kernel"):
+            execute_cell(
+                CellRequest(
+                    kernel="gcc",
+                    machine=unified(),
+                    scheduler="baseline",
+                    locality=sampling_cme,
+                )
+            )
+
+    def test_unknown_scheduler_rejected(self, saxpy, sampling_cme):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            execute_cell(
+                CellRequest(
+                    kernel=saxpy,
+                    machine=unified(),
+                    scheduler="greedy",
+                    locality=sampling_cme,
+                )
+            )
+
+    def test_execution_counter_increments(self, saxpy, sampling_cme):
+        before = CELL_EXECUTIONS.count
+        execute_cell(
+            CellRequest(
+                kernel=saxpy,
+                machine=unified(),
+                scheduler="baseline",
+                locality=sampling_cme,
+            )
+        )
+        assert CELL_EXECUTIONS.count == before + 1
+
+    def test_default_analyzer_when_none_given(self, saxpy):
+        outcome = execute_cell(
+            CellRequest(
+                kernel=saxpy, machine=unified(), scheduler="baseline"
+            )
+        )
+        assert "sampling" in str(
+            outcome.report.stage("analyze").stats["analyzer"]
+        )
+
+
+class TestExactFlag:
+    def test_exact_disables_memoization(self, sampling_cme):
+        kernel = kernel_by_name("tomcatv")
+        request = CellRequest(
+            kernel=kernel,
+            machine=four_cluster(),
+            scheduler="baseline",
+            locality=sampling_cme,
+            exact=True,
+        )
+        stats = execute_cell(request).report.stage("simulate").stats
+        assert stats["exact"] is True
+        assert stats["entries_replayed"] == 0
+
+    def test_memoized_reports_replay_and_matches_exact(self, sampling_cme):
+        kernel = kernel_by_name("tomcatv")
+        base = dict(
+            kernel=kernel,
+            machine=four_cluster(),
+            scheduler="baseline",
+            locality=sampling_cme,
+        )
+        memo = execute_cell(CellRequest(**base))
+        exact = execute_cell(CellRequest(**base, exact=True))
+        stats = memo.report.stage("simulate").stats
+        assert stats["entries_replayed"] > 0
+        assert stats["steady_state_period"] >= 1
+        assert (
+            stats["entries_simulated"] + stats["entries_replayed"]
+            == stats["entries"]
+        )
+        assert memo.result.canonical() == exact.result.canonical()
+
+    def test_iteration_overrides_flow_through(self, saxpy, sampling_cme):
+        outcome = execute_cell(
+            CellRequest(
+                kernel=saxpy,
+                machine=unified(),
+                scheduler="baseline",
+                locality=sampling_cme,
+                n_iterations=8,
+                n_times=2,
+            )
+        )
+        assert outcome.result.simulation.n_iterations == 8
+        assert outcome.result.simulation.n_times == 2
+
+
+class TestCompatibilityExports:
+    def test_compare_reexports_engine_objects(self):
+        from repro.analysis import compare
+
+        assert compare.RunResult is RunResult
+        assert compare.make_scheduler is make_scheduler
+        assert compare.CELL_EXECUTIONS is CELL_EXECUTIONS

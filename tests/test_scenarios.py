@@ -1,0 +1,262 @@
+"""Tests for the scenario registry and runner (repro.harness.scenarios)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.cme import SamplingCME
+from repro.harness.grid import ExperimentGrid
+from repro.harness.scenarios import (
+    ABLATION_KERNELS,
+    GroupSpec,
+    LocalitySpec,
+    MachineSpec,
+    ScenarioSpec,
+    all_scenarios,
+    get_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+EXPECTED_BUILTINS = {
+    "fig5-2cluster",
+    "fig5-4cluster",
+    "fig6-2cluster",
+    "fig6-4cluster",
+    "fig6-smoke",
+    "dsp-4cluster",
+    "unified-reference",
+    "ablation-cme-sampling",
+    "ablation-cme-equations",
+    "ablation-cme-analytic",
+}
+
+
+def _tiny_scenario(name="tiny", **overrides) -> ScenarioSpec:
+    """One kernel, one group, clamped iteration counts: runs in ~10ms."""
+    settings = dict(
+        name=name,
+        description="test scenario",
+        groups=(
+            GroupSpec(
+                label="unified",
+                machine=MachineSpec(preset="unified"),
+                scheduler="baseline",
+            ),
+        ),
+        thresholds=(1.0,),
+        kernels=("tomcatv",),
+        n_iterations=8,
+        n_times=2,
+    )
+    settings.update(overrides)
+    return ScenarioSpec(**settings)
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert EXPECTED_BUILTINS <= set(scenario_names())
+
+    def test_get_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            get_scenario("fig7")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("dsp-4cluster")
+        with pytest.raises(KeyError, match="already registered"):
+            register_scenario(scenario)
+        # explicit replace is allowed and idempotent here
+        assert register_scenario(scenario, replace=True) is scenario
+
+    def test_every_builtin_round_trips_through_json(self):
+        for scenario in all_scenarios():
+            clone = ScenarioSpec.from_json(scenario.to_json())
+            assert clone.to_dict() == scenario.to_dict()
+            assert json.loads(scenario.to_json())  # valid JSON
+
+
+class TestSpecValidation:
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError, match="unknown machine preset"):
+            MachineSpec(preset="16-cluster")
+
+    def test_unknown_scheduler(self):
+        with pytest.raises(KeyError, match="unknown scheduler"):
+            GroupSpec(
+                label="x",
+                machine=MachineSpec(preset="unified"),
+                scheduler="greedy",
+            )
+
+    def test_unknown_locality_kind(self):
+        with pytest.raises(KeyError, match="unknown locality kind"):
+            LocalitySpec(kind="oracle")
+
+    def test_unknown_suite(self):
+        with pytest.raises(KeyError, match="unknown suite"):
+            _tiny_scenario(suite="specint")
+
+    def test_unknown_kernel_selection(self):
+        with pytest.raises(KeyError, match="unknown spec kernels"):
+            _tiny_scenario(kernels=("tomcatv", "gcc"))
+
+    def test_grid_scenario_needs_groups(self):
+        with pytest.raises(ValueError, match="needs groups"):
+            ScenarioSpec(name="empty", description="nothing")
+
+    def test_unknown_figure(self):
+        with pytest.raises(KeyError, match="unknown figure"):
+            ScenarioSpec(name="f7", description="x", figure="figure7")
+
+
+class TestExpansion:
+    def test_cell_count_matches_expansion(self):
+        for scenario in all_scenarios():
+            if scenario.is_figure:
+                assert scenario.n_cells() is None
+                with pytest.raises(ValueError, match="delegates enumeration"):
+                    scenario.expand()
+            else:
+                assert len(scenario.expand()) == scenario.n_cells()
+
+    def test_expansion_order_is_group_threshold_kernel(self):
+        scenario = _tiny_scenario(
+            groups=(
+                GroupSpec(
+                    label="a",
+                    machine=MachineSpec(preset="unified"),
+                    scheduler="baseline",
+                ),
+                GroupSpec(
+                    label="b",
+                    machine=MachineSpec(preset="2-cluster"),
+                    scheduler="rmca",
+                ),
+            ),
+            thresholds=(1.0, 0.0),
+            kernels=("tomcatv", "swim"),
+        )
+        specs = scenario.expand()
+        assert [s.scheduler for s in specs] == ["baseline"] * 4 + ["rmca"] * 4
+        assert [s.threshold for s in specs] == [1.0, 1.0, 0.0, 0.0] * 2
+        assert [s.kernel for s in specs] == ["tomcatv", "swim"] * 4
+
+    def test_sim_overrides_reach_cellspecs(self):
+        specs = _tiny_scenario().expand()
+        assert all(s.n_iterations == 8 and s.n_times == 2 for s in specs)
+
+    def test_machine_bus_overrides(self):
+        machine = MachineSpec(
+            preset="2-cluster",
+            register_bus=(None, 2),
+            memory_bus=(4, 3),
+        ).build()
+        assert machine.register_bus.count is None
+        assert machine.register_bus.latency == 2
+        assert machine.memory_bus.count == 4
+        assert machine.memory_bus.latency == 3
+
+    def test_ablation_kernels_constant(self):
+        scenario = get_scenario("ablation-cme-sampling")
+        assert scenario.kernels == ABLATION_KERNELS
+
+
+class TestRunScenario:
+    def test_grid_scenario_end_to_end(self):
+        outcome = run_scenario(_tiny_scenario(), cache=False)
+        assert outcome.results is not None and len(outcome.results) == 1
+        rows = list(outcome.iter_rows())
+        assert rows[0][0] == "unified"
+        assert rows[0][2] == "tomcatv"
+        assert rows[0][3].simulation.n_times == 2
+        assert outcome.grid.stats.computed == 1
+
+    def test_result_for_lookup(self):
+        outcome = run_scenario(_tiny_scenario(), cache=False)
+        result = outcome.result_for("unified", 1.0, "tomcatv")
+        assert result.kernel == "tomcatv"
+        with pytest.raises(KeyError, match="no cell"):
+            outcome.result_for("unified", 0.5, "tomcatv")
+
+    def test_shared_grid_caches_across_runs(self):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=512))
+        scenario = _tiny_scenario()
+        run_scenario(scenario, grid=grid)
+        computed_before = grid.stats.computed
+        run_scenario(scenario, grid=grid)
+        assert grid.stats.computed == computed_before  # warm: zero compute
+
+    def test_conflicting_grid_analyzer_rejected(self):
+        grid = ExperimentGrid(locality=SamplingCME(max_points=64))
+        with pytest.raises(ValueError, match="declares analyzer"):
+            run_scenario(_tiny_scenario(), grid=grid)
+
+    def test_dsp_scenario_runs_on_its_suite(self):
+        scenario = get_scenario("dsp-4cluster")
+        outcome = run_scenario(
+            ScenarioSpec.from_dict(
+                {
+                    **scenario.to_dict(),
+                    "name": "dsp-tiny",
+                    "kernels": ["dotprod"],
+                    "n_iterations": 16,
+                    "n_times": 1,
+                }
+            ),
+            cache=False,
+        )
+        assert [row[2] for row in outcome.iter_rows()] == ["dotprod"] * 2
+        schedulers = [row[3].scheduler for row in outcome.iter_rows()]
+        assert schedulers == ["baseline", "rmca"]
+
+    def test_figure_scenario_produces_figure(self):
+        scenario = ScenarioSpec(
+            name="fig6-tiny",
+            description="reduced figure-6 panel over two kernels",
+            figure="figure6",
+            figure_args=(
+                ("bus_counts", (1,)),
+                ("bus_latencies", (1,)),
+                ("thresholds", (1.0,)),
+            ),
+            kernels=("applu", "su2cor"),
+        )
+        outcome = run_scenario(scenario, cache=False)
+        assert outcome.figure is not None
+        assert outcome.results is None
+        groups = outcome.figure.groups
+        assert "unified" in groups
+        assert any("NMB=1,LMB=1" in group for group in groups)
+        with pytest.raises(ValueError, match="figure scenario"):
+            list(outcome.iter_rows())
+
+
+class TestScenarioCLI:
+    def test_scenarios_command_lists_registry(self, capsys):
+        assert main(["scenarios"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPECTED_BUILTINS:
+            assert name in out
+
+    def test_run_spec_prints_json(self, capsys):
+        assert main(["run", "fig6-smoke", "--spec"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["name"] == "fig6-smoke"
+        assert data["figure"] == "figure6"
+
+    def test_run_executes_grid_scenario(self, capsys):
+        assert (
+            main(
+                ["run", "dsp-4cluster", "--no-cache", "--no-progress"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "dotprod" in out
+        assert "rmca" in out
+
+    def test_run_unknown_scenario_fails(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["run", "fig7"])
