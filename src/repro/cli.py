@@ -38,6 +38,7 @@ from .harness.report import format_table
 from .harness.scenarios import all_scenarios, get_scenario, run_scenario
 from .harness.sweep import figure5, figure6
 from .machine import ALL_PRESETS, preset
+from .steady import STEADY_MODES
 from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
 
 __all__ = ["main", "build_parser"]
@@ -107,6 +108,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--no-progress", action="store_true",
             help="suppress per-cell progress reporting on stderr",
         )
+        cmd.add_argument(
+            "--steady", choices=STEADY_MODES, default="auto",
+            help="steady-state detector selection (results are "
+                 "bit-identical across modes; default: auto)",
+        )
         if name == "figure5":
             cmd.add_argument(
                 "--latencies", type=int, nargs="+", default=[1, 2, 4]
@@ -143,8 +149,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument(
         "--exact", action="store_true",
-        help="disable the simulator's steady-state memoization "
+        help="disable the simulator's steady-state detection "
              "(results are bit-identical either way)",
+    )
+    run_cmd.add_argument(
+        "--steady", choices=STEADY_MODES,
+        help="override the scenario's steady-state detector selection "
+             "(off/entry/iteration/auto; results are bit-identical)",
     )
     run_cmd.add_argument(
         "--spec", action="store_true",
@@ -283,6 +294,7 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             thresholds=tuple(args.thresholds),
             kernels=kernels,
             grid=grid,
+            steady=args.steady,
         )
     else:
         figure = figure6(
@@ -292,6 +304,7 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             thresholds=tuple(args.thresholds),
             kernels=kernels,
             grid=grid,
+            steady=args.steady,
         )
     if not args.no_progress:
         _grid_stats_line(grid, sys.stderr)
@@ -336,7 +349,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(scenario.to_json())
         return 0
     grid = _build_grid(args, scenario.locality.build())
-    outcome = run_scenario(scenario, grid=grid)
+    outcome = run_scenario(scenario, grid=grid, steady=args.steady)
     if not args.no_progress:
         _grid_stats_line(grid, sys.stderr)
     if outcome.figure is not None:

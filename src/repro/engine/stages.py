@@ -80,8 +80,10 @@ class CellRequest:
 
     ``kernel`` may be a live :class:`Kernel` or a name, resolved against
     ``kernels`` (an optional registry for non-suite kernels) and then the
-    SPECfp95 suite.  ``exact=True`` disables the simulator's steady-state
-    memoization (bit-identical results either way).
+    SPECfp95 suite.  ``steady`` selects the simulator's steady-state
+    detectors (:data:`repro.steady.STEADY_MODES`; ``None`` means
+    ``auto``); ``exact=True`` forces them all off.  Results are
+    bit-identical across every selection.
     """
 
     kernel: Union[Kernel, str]
@@ -92,6 +94,7 @@ class CellRequest:
     n_iterations: Optional[int] = None
     n_times: Optional[int] = None
     exact: bool = False
+    steady: Optional[str] = None
     kernels: Mapping[str, Kernel] = field(default_factory=dict)
 
 
@@ -186,17 +189,23 @@ class SimulateStage(Stage):
             n_iterations=request.n_iterations,
             n_times=request.n_times,
             exact=request.exact,
+            steady=request.steady,
         )
         ctx.simulation = simulator.run()
         steady = simulator.steady_state
+        report = simulator.steady_report
         return {
             "exact": request.exact,
+            "steady_mode": simulator.steady_mode,
             "entries": ctx.simulation.n_times,
             "entries_simulated": (
                 steady.simulated_entries if steady else ctx.simulation.n_times
             ),
             "entries_replayed": steady.replayed_entries if steady else 0,
             "steady_state_period": steady.period if steady else None,
+            "iterations_replayed": report.iterations_replayed if report else 0,
+            "iteration_detections": len(report.iterations) if report else 0,
+            "iteration_period": report.iteration_period if report else None,
         }
 
 

@@ -56,6 +56,7 @@ from ..engine.result import RunResult
 from ..engine.stages import CellRequest
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
+from ..steady import validate_steady_mode
 from ..workloads.suite import SPEC_KERNELS, kernel_by_name
 
 __all__ = [
@@ -71,7 +72,7 @@ __all__ = [
 
 #: Bump to invalidate every existing cache entry (schema or semantics
 #: changes in the schedule/simulate pipeline).
-CACHE_VERSION = 1
+CACHE_VERSION = 2
 
 #: Environment variable providing a default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_GRID_CACHE"
@@ -131,6 +132,14 @@ class CellSpec:
     kernel_fp: str
     n_iterations: Optional[int] = None
     n_times: Optional[int] = None
+    #: Steady-state detector selection (results are bit-identical across
+    #: modes, but the cache key distinguishes them so mode comparisons —
+    #: e.g. the fig6-steady-ablation scenario — never serve one mode's
+    #: timing run from another mode's cache entry).
+    steady: str = "auto"
+
+    def __post_init__(self) -> None:
+        validate_steady_mode(self.steady)
 
     @classmethod
     def of(
@@ -141,6 +150,7 @@ class CellSpec:
         threshold: float,
         n_iterations: Optional[int] = None,
         n_times: Optional[int] = None,
+        steady: str = "auto",
     ) -> "CellSpec":
         if isinstance(kernel, str):
             kernel = kernel_by_name(kernel)
@@ -152,6 +162,7 @@ class CellSpec:
             kernel_fp=kernel_fingerprint(kernel),
             n_iterations=n_iterations,
             n_times=n_times,
+            steady=steady,
         )
 
     @property
@@ -173,6 +184,7 @@ class CellSpec:
                 repr(self.threshold),
                 repr(self.n_iterations),
                 repr(self.n_times),
+                self.steady,
                 locality_fp,
             )
         )
@@ -188,6 +200,7 @@ class CellSpec:
                 "kernel_fp": self.kernel_fp,
                 "n_iterations": self.n_iterations,
                 "n_times": self.n_times,
+                "steady": self.steady,
             },
             sort_keys=True,
         )
@@ -205,6 +218,7 @@ class CellSpec:
             kernel_fp=data["kernel_fp"],
             n_iterations=data["n_iterations"],
             n_times=data["n_times"],
+            steady=data.get("steady", "auto"),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -262,6 +276,7 @@ def _execute_cell(
             n_iterations=spec.n_iterations,
             n_times=spec.n_times,
             exact=exact,
+            steady=spec.steady,
         )
     )
 

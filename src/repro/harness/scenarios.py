@@ -28,7 +28,7 @@ live in JSON files or CLI pipelines.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..cme import AnalyticCME, EquationCME, SamplingCME
@@ -38,6 +38,7 @@ from ..engine.stages import SCHEDULER_NAMES
 from ..ir.builder import Kernel
 from ..machine.config import BusConfig, MachineConfig
 from ..machine.presets import ALL_PRESETS, preset
+from ..steady import STEADY_MODES, validate_steady_mode
 from ..workloads.dsp import DSP_KERNELS, dsp_suite
 from ..workloads.suite import SPEC_KERNELS, spec_suite
 from .grid import CellSpec, ExperimentGrid, ProgressCallback
@@ -148,11 +149,17 @@ class LocalitySpec:
 
 @dataclass(frozen=True)
 class GroupSpec:
-    """One bar group of a grid scenario: a machine and a scheduler."""
+    """One bar group of a grid scenario: a machine and a scheduler.
+
+    ``steady`` overrides the scenario-wide steady-state detector
+    selection for this group's cells (``None`` inherits it) — this is
+    how one scenario compares detector modes side by side.
+    """
 
     label: str
     machine: MachineSpec
     scheduler: str
+    steady: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.scheduler not in SCHEDULER_NAMES:
@@ -160,12 +167,15 @@ class GroupSpec:
                 f"unknown scheduler {self.scheduler!r}; "
                 f"choose from {SCHEDULER_NAMES}"
             )
+        if self.steady is not None:
+            validate_steady_mode(self.steady)
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "label": self.label,
             "machine": self.machine.to_dict(),
             "scheduler": self.scheduler,
+            "steady": self.steady,
         }
 
     @classmethod
@@ -174,6 +184,7 @@ class GroupSpec:
             label=data["label"],
             machine=MachineSpec.from_dict(data["machine"]),
             scheduler=data["scheduler"],
+            steady=data.get("steady"),
         )
 
 
@@ -195,10 +206,14 @@ class ScenarioSpec:
     locality: LocalitySpec = LocalitySpec()
     n_iterations: Optional[int] = None
     n_times: Optional[int] = None
+    #: Scenario-wide steady-state detector selection; groups may
+    #: override it per bar (see :class:`GroupSpec`).
+    steady: str = "auto"
     figure: Optional[str] = None
     figure_args: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
+        validate_steady_mode(self.steady)
         if self.suite not in _SUITES:
             raise KeyError(
                 f"unknown suite {self.suite!r}; choose from {sorted(_SUITES)}"
@@ -255,6 +270,9 @@ class ScenarioSpec:
                 threshold,
                 n_iterations=self.n_iterations,
                 n_times=self.n_times,
+                steady=(
+                    group.steady if group.steady is not None else self.steady
+                ),
             )
             for group in self.groups
             for threshold in self.thresholds
@@ -283,6 +301,7 @@ class ScenarioSpec:
             "locality": self.locality.to_dict(),
             "n_iterations": self.n_iterations,
             "n_times": self.n_times,
+            "steady": self.steady,
             "figure": self.figure,
             "figure_args": {key: value for key, value in self.figure_args},
         }
@@ -310,6 +329,7 @@ class ScenarioSpec:
             ),
             n_iterations=data.get("n_iterations"),
             n_times=data.get("n_times"),
+            steady=data.get("steady", "auto"),
             figure=data.get("figure"),
             figure_args=tuple(
                 sorted(
@@ -421,16 +441,21 @@ def run_scenario(
     cache_dir=None,
     progress: Optional[ProgressCallback] = None,
     exact: bool = False,
+    steady: Optional[str] = None,
 ) -> ScenarioOutcome:
     """Execute a scenario (by spec or registry name) on a grid.
 
     An explicit ``grid`` must run the analyzer configuration the
     scenario declares — silently computing different bars would poison
     its cache — otherwise a grid is built from the scenario's
-    :class:`LocalitySpec`.
+    :class:`LocalitySpec`.  ``steady`` overrides the scenario's
+    scenario-wide detector selection (groups with their own explicit
+    ``steady`` keep it — they exist precisely to pin a mode).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
+    if steady is not None:
+        scenario = replace(scenario, steady=validate_steady_mode(steady))
     if grid is None:
         grid = ExperimentGrid(
             locality=scenario.locality.build(),
@@ -454,7 +479,7 @@ def run_scenario(
         kwargs = {key: value for key, value in scenario.figure_args}
         if scenario.kernels is not None:
             kwargs["kernels"] = scenario.build_kernels()
-        figure = figure_fn(grid=grid, **kwargs)
+        figure = figure_fn(grid=grid, steady=scenario.steady, **kwargs)
         return ScenarioOutcome(scenario=scenario, grid=grid, figure=figure)
     kernels = scenario.build_kernels()
     grid.register(kernels)
@@ -492,7 +517,56 @@ def _ablation_scenario(kind: str, max_points: Optional[int]) -> ScenarioSpec:
     )
 
 
+#: The paper's single-entry (``NTIMES=1``) streaming kernels — the
+#: workloads only the iteration-level steady-state detector can speed up.
+STREAMING_KERNELS = ("su2cor", "applu", "turb3d")
+
+
+def _streaming_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="streaming",
+        description=(
+            "The NTIMES=1 streaming kernels (su2cor, applu, turb3d) with "
+            "RMCA across the clustered machine presets — the "
+            "iteration-level steady-state detector's home turf"
+        ),
+        groups=tuple(
+            GroupSpec(
+                label=preset_name,
+                machine=MachineSpec(preset=preset_name),
+                scheduler="rmca",
+            )
+            for preset_name in ("2-cluster", "4-cluster", "heterogeneous")
+        ),
+        thresholds=(1.0,),
+        kernels=STREAMING_KERNELS,
+    )
+
+
+def _steady_ablation_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="fig6-steady-ablation",
+        description=(
+            "Figure-6 cells (2-cluster, NMB=1, LMB=1, threshold 0.25) "
+            "once per steady-state detector mode — identical bars, "
+            "different wall-clock; the cache key separates the modes"
+        ),
+        groups=tuple(
+            GroupSpec(
+                label=f"steady={mode}",
+                machine=MachineSpec(preset="2-cluster", memory_bus=(1, 1)),
+                scheduler="rmca",
+                steady=mode,
+            )
+            for mode in STEADY_MODES
+        ),
+        thresholds=(0.25,),
+    )
+
+
 _BUILTIN_SCENARIOS = (
+    _streaming_scenario(),
+    _steady_ablation_scenario(),
     ScenarioSpec(
         name="fig5-2cluster",
         description="Figure 5, 2-cluster: unbounded buses, LRB x LMB sweep",

@@ -179,6 +179,7 @@ def unified_reference(
     locality: Optional[LocalityAnalyzer] = None,
     memory_bus: Optional[BusConfig] = None,
     grid: Optional[ExperimentGrid] = None,
+    steady: str = "auto",
 ) -> Dict[str, int]:
     """Per-kernel total cycles on Unified at threshold 1.00.
 
@@ -191,7 +192,8 @@ def unified_reference(
     grid.register(kernels)
     machine = unified(memory_bus=memory_bus or _REFERENCE_BUS)
     specs = [
-        CellSpec.of(kernel, machine, "baseline", 1.0) for kernel in kernels
+        CellSpec.of(kernel, machine, "baseline", 1.0, steady=steady)
+        for kernel in kernels
     ]
     results = grid.run(specs)
     return {
@@ -209,12 +211,13 @@ def suite_bar(
     locality: Optional[LocalityAnalyzer],
     reference: Dict[str, int],
     grid: Optional[ExperimentGrid] = None,
+    steady: str = "auto",
 ) -> Tuple[Bar, List[Dict[str, object]]]:
     """Run one bar's cells (through the grid) and average them."""
     grid = _resolve_grid(locality, grid)
     grid.register(kernels)
     specs = [
-        CellSpec.of(kernel, machine, scheduler, threshold)
+        CellSpec.of(kernel, machine, scheduler, threshold, steady=steady)
         for kernel in kernels
     ]
     results = grid.run(specs)
@@ -230,6 +233,7 @@ def _assemble_figure(
     unified_machine: MachineConfig,
     groups: Sequence[Tuple[str, MachineConfig, str]],
     grid: ExperimentGrid,
+    steady: str = "auto",
 ) -> FigureData:
     """Enumerate every cell of a figure, run them in one grid wave.
 
@@ -241,7 +245,7 @@ def _assemble_figure(
     grid.register(kernels)
     reference_machine = unified(memory_bus=_REFERENCE_BUS)
     specs: List[CellSpec] = [
-        CellSpec.of(kernel, reference_machine, "baseline", 1.0)
+        CellSpec.of(kernel, reference_machine, "baseline", 1.0, steady=steady)
         for kernel in kernels
     ]
     bar_plan: List[Tuple[str, str, float, int]] = []
@@ -251,7 +255,7 @@ def _assemble_figure(
     ) -> None:
         bar_plan.append((group, scheduler, threshold, len(specs)))
         specs.extend(
-            CellSpec.of(kernel, machine, scheduler, threshold)
+            CellSpec.of(kernel, machine, scheduler, threshold, steady=steady)
             for kernel in kernels
         )
 
@@ -291,6 +295,7 @@ def figure5(
     grid: Optional[ExperimentGrid] = None,
     n_jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    steady: str = "auto",
 ) -> FigureData:
     """Figure 5: unbounded buses, LRB × LMB latency sweep.
 
@@ -322,6 +327,7 @@ def figure5(
         unified_machine=unified(memory_bus=_REFERENCE_BUS),
         groups=groups,
         grid=grid,
+        steady=steady,
     )
 
 
@@ -335,6 +341,7 @@ def figure6(
     grid: Optional[ExperimentGrid] = None,
     n_jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
+    steady: str = "auto",
 ) -> FigureData:
     """Figure 6: realistic buses — 2 register buses @ 1 cycle, NMB × LMB.
 
@@ -366,4 +373,5 @@ def figure6(
         unified_machine=unified(memory_bus=BusConfig(count=1, latency=1)),
         groups=groups,
         grid=grid,
+        steady=steady,
     )

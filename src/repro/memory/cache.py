@@ -88,6 +88,11 @@ class MSHR:
         """
         return tuple(sorted(t - base for t in self._release_times if t > base))
 
+    def translate(self, time_delta: int) -> None:
+        """Shift every pending release by ``time_delta`` cycles."""
+        if time_delta:
+            self._release_times = [t + time_delta for t in self._release_times]
+
 
 class ClusterCache:
     """Functional cache state (tags + MSI) of one cluster.
@@ -181,7 +186,10 @@ class ClusterCache:
 
     # ------------------------------------------------------------------
     def state_signature(
-        self, base: int, addr_shift: int = 0
+        self,
+        base: int,
+        addr_shift: int = 0,
+        invalid_out: Optional[List[int]] = None,
     ) -> Tuple[object, ...]:
         """Canonical description of everything that can affect a future
         access, normalized for time and address translation.
@@ -194,9 +202,16 @@ class ClusterCache:
         caller must ensure ``addr_shift`` is a multiple of the line size
         (otherwise the shift does not commute with line/set mapping).
 
-        INVALID lines are included: a matching tag in state I is revived
-        by :meth:`fill` without an eviction, so presence and position of
-        such lines is genuine state.
+        INVALID lines are included by default: a matching tag in state I
+        is revived by :meth:`fill` without an eviction, so presence of
+        such lines is genuine state.  That is also their *only* effect —
+        lookups skip them, eviction only considers live lines, and their
+        list position is never read — so a caller that proves the future
+        access stream never touches an invalid line's address may compare
+        states without them: passing ``invalid_out`` strips invalid lines
+        from the signature and appends their *absolute* (unshifted) line
+        addresses to the list, leaving the proof obligation to the
+        caller.
         """
         config = self.config
         rotation = (addr_shift // config.line_size) % config.n_sets
@@ -204,18 +219,16 @@ class ClusterCache:
         for index, ways in self._sets.items():
             if not ways:
                 continue
-            sets.append(
-                (
-                    (index - rotation) % config.n_sets,
-                    tuple(
-                        (
-                            self._line_address(index, line.tag) - addr_shift,
-                            line.state.value,
-                        )
-                        for line in ways
-                    ),
-                )
-            )
+            entries = []
+            for line in ways:
+                address = self._line_address(index, line.tag)
+                if invalid_out is not None and line.state is LineState.INVALID:
+                    invalid_out.append(address)
+                    continue
+                entries.append((address - addr_shift, line.state.value))
+            if not entries:
+                continue
+            sets.append(((index - rotation) % config.n_sets, tuple(entries)))
         sets.sort()
         fills = tuple(
             sorted(
@@ -225,6 +238,47 @@ class ClusterCache:
             )
         )
         return (tuple(sets), fills, self.mshr.pending_signature(base))
+
+    def translate(self, time_delta: int, addr_shift: int) -> None:
+        """Shift the whole cache state by ``addr_shift`` bytes and
+        ``time_delta`` cycles.
+
+        The inverse-direction companion of :meth:`state_signature`'s
+        normalization: after translation the cache behaves, for accesses
+        issued ``time_delta`` later at addresses ``addr_shift`` higher,
+        exactly as it would have before for the unshifted stream.
+        ``addr_shift`` must be a multiple of the line size so the shift
+        commutes with line/set mapping; LRU order and MSI states are
+        preserved (lines of one set move to one set together, because
+        their addresses differ by whole numbers of cache images).
+        """
+        if addr_shift:
+            if addr_shift % self.config.line_size != 0:
+                raise ValueError(
+                    f"addr_shift {addr_shift} is not a multiple of the "
+                    f"{self.config.line_size}-byte line size"
+                )
+            config = self.config
+            new_sets: Dict[int, List[CacheLine]] = {}
+            for index, ways in self._sets.items():
+                if not ways:
+                    continue
+                shifted = [
+                    self._line_address(index, line.tag) + addr_shift
+                    for line in ways
+                ]
+                new_index = config.set_index(shifted[0])
+                new_sets[new_index] = [
+                    CacheLine(tag=config.tag(address), state=line.state)
+                    for address, line in zip(shifted, ways)
+                ]
+            self._sets = new_sets
+        if addr_shift or time_delta:
+            self.in_flight = {
+                address + addr_shift: t + time_delta
+                for address, t in self.in_flight.items()
+            }
+        self.mshr.translate(time_delta)
 
     def resident_lines(self) -> int:
         """Number of valid lines (test/debug helper)."""

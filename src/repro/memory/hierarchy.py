@@ -220,7 +220,10 @@ class DistributedMemorySystem:
         return unit
 
     def state_signature(
-        self, base: int, addr_shift: int = 0
+        self,
+        base: int,
+        addr_shift: int = 0,
+        invalid_out: Optional[List[int]] = None,
     ) -> Tuple[object, ...]:
         """Hashable canonical form of all timing-relevant state.
 
@@ -232,12 +235,33 @@ class DistributedMemorySystem:
         and shifted down by ``addr_shift`` (which must be a multiple of
         :meth:`signature_shift_unit`).  Aggregate statistics are *not*
         part of the signature — they record the past, not the future.
+
+        ``invalid_out`` (a list) strips INVALID cache lines from the
+        signature, collecting ``(cluster index, absolute line address)``
+        pairs instead — the cluster index preserves cache identity, so
+        same-address scars in different caches never collapse or cancel
+        in a caller's set arithmetic; the behavioural guarantee then
+        holds only for streams that never touch those addresses (see
+        :meth:`~repro.memory.cache.ClusterCache.state_signature`).
         """
-        return (
-            tuple(
+        if invalid_out is None:
+            cache_signatures = tuple(
                 cache.state_signature(base, addr_shift)
                 for cache in self.caches
-            ),
+            )
+        else:
+            signatures = []
+            for index, cache in enumerate(self.caches):
+                collected: List[int] = []
+                signatures.append(
+                    cache.state_signature(base, addr_shift, collected)
+                )
+                invalid_out.extend(
+                    (index, address) for address in collected
+                )
+            cache_signatures = tuple(signatures)
+        return (
+            cache_signatures,
             self.bus.state_signature(base),
             tuple(
                 sorted(
@@ -270,6 +294,66 @@ class DistributedMemorySystem:
         for index, cache in enumerate(self.caches):
             values[f"mshr{index}_wait_cycles"] = cache.mshr.total_wait_cycles
         return values
+
+    def translate(self, time_delta: int, addr_shift: int) -> None:
+        """Physically shift all live state by ``(time_delta, addr_shift)``.
+
+        The concrete counterpart of :meth:`state_signature`'s
+        normalization: after translation, an access stream issued
+        ``time_delta`` cycles later at addresses ``addr_shift`` bytes
+        higher behaves exactly as the original stream would have before.
+        The steady-state machinery uses this to re-anchor the memory
+        system after fast-forwarding a detected periodic phase, so that
+        whatever executes next (the tail of the loop entry, or further
+        entries) sees the state full simulation would have produced.
+        ``addr_shift`` must be a multiple of
+        :meth:`signature_shift_unit`; aggregate statistics are not
+        touched (replayed deltas are applied via :meth:`add_counters`).
+        """
+        unit = self.signature_shift_unit()
+        if addr_shift % unit != 0:
+            raise ValueError(
+                f"addr_shift {addr_shift} is not a multiple of the "
+                f"signature shift unit {unit}"
+            )
+        for cache in self.caches:
+            cache.translate(time_delta, addr_shift)
+        self.bus.translate(time_delta)
+        if addr_shift or time_delta:
+            self._main_in_flight = {
+                address + addr_shift: t + time_delta
+                for address, t in self._main_in_flight.items()
+            }
+
+    def counters_tuple(self) -> Tuple[int, ...]:
+        """Fixed-order tuple of the same statistics as :meth:`counters`.
+
+        The iteration-level steady-state detector snapshots counters at
+        every modulo-pipeline group boundary; building a keyed dict there
+        would dominate the cost it is trying to save.  The order matches
+        :meth:`counters` insertion order (asserted by the signature
+        coverage guardrail test).
+        """
+        stats = self.stats
+        bus = self.bus
+        msi = self.msi
+        return (
+            stats.accesses,
+            stats.local_hits,
+            stats.remote_hits,
+            stats.main_memory,
+            stats.merged,
+            stats.mshr_wait_cycles,
+            stats.bus_wait_cycles,
+            stats.coherence_upgrades,
+            stats.writebacks,
+            bus.total_wait_cycles,
+            bus.total_transactions,
+            bus.total_busy_cycles,
+            msi.n_invalidations,
+            msi.n_interventions,
+            msi.n_writebacks,
+        ) + tuple(cache.mshr.total_wait_cycles for cache in self.caches)
 
     def add_counters(self, delta: Dict[str, int], times: int = 1) -> None:
         """Apply ``times`` repetitions of a counter delta.

@@ -56,6 +56,11 @@ class MemoryBusPool:
         self.total_transactions = 0
         self.total_busy_cycles = 0
 
+    def translate(self, time_delta: int) -> None:
+        """Shift every bus's busy horizon by ``time_delta`` cycles."""
+        if time_delta and self._busy_until is not None:
+            self._busy_until = [t + time_delta for t in self._busy_until]
+
     def state_signature(self, base: int) -> Tuple[int, ...]:
         """Busy horizon relative to ``base``, as an order-free multiset.
 

@@ -26,7 +26,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..ir.builder import Kernel
 from ..ir.operations import OpClass, Operation
 from ..machine.config import MachineConfig
-from .lifetimes import pressure_ok
+from .lifetimes import LifetimeModel
 from .mii import compute_mii, edge_latency, rec_mii
 from .mrt import ModuloReservationTable, Transaction
 from .ordering import NodeTimes, compute_times, sms_order
@@ -138,14 +138,21 @@ class CommunicationAwareScheduler:
         else:
             order = [op.name for op in kernel.loop.operations]
         self._recurrence_nodes = kernel.ddg.nodes_on_recurrences()
+        # The dependence structure behind the pressure check is a kernel
+        # property: build it once, outside the II retry loop.
+        lifetime_model = (
+            LifetimeModel(kernel)
+            if self.config.check_register_pressure
+            else None
+        )
         for ii in range(mii, self.config.max_ii + 1):
             state = self._attempt(kernel, machine, order, ii)
             if state is None:
                 continue
             schedule = self._finalize(state, mii, res, rec)
             if (
-                self.config.check_register_pressure
-                and not pressure_ok(schedule)
+                lifetime_model is not None
+                and not lifetime_model.pressure_ok(schedule)
             ):
                 continue
             return schedule

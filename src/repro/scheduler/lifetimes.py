@@ -11,6 +11,14 @@ otherwise).
 Cross-cluster values additionally occupy a register in the *destination*
 cluster from the bus arrival until their last local use (the IRV latch is
 written into the local register file per the ISA of Section 2.1).
+
+The pressure check runs once per II attempt of the scheduler's retry
+loop, but the dependence structure it walks — which operations define a
+value, which flow edges consume it, at what distance — is a property of
+the *kernel*, not of any particular schedule.  :class:`LifetimeModel`
+captures that structure once so the retry loop only re-evaluates the
+placement-dependent arithmetic; the module-level functions remain as
+one-shot conveniences that build a throwaway model.
 """
 
 from __future__ import annotations
@@ -22,7 +30,13 @@ from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
 from .result import Communication, Placement, Schedule
 
-__all__ = ["ValueLifetime", "cluster_pressures", "max_live", "pressure_ok"]
+__all__ = [
+    "ValueLifetime",
+    "LifetimeModel",
+    "cluster_pressures",
+    "max_live",
+    "pressure_ok",
+]
 
 
 @dataclass(frozen=True)
@@ -39,88 +53,146 @@ class ValueLifetime:
         return max(0, self.end - self.start)
 
 
-def _lifetimes(
-    schedule: Schedule,
-) -> List[ValueLifetime]:
-    """Live ranges implied by the placements and communications."""
-    kernel = schedule.kernel
-    ddg = kernel.ddg
-    ii = schedule.ii
-    ranges: List[ValueLifetime] = []
+class LifetimeModel:
+    """Schedule-independent dependence structure behind the pressure check.
 
-    comms_by_key: Dict[Tuple[str, int], List[Communication]] = {}
-    for comm in schedule.communications:
-        comms_by_key.setdefault((comm.producer, comm.dst_cluster), []).append(comm)
+    Built once per kernel (the scheduler hoists it out of its II retry
+    loop); :meth:`lifetimes` / :meth:`cluster_pressures` /
+    :meth:`pressure_ok` then evaluate any schedule of that kernel without
+    re-walking the DDG.
+    """
 
-    for name, placement in schedule.placements.items():
-        op = kernel.loop.operation(name)
-        if op.dest is None:
-            continue
-        ready = placement.time + placement.assumed_latency
-        # A load's destination register is reserved from issue: the MSHR
-        # of the lockup-free cache holds it while the fill is outstanding.
-        # This is why binding prefetching (Section 4.3) raises register
-        # pressure — the lifetime grows by the full miss latency.
-        start = placement.time if op.is_load else ready
-        # Last use in the producer cluster: local consumers plus the
-        # departure time of any outgoing communication.
-        local_last = ready
-        remote_last: Dict[int, int] = {}
-        for edge in ddg.out_edges(name):
-            if edge.kind != "flow":
+    def __init__(self, kernel: Kernel):
+        self.kernel = kernel
+        loop = kernel.loop
+        ddg = kernel.ddg
+        #: name -> (is_load, [(consumer name, distance), ...]) for every
+        #: operation that defines a value.
+        self.producers: Dict[str, Tuple[bool, List[Tuple[str, int]]]] = {}
+        for op in loop.operations:
+            if op.dest is None:
                 continue
-            consumer = schedule.placements[edge.dst]
-            use_time = consumer.time + ii * edge.distance
-            if consumer.cluster == placement.cluster:
-                local_last = max(local_last, use_time)
-            else:
-                remote_last[consumer.cluster] = max(
-                    remote_last.get(consumer.cluster, 0), use_time
-                )
-        for dst_cluster, last_use in remote_last.items():
-            comms = comms_by_key.get((name, dst_cluster), [])
-            if comms:
-                departure = max(c.start for c in comms)
-                local_last = max(local_last, departure)
-                arrival = min(c.arrival for c in comms)
-                ranges.append(
-                    ValueLifetime(name, dst_cluster, arrival, last_use)
-                )
-        ranges.append(
-            ValueLifetime(name, placement.cluster, start, local_last)
-        )
-    return ranges
+            consumers = [
+                (edge.dst, edge.distance)
+                for edge in ddg.out_edges(op.name)
+                if edge.kind == "flow"
+            ]
+            self.producers[op.name] = (op.is_load, consumers)
 
+    # ------------------------------------------------------------------
+    def lifetimes(self, schedule: Schedule) -> List[ValueLifetime]:
+        """Live ranges implied by the placements and communications."""
+        ii = schedule.ii
+        placements = schedule.placements
+        ranges: List[ValueLifetime] = []
 
-def cluster_pressures(schedule: Schedule) -> Dict[int, int]:
-    """MaxLive per cluster for a schedule."""
-    ii = schedule.ii
-    per_slot: Dict[int, List[int]] = {
-        c: [0] * ii for c in range(schedule.machine.n_clusters)
-    }
-    for lifetime in _lifetimes(schedule):
-        if lifetime.length <= 0:
-            # A value produced and never consumed still needs a register
-            # in its definition cycle.
+        comms_by_key: Dict[Tuple[str, int], List[Communication]] = {}
+        for comm in schedule.communications:
+            comms_by_key.setdefault(
+                (comm.producer, comm.dst_cluster), []
+            ).append(comm)
+
+        for name, (is_load, consumers) in self.producers.items():
+            placement = placements[name]
+            ready = placement.time + placement.assumed_latency
+            # A load's destination register is reserved from issue: the MSHR
+            # of the lockup-free cache holds it while the fill is outstanding.
+            # This is why binding prefetching (Section 4.3) raises register
+            # pressure — the lifetime grows by the full miss latency.
+            start = placement.time if is_load else ready
+            # Last use in the producer cluster: local consumers plus the
+            # departure time of any outgoing communication.
+            local_last = ready
+            remote_last: Dict[int, int] = {}
+            for dst_name, distance in consumers:
+                consumer = placements[dst_name]
+                use_time = consumer.time + ii * distance
+                if consumer.cluster == placement.cluster:
+                    if use_time > local_last:
+                        local_last = use_time
+                else:
+                    prior = remote_last.get(consumer.cluster, 0)
+                    if use_time > prior:
+                        remote_last[consumer.cluster] = use_time
+            for dst_cluster, last_use in remote_last.items():
+                comms = comms_by_key.get((name, dst_cluster), [])
+                if comms:
+                    departure = max(c.start for c in comms)
+                    local_last = max(local_last, departure)
+                    arrival = min(c.arrival for c in comms)
+                    ranges.append(
+                        ValueLifetime(name, dst_cluster, arrival, last_use)
+                    )
+            ranges.append(
+                ValueLifetime(name, placement.cluster, start, local_last)
+            )
+        return ranges
+
+    def cluster_pressures(self, schedule: Schedule) -> Dict[int, int]:
+        """MaxLive per cluster for a schedule."""
+        ii = schedule.ii
+        per_slot: Dict[int, List[int]] = {
+            c: [0] * ii for c in range(schedule.machine.n_clusters)
+        }
+        for lifetime in self.lifetimes(schedule):
             slots = per_slot[lifetime.cluster]
-            slots[lifetime.start % ii] += 1
-            continue
-        slots = per_slot[lifetime.cluster]
-        for t in range(lifetime.start, lifetime.end):
-            slots[t % ii] += 1
-    return {c: max(slots) if slots else 0 for c, slots in per_slot.items()}
+            length = lifetime.end - lifetime.start
+            if length <= 0:
+                # A value produced and never consumed still needs a register
+                # in its definition cycle.
+                slots[lifetime.start % ii] += 1
+                continue
+            # A range spanning w whole IIs covers every slot w times; only
+            # the sub-II remainder needs walking (binding-prefetched loads
+            # are live for the full miss latency, many IIs long).
+            whole, remainder = divmod(length, ii)
+            if whole:
+                for slot in range(ii):
+                    slots[slot] += whole
+            for t in range(lifetime.start, lifetime.start + remainder):
+                slots[t % ii] += 1
+        return {c: max(slots) if slots else 0 for c, slots in per_slot.items()}
+
+    def max_live(self, schedule: Schedule) -> int:
+        """Largest per-cluster MaxLive."""
+        pressures = self.cluster_pressures(schedule)
+        return max(pressures.values(), default=0)
+
+    def pressure_ok(self, schedule: Schedule) -> bool:
+        """True when every cluster's MaxLive fits its register file."""
+        pressures = self.cluster_pressures(schedule)
+        for cluster_id, pressure in pressures.items():
+            if pressure > schedule.machine.cluster(cluster_id).n_registers:
+                return False
+        return True
 
 
-def max_live(schedule: Schedule) -> int:
+# ----------------------------------------------------------------------
+# One-shot conveniences
+# ----------------------------------------------------------------------
+def _lifetimes(schedule: Schedule) -> List[ValueLifetime]:
+    return LifetimeModel(schedule.kernel).lifetimes(schedule)
+
+
+def cluster_pressures(
+    schedule: Schedule, model: Optional[LifetimeModel] = None
+) -> Dict[int, int]:
+    """MaxLive per cluster for a schedule."""
+    model = model if model is not None else LifetimeModel(schedule.kernel)
+    return model.cluster_pressures(schedule)
+
+
+def max_live(
+    schedule: Schedule, model: Optional[LifetimeModel] = None
+) -> int:
     """Largest per-cluster MaxLive."""
-    pressures = cluster_pressures(schedule)
-    return max(pressures.values(), default=0)
+    model = model if model is not None else LifetimeModel(schedule.kernel)
+    return model.max_live(schedule)
 
 
-def pressure_ok(schedule: Schedule) -> bool:
+def pressure_ok(
+    schedule: Schedule, model: Optional[LifetimeModel] = None
+) -> bool:
     """True when every cluster's MaxLive fits its register file."""
-    pressures = cluster_pressures(schedule)
-    for cluster_id, pressure in pressures.items():
-        if pressure > schedule.machine.cluster(cluster_id).n_registers:
-            return False
-    return True
+    model = model if model is not None else LifetimeModel(schedule.kernel)
+    return model.pressure_ok(schedule)

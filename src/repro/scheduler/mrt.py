@@ -14,6 +14,17 @@ Two resource families are tracked modulo the II:
   bus, so allocation never fails but usage is still recorded for
   statistics.
 
+The conflict checks sit on the scheduler's innermost path (every
+candidate slot of every cluster of every operation probes them), so both
+families are backed by precomputed tables instead of per-probe loops:
+
+* each bus is one **II-bit occupancy bitset**, and the ``latency``
+  consecutive slots a transfer starting in slot ``s`` would occupy are
+  precomputed once per II as a **window mask** — a fit test is a single
+  ``row & window == 0`` instead of a Python loop over the latency;
+* FU capacities are resolved once per ``(cluster, fu_type)`` at
+  construction instead of walking the machine model per probe.
+
 All mutations go through a :class:`Transaction` so a failed placement can
 be rolled back without copying the table.
 """
@@ -43,7 +54,8 @@ class Transaction:
     """Undo log for one tentative placement."""
 
     fu_slots: List[Tuple[int, int, FUType]] = field(default_factory=list)
-    bus_slots: List[Tuple[int, int]] = field(default_factory=list)  # (bus, slot)
+    #: Bounded buses: ``(bus index, window mask)`` per reservation.
+    bus_slots: List[Tuple[int, int]] = field(default_factory=list)
     unbounded_slots: List[int] = field(default_factory=list)
 
 
@@ -57,13 +69,35 @@ class ModuloReservationTable:
         self.ii = ii
         # (slot, cluster, fu_type) -> used count
         self._fu_used: Dict[Tuple[int, int, FUType], int] = {}
-        # bounded buses: per bus, per slot occupancy
+        # (cluster, fu_type) -> capacity, resolved once
+        self._fu_capacity: Dict[Tuple[int, FUType], int] = {
+            (cluster, fu): machine.cluster(cluster).n_units(fu)
+            for cluster in range(machine.n_clusters)
+            for fu in FUType
+        }
+        # Bounded buses: one II-bit occupancy bitset per bus.
         n_buses = machine.register_bus.count
-        self._buses: Optional[List[Dict[int, bool]]] = (
-            None if n_buses is None else [dict() for _ in range(n_buses)]
+        self._bus_rows: Optional[List[int]] = (
+            None if n_buses is None else [0] * n_buses
         )
+        # Window masks: the latency consecutive slots (mod II) a transfer
+        # starting in slot s occupies.  None when the transfer cannot fit
+        # any II-cycle window (it would overlap its own next instance).
+        latency = machine.register_bus.latency
+        if latency > ii:
+            self._window_masks: Optional[List[int]] = None
+        else:
+            self._window_masks = [
+                self._rotated_window(start, latency) for start in range(ii)
+            ]
         # unbounded pool: slot -> concurrent transfer count (stats only)
         self._unbounded_used: Dict[int, int] = {}
+
+    def _rotated_window(self, start: int, latency: int) -> int:
+        mask = 0
+        for k in range(latency):
+            mask |= 1 << ((start + k) % self.ii)
+        return mask
 
     # ------------------------------------------------------------------
     # Functional units
@@ -71,7 +105,7 @@ class ModuloReservationTable:
     def fu_free(self, time: int, cluster: int, fu: FUType) -> bool:
         """True when the cluster has a free unit of kind ``fu`` at ``time``."""
         slot = time % self.ii
-        capacity = self.machine.cluster(cluster).n_units(fu)
+        capacity = self._fu_capacity[(cluster, fu)]
         return self._fu_used.get((slot, cluster, fu), 0) < capacity
 
     def reserve_fu(
@@ -89,11 +123,6 @@ class ModuloReservationTable:
     # ------------------------------------------------------------------
     # Register buses
     # ------------------------------------------------------------------
-    def _bus_fits(self, bus: Dict[int, bool], start: int, latency: int) -> bool:
-        if latency > self.ii:
-            return False  # would overlap its own next-iteration instance
-        return all(not bus.get((start + k) % self.ii) for k in range(latency))
-
     def reserve_bus(
         self, start: int, txn: Transaction
     ) -> Optional[BusReservation]:
@@ -103,28 +132,28 @@ class ModuloReservationTable:
         the window (never ``None`` for unbounded pools).
         """
         latency = self.machine.register_bus.latency
-        if self._buses is None:
+        if self._bus_rows is None:
             slot = start % self.ii
             for k in range(latency):
                 s = (slot + k) % self.ii
                 self._unbounded_used[s] = self._unbounded_used.get(s, 0) + 1
                 txn.unbounded_slots.append(s)
             return BusReservation(bus=-1, start=start, latency=latency)
-        for index, bus in enumerate(self._buses):
-            if self._bus_fits(bus, start % self.ii, latency):
-                for k in range(latency):
-                    slot = (start + k) % self.ii
-                    bus[slot] = True
-                    txn.bus_slots.append((index, slot))
+        if self._window_masks is None:
+            return None  # would overlap its own next-iteration instance
+        window = self._window_masks[start % self.ii]
+        for index, row in enumerate(self._bus_rows):
+            if row & window == 0:
+                self._bus_rows[index] = row | window
+                txn.bus_slots.append((index, window))
                 return BusReservation(bus=index, start=start, latency=latency)
         return None
 
     def peak_bus_usage(self) -> int:
         """Maximum concurrent transfers in any slot (unbounded pools)."""
-        if self._buses is not None:
+        if self._bus_rows is not None:
             return max(
-                (sum(1 for v in bus.values() if v) for bus in self._buses),
-                default=0,
+                (row.bit_count() for row in self._bus_rows), default=0
             )
         return max(self._unbounded_used.values(), default=0)
 
@@ -135,9 +164,9 @@ class ModuloReservationTable:
         """Undo every reservation recorded in the transaction."""
         for key in txn.fu_slots:
             self._fu_used[key] -= 1
-        for index, slot in txn.bus_slots:
-            assert self._buses is not None
-            self._buses[index][slot] = False
+        for index, window in txn.bus_slots:
+            assert self._bus_rows is not None
+            self._bus_rows[index] &= ~window
         for slot in txn.unbounded_slots:
             self._unbounded_used[slot] -= 1
         txn.fu_slots.clear()

@@ -16,31 +16,24 @@ only influenced where consumers were placed; actual readiness comes from
 the memory system, which is how optimistic hit-latency scheduling turns
 into stalls when a load misses.
 
-Steady-state entry memoization
-------------------------------
-``NTIMES`` entries of the innermost loop mostly repeat each other: after
-a warm-up transient, the memory system settles into a per-entry pattern
-and re-walking all ``NITER × ops`` instances is redundant.  The engine
-exploits this without changing a single bit of the results:
+Steady-state detection
+----------------------
+Simulation is highly repetitive at two granularities, and the
+:mod:`repro.steady` subsystem exploits both without changing a single
+bit of the results — the simulator only *drives* the detectors, the
+detection logic itself lives there:
 
-* before each entry it takes a *normalized signature* of the memory
-  system (:meth:`DistributedMemorySystem.state_signature`) — relative in
-  time to the entry's start and shifted in address space by the
-  cumulative per-entry address delta, so a stencil sweeping rows hashes
-  equal once its relative cache contents stop changing;
-* entry execution is a pure function of that signature plus the entry's
-  address stream, so when a signature repeats (same outer-point phase,
-  same normalized state) the engine proves the remaining entries replay
-  the recorded cycle — it verifies the future address deltas match the
-  shift under which the states compared equal — and replays their
-  (stall, statistics-delta) records instead of re-simulating;
-* entries whose address stream is not a uniform, line-aligned shift of
-  the previous one act as barriers: detection restarts after them, and
-  kernels that never converge (cache thrashing, irregular outer strides)
-  simply run every entry exactly as before.
+* :class:`~repro.steady.entry.EntrySteadyDetector` memoizes whole loop
+  entries: repeated normalized memory-state signatures prove the
+  remaining ``NTIMES`` entries replay a recorded cycle;
+* :class:`~repro.steady.iteration.IterationSteadyDetector` detects
+  periodic behaviour *within* one entry at modulo-pipeline group
+  boundaries and fast-forwards whole periods — this is what covers the
+  ``NTIMES=1`` streaming kernels the entry memoizer cannot.
 
-``exact=True`` disables the machinery entirely; results are guaranteed —
-and tested — to be bit-identical either way.
+``steady`` selects the detectors (``off``/``entry``/``iteration``/
+``auto``); ``exact=True`` forces ``off``.  Results are guaranteed — and
+tested — to be bit-identical across every mode.
 """
 
 from __future__ import annotations
@@ -52,6 +45,13 @@ from ..ir.loop import Loop
 from ..machine.config import MachineConfig
 from ..memory.hierarchy import DistributedMemorySystem
 from ..scheduler.result import Schedule
+from ..steady import (
+    EntrySteadyDetector,
+    IterationSteadyDetector,
+    SteadyState,
+    SteadyStateReport,
+    resolve_steady_mode,
+)
 from .stats import SimulationResult
 
 __all__ = ["LockstepSimulator", "SteadyState", "simulate"]
@@ -62,16 +62,6 @@ class _FlowInput:
     producer: str
     distance: int
     cross_cluster: bool
-
-
-@dataclass(frozen=True)
-class SteadyState:
-    """How a memoized run split its entries (``simulator.steady_state``)."""
-
-    detected_at: int  #: index of the first replayed entry
-    period: int  #: length of the repeating entry cycle
-    simulated_entries: int  #: entries executed instance by instance
-    replayed_entries: int  #: entries replayed from the memo record
 
 
 def _validate_count(name: str, value: Optional[int], default: int) -> int:
@@ -104,9 +94,15 @@ class LockstepSimulator:
         Cache state persists across executions, as on real hardware.
     exact:
         ``True`` forces every entry to be simulated instance by instance,
-        disabling steady-state memoization.  Results are bit-identical
-        either way; the flag exists as an escape hatch and for the
-        equivalence tests that prove it.
+        disabling steady-state detection entirely (same as
+        ``steady="off"``).  Results are bit-identical either way; the
+        flag exists as an escape hatch and for the equivalence tests
+        that prove it.
+    steady:
+        Detector selection, one of
+        :data:`~repro.steady.STEADY_MODES`.  ``auto`` (the default)
+        memoizes entries for multi-entry loops and runs the
+        iteration-level detector for single-entry streaming loops.
     """
 
     def __init__(
@@ -115,6 +111,7 @@ class LockstepSimulator:
         n_iterations: Optional[int] = None,
         n_times: Optional[int] = None,
         exact: bool = False,
+        steady: Optional[str] = None,
     ):
         self.schedule = schedule
         self.loop: Loop = schedule.kernel.loop
@@ -126,8 +123,11 @@ class LockstepSimulator:
             "n_times", n_times, self.loop.n_times
         )
         self.exact = exact
-        #: Populated by :meth:`run` when memoization kicked in.
+        self.steady_mode = resolve_steady_mode(steady, exact)
+        #: Entry-level detection record (back-compat; also in the report).
         self.steady_state: Optional[SteadyState] = None
+        #: Combined steady-state telemetry, populated by :meth:`run`.
+        self.steady_report: Optional[SteadyStateReport] = None
         self.memory = DistributedMemorySystem(self.machine)
         self._flow_inputs = self._collect_flow_inputs()
         self._instance_order = self._build_instance_order()
@@ -213,6 +213,19 @@ class LockstepSimulator:
         ]
 
     # ------------------------------------------------------------------
+    def _make_detectors(self, outer_points):
+        """Instantiate the detectors the resolved mode selects."""
+        entry_detector = None
+        iteration_detector = None
+        mode = self.steady_mode
+        if mode in ("entry", "auto") and self.n_times > 1:
+            entry_detector = EntrySteadyDetector(self, outer_points)
+        if mode == "iteration" or (mode == "auto" and self.n_times == 1):
+            candidate = IterationSteadyDetector(self)
+            if candidate.enabled:
+                iteration_detector = candidate
+        return entry_detector, iteration_detector
+
     def run(self) -> SimulationResult:
         """Execute NTIMES entries of the loop and aggregate the cycles."""
         schedule = self.schedule
@@ -222,64 +235,34 @@ class LockstepSimulator:
         outer_points = list(self._outer_points())
         n_points = len(outer_points)
         entry_compute = (self.n_iterations + schedule.stage_count - 1) * schedule.ii
-        memoize = not self.exact and self.n_times > 1
-        shift_table = self._entry_shift_table(outer_points) if memoize else None
-        shift_unit = self.memory.signature_shift_unit() if memoize else 1
-        # keyed signature -> (entry index, cumulative shift at that entry)
-        history: Dict[Tuple[object, ...], Tuple[int, int]] = {}
-        records: List[Tuple[int, Dict[str, int]]] = []
-        cumulative_shift = 0
+        entry_detector, iteration_detector = self._make_detectors(outer_points)
 
         clock = 0  # global time: memory-system state spans loop entries
         entry = 0
         while entry < self.n_times:
-            if memoize:
-                if entry > 0:
-                    delta = shift_table[(entry - 1) % n_points]
-                    if delta is None:
-                        # Non-uniform address step: states on either side
-                        # are incomparable, restart detection here.
-                        history.clear()
-                        cumulative_shift = 0
-                    else:
-                        cumulative_shift += delta
-                # Signatures normalize only by line-aligned shifts; the
-                # sub-line remainder is keyed alongside, so two entries
-                # compare iff their cumulative shifts differ by a whole
-                # number of shift units (e.g. a 328-byte row stride on
-                # 32-byte lines matches every 4th entry: 4*328 % 32 == 0).
-                remainder = cumulative_shift % shift_unit
-                key = (
-                    remainder,
-                    self.memory.state_signature(
-                        clock, cumulative_shift - remainder
-                    ),
-                )
-                match = history.get(key)
-                if match is not None and self._replay_is_sound(
-                    match, entry, cumulative_shift - match[1], outer_points
-                ):
-                    total_stall += self._replay(match[0], entry, records)
+            if entry_detector is not None:
+                replay = entry_detector.boundary(entry, clock)
+                if replay is not None:
+                    total_stall += replay.stall_cycles
+                    self.steady_state = replay.record
                     break
-                history[key] = (entry, cumulative_shift)
-            counters_before = self.memory.counters() if memoize else None
             outer = outer_points[entry % n_points]
-            stall = self._run_once(outer, lrb, clock)
+            stall = self._run_once(outer, lrb, clock, entry, iteration_detector)
             total_stall += stall
             clock += entry_compute + stall
-            if memoize:
-                after = self.memory.counters()
-                records.append(
-                    (
-                        stall,
-                        {
-                            key: after[key] - counters_before[key]
-                            for key in after
-                        },
-                    )
-                )
+            if entry_detector is not None:
+                entry_detector.commit(entry, stall)
             entry += 1
 
+        self.steady_report = SteadyStateReport(
+            mode=self.steady_mode,
+            entry=self.steady_state,
+            iterations=(
+                tuple(iteration_detector.detections)
+                if iteration_detector is not None
+                else ()
+            ),
+        )
         compute = schedule.compute_cycles(self.n_iterations, self.n_times)
         comms = schedule.n_communications * self.n_iterations * self.n_times
         return SimulationResult(
@@ -296,113 +279,6 @@ class LockstepSimulator:
             memory=self.memory.stats,
             register_comms=comms,
         )
-
-    # ------------------------------------------------------------------
-    # Steady-state memoization
-    # ------------------------------------------------------------------
-    def _entry_shift_table(
-        self, outer_points: List[Dict[str, int]]
-    ) -> List[Optional[int]]:
-        """Per outer-point phase ``i``: the uniform byte shift every
-        memory reference undergoes from the entry at point ``i`` to the
-        entry at point ``(i+1) % P`` — or ``None`` when the references
-        move by *different* amounts, in which case no shift of the
-        memory state can align the two entries and detection must
-        restart.  A uniform but non-line-aligned shift is returned as
-        is: :meth:`run` normalizes signatures by the line-aligned part
-        only and keys the sub-line remainder alongside, so such entries
-        still match once their cumulative shifts differ by whole
-        lines."""
-        addresses = self._entry_base_addresses(outer_points)
-        n_points = len(outer_points)
-        table: List[Optional[int]] = []
-        for i in range(n_points):
-            here = addresses[i]
-            there = addresses[(i + 1) % n_points]
-            if not here:  # no memory operations: entries trivially align
-                table.append(0)
-                continue
-            deltas = {b - a for a, b in zip(here, there)}
-            table.append(deltas.pop() if len(deltas) == 1 else None)
-        return table
-
-    def _entry_base_addresses(
-        self, outer_points: List[Dict[str, int]]
-    ) -> List[List[int]]:
-        """First-iteration address of each memory op at each outer point.
-
-        Affine references move by a constant per inner iteration, so the
-        whole address stream of an entry is determined by these bases
-        plus the (outer-independent) inner strides."""
-        loop = self.loop
-        inner = loop.inner
-        refs = [
-            self._mem_ref[i] for i in range(self._n_ops) if self._is_memory[i]
-        ]
-        result = []
-        for outer in outer_points:
-            point = dict(outer)
-            point[inner.var] = inner.lower
-            result.append([ref.address(point) for ref in refs])
-        return result
-
-    def _replay_is_sound(
-        self,
-        match: Tuple[int, int],
-        entry: int,
-        shift: int,
-        outer_points: List[Dict[str, int]],
-    ) -> bool:
-        """Prove that entries ``entry..n_times-1`` replay the recorded
-        cycle ``match[0]..entry-1``.
-
-        The signature match establishes that the memory state before
-        ``entry`` equals the state before ``match[0]`` translated by
-        ``shift`` bytes.  Entry execution is a deterministic function of
-        (state, address stream), so the replay is exact iff every future
-        entry's address stream is the corresponding cycle entry's stream
-        translated by that same ``shift`` — checked here against the
-        affine reference bases (streams repeat with the outer-point
-        period, so only ``min(remaining, P)`` offsets are distinct)."""
-        start = match[0]
-        addresses = self._entry_base_addresses(outer_points)
-        n_points = len(outer_points)
-        remaining = self.n_times - entry
-        for offset in range(min(remaining, n_points)):
-            old = addresses[(start + offset) % n_points]
-            new = addresses[(entry + offset) % n_points]
-            if any(b - a != shift for a, b in zip(old, new)):
-                return False
-        return True
-
-    def _replay(
-        self,
-        start: int,
-        entry: int,
-        records: List[Tuple[int, Dict[str, int]]],
-    ) -> int:
-        """Replay entries ``entry..n_times-1`` from the recorded cycle
-        ``records[start:entry]``; returns the stall cycles they add and
-        applies their statistics deltas to the memory system."""
-        period = entry - start
-        cycle = records[start:entry]
-        remaining = self.n_times - entry
-        full, partial = divmod(remaining, period)
-        stall = 0
-        if full:
-            stall += full * sum(record[0] for record in cycle)
-            for _, delta in cycle:
-                self.memory.add_counters(delta, full)
-        for record_stall, delta in cycle[:partial]:
-            stall += record_stall
-            self.memory.add_counters(delta, 1)
-        self.steady_state = SteadyState(
-            detected_at=entry,
-            period=period,
-            simulated_entries=entry,
-            replayed_entries=remaining,
-        )
-        return stall
 
     # ------------------------------------------------------------------
     def _outer_points(self) -> Iterator[Dict[str, int]]:
@@ -423,16 +299,13 @@ class LockstepSimulator:
 
         yield from walk(0, {})
 
-    def _run_once(self, outer: Dict[str, int], lrb: int, base: int) -> int:
-        """One entry of the innermost loop starting at global time ``base``;
-        returns its stall cycles."""
+    def _entry_tables(
+        self, outer: Dict[str, int]
+    ) -> Tuple[List[int], List[int]]:
+        """Per-entry address bases: address(iteration) = base + stride*i."""
         loop = self.loop
         inner = loop.inner
         n_ops = self._n_ops
-        offset = 0
-        ready: List[Optional[int]] = [None] * (self.n_iterations * n_ops)
-
-        # Per-entry address bases: address(iteration) = base + stride*i.
         mem_base: List[int] = [0] * n_ops
         mem_stride: List[int] = [0] * n_ops
         for op_index in range(n_ops):
@@ -445,7 +318,80 @@ class LockstepSimulator:
             point[inner.var] = inner.lower + inner.step
             mem_base[op_index] = first
             mem_stride[op_index] = ref.address(point) - first
+        return mem_base, mem_stride
 
+    def _run_once(
+        self,
+        outer: Dict[str, int],
+        lrb: int,
+        base: int,
+        entry: int = 0,
+        detector: Optional[IterationSteadyDetector] = None,
+    ) -> int:
+        """One entry of the innermost loop starting at global time ``base``;
+        returns its stall cycles."""
+        ready: List[Optional[int]] = [None] * (self.n_iterations * self._n_ops)
+        mem_base, mem_stride = self._entry_tables(outer)
+
+        run = (
+            detector.begin_entry(
+                entry, base, ready, mem_base, mem_stride,
+                final_entry=(entry == self.n_times - 1),
+            )
+            if detector is not None
+            else None
+        )
+        if run is None:
+            return self._walk_instances(
+                0, len(self._instances), base, 0,
+                ready, mem_base, mem_stride, self.n_iterations,
+            )
+
+        # The same instance walk, partitioned at modulo-pipeline group
+        # boundaries so the iteration-level detector can observe them.
+        # A fast-forward shrinks the remaining iteration count: skipped
+        # iterations were proven to repeat the detected cycle, and the
+        # tail simulates identically in the fast-forwarded frame (the
+        # run's finish() re-anchors the memory state afterwards).
+        bounds = detector.group_bounds
+        max_stage = detector.max_stage
+        effective_niter = self.n_iterations
+        offset = 0
+        extra_stall = 0
+        for k in range(detector.n_groups):
+            if run.active:
+                replay = run.boundary(k, offset)
+                if replay is not None:
+                    effective_niter -= replay.skipped
+                    extra_stall += replay.stall_cycles
+            offset = self._walk_instances(
+                bounds[k], bounds[k + 1], base, offset,
+                ready, mem_base, mem_stride, effective_niter,
+            )
+            if k + 1 >= effective_niter + max_stage:
+                break  # every remaining instance is a skipped iteration's
+        run.finish()
+        return offset + extra_stall
+
+    def _walk_instances(
+        self,
+        start: int,
+        end: int,
+        base: int,
+        offset: int,
+        ready: List[Optional[int]],
+        mem_base: List[int],
+        mem_stride: List[int],
+        n_iterations: int,
+    ) -> int:
+        """Execute instances ``start..end`` of the sorted instance list
+        (skipping iterations at or past ``n_iterations``, which a
+        steady-state fast-forward has replayed); returns the updated
+        stall offset.  This is THE lockstep hot loop — both the plain
+        path and the detector-partitioned path run exactly this code, so
+        steady modes can never drift from exact simulation."""
+        n_ops = self._n_ops
+        instances = self._instances
         clusters = self._cluster
         is_memory = self._is_memory
         is_store = self._is_store
@@ -453,7 +399,10 @@ class LockstepSimulator:
         flows = self._flows
         access = self.memory.access
 
-        for nominal, iteration, op_index in self._instances:
+        for position in range(start, end):
+            nominal, iteration, op_index = instances[position]
+            if iteration >= n_iterations:
+                continue
             issue = base + nominal + offset
 
             # Lockstep operand wait.
@@ -487,8 +436,13 @@ def simulate(
     n_iterations: Optional[int] = None,
     n_times: Optional[int] = None,
     exact: bool = False,
+    steady: Optional[str] = None,
 ) -> SimulationResult:
     """Convenience one-shot simulation."""
     return LockstepSimulator(
-        schedule, n_iterations=n_iterations, n_times=n_times, exact=exact
+        schedule,
+        n_iterations=n_iterations,
+        n_times=n_times,
+        exact=exact,
+        steady=steady,
     ).run()

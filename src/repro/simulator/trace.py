@@ -96,7 +96,12 @@ class _TracingSimulator(LockstepSimulator):
         self.trace = Trace(schedule=schedule)
         self._entry_index = 0
 
-    def _run_once(self, outer, lrb, base):  # noqa: D102 - see class doc
+    def _run_once(  # noqa: D102 - see class doc
+        self, outer, lrb, base, entry=0, detector=None
+    ):
+        # exact=True in __init__ guarantees detector is None here: a
+        # trace records every instance, never a steady-state replay.
+        assert detector is None
         loop = self.loop
         placements = self.schedule.placements
         inner = loop.inner

@@ -1,0 +1,440 @@
+"""Iteration-level steady-state detection inside a single loop entry.
+
+The entry-level memoizer can do nothing for ``NTIMES=1`` streaming
+kernels (su2cor, applu, turb3d): there is only one entry, so every one
+of its ``NITER`` iterations is simulated the slow way even though the
+modulo pipeline provably settles into a periodic pattern a few hundred
+iterations in.  This detector closes that gap.
+
+How it works
+------------
+The instance stream of one entry is partitioned into *modulo-pipeline
+groups*: group ``k`` holds the instances with nominal issue times in
+``[k*II, (k+1)*II)`` — one instance per operation (the iteration
+``k - stage(op)`` instance) once the pipeline is full.  At each group
+boundary the behaviour of the remaining simulation is a deterministic
+function of
+
+* the memory-system state (cache tags/MSI/LRU, pending fills, MSHR and
+  bus horizons), captured by the shift/time-normalized
+  :meth:`~repro.memory.hierarchy.DistributedMemorySystem.state_signature`;
+* the in-flight pipeline state: the relative readiness of the recent
+  producer instances that future consumers still read (a window of
+  ``max(distance + stage gap)`` groups), plus the running stall offset
+  (normalized away by anchoring both snapshots at their own boundary
+  time);
+* the remaining address stream — affine, hence ``base + stride * i``
+  per reference.
+
+Two boundaries ``k`` and ``k + M`` with equal snapshots (the memory
+signature compared under an address shift of ``M * stride``) therefore
+replay each other exactly, iteration for iteration, as long as every
+reference advances by the *same* per-iteration stride (the exactness
+proof obligation — the analogue of the entry memoizer's uniform-shift
+check, verified once per kernel) and the skipped groups stay inside the
+full-pipeline region.  The detector then fast-forwards ``t`` whole
+periods: it adds ``t ×`` the cycle's counter deltas and stall cycles,
+shrinks the remaining iteration count by ``t*M`` (the tail simulates
+identically because the state at the cut *is* the fast-forwarded state
+up to a uniform (time, address) translation), and finally re-anchors the
+memory system with
+:meth:`~repro.memory.hierarchy.DistributedMemorySystem.translate` so
+any subsequent loop entry sees exactly the state full simulation would
+have produced.
+
+Signatures walk the whole cache state, so computing one per boundary
+would cost more than it saves.  Detection is therefore two-phase: a
+cheap per-group record — (stall delta, statistics deltas) — is kept for
+every group, candidate periods are spotted by pure tuple comparisons,
+and the full signature is only computed twice per candidate (capture
+and confirm).  Candidate periods are multiples of the smallest ``q``
+with ``q * stride`` a whole number of cache lines, so the signature
+shift always commutes with line/set mapping.
+"""
+
+from __future__ import annotations
+
+from math import gcd
+from typing import Dict, List, Optional, Tuple
+
+from .base import IterationSteadyState, Replay, SteadyStateDetector
+
+__all__ = ["IterationSteadyDetector"]
+
+#: Placeholder for a window instance that does not exist (pipeline edge).
+_ABSENT = object()
+
+
+class IterationSteadyDetector:
+    """Factory/precomputation half of iteration-level detection.
+
+    Built once per :class:`~repro.simulator.executor.LockstepSimulator`
+    (whose precomputed tables it reads as a friend).  This class is
+    deliberately *not* the :class:`SteadyStateDetector` implementation:
+    iteration-level detection is stateful per loop entry, so
+    :meth:`begin_entry` hands out one protocol object (:class:`_EntryRun`)
+    per entry, and that is what the executor's group loop drives through
+    ``boundary``/``commit``.
+    """
+
+    mode = "iteration"
+    granularity = "iteration"
+
+    #: How many multiples of the line-aligned base period the cheap
+    #: period search tries at each boundary.
+    MAX_PERIODS = 16
+
+    def __init__(self, simulator):
+        self.sim = simulator
+        self.ii: int = simulator.schedule.ii
+        self.n_ops: int = simulator._n_ops
+        placements = simulator.schedule.placements
+        self.stage: List[int] = [
+            placements[name].time // self.ii for name in simulator._op_names
+        ]
+        self.max_stage = max(self.stage, default=0)
+        # Exactness proof obligation: every memory reference must advance
+        # by the same per-iteration stride, or no single address shift
+        # can align two boundaries and detection stays off.
+        strides = set(self._iteration_strides())
+        self.enabled = len(strides) <= 1
+        self.stride: int = strides.pop() if strides else 0
+        unit = simulator.memory.signature_shift_unit()
+        # Smallest period whose cumulative shift is line-aligned.
+        sub = self.stride % unit
+        self.q: int = 1 if sub == 0 else unit // gcd(unit, sub)
+        # Ready-value window: how many groups back a future consumer can
+        # reach (flow distance plus consumer/producer stage gap).
+        self.window = max(
+            (
+                distance + self.stage[v] - self.stage[src]
+                for v in range(self.n_ops)
+                for src, distance, _extra in simulator._flows[v]
+            ),
+            default=0,
+        )
+        # First boundary where the pipeline is full and the whole ready
+        # window exists.
+        self.k0 = self.max_stage + self.window
+        self.group_bounds, self.n_groups = self._group_bounds()
+        self.detections: List[IterationSteadyState] = []
+
+    # ------------------------------------------------------------------
+    def _iteration_strides(self) -> List[int]:
+        """Per-iteration address stride of every memory reference.
+
+        Affine references advance by a constant per inner iteration
+        independent of the outer point, so one probe point suffices."""
+        sim = self.sim
+        loop = sim.loop
+        inner = loop.inner
+        point = {dim.var: dim.lower for dim in loop.outer_dims}
+        strides = []
+        for index in range(sim._n_ops):
+            ref = sim._mem_ref[index]
+            if ref is None:
+                continue
+            point[inner.var] = inner.lower
+            first = ref.address(point)
+            point[inner.var] = inner.lower + inner.step
+            strides.append(ref.address(point) - first)
+        return strides
+
+    def _group_bounds(self) -> Tuple[List[int], int]:
+        """Start index of each modulo-pipeline group in the (nominal-time
+        sorted) instance list; ``bounds[k]..bounds[k+1]`` is group ``k``."""
+        instances = self.sim._instances
+        ii = self.ii
+        n_groups = (instances[-1][0] // ii + 1) if instances else 0
+        bounds = [0] * (n_groups + 1)
+        k = 0
+        for position, (nominal, _iteration, _op) in enumerate(instances):
+            group = nominal // ii
+            while k < group:
+                k += 1
+                bounds[k] = position
+        while k < n_groups:
+            k += 1
+            bounds[k] = len(instances)
+        return bounds, n_groups
+
+    # ------------------------------------------------------------------
+    def begin_entry(
+        self,
+        entry: int,
+        base: int,
+        ready: List[Optional[int]],
+        mem_base: List[int],
+        mem_stride: List[int],
+        final_entry: bool = True,
+    ):
+        """A fresh per-entry detection run, or ``None`` when this kernel
+        can never confirm a period (non-uniform strides, or too few
+        iterations for capture + confirm + at least one skipped period)."""
+        if not self.enabled:
+            return None
+        if self.sim.n_iterations < self.k0 + 4 * self.q:
+            return None
+        return _EntryRun(
+            self, entry, base, ready, mem_base, mem_stride, final_entry
+        )
+
+
+class _EntryRun(SteadyStateDetector):
+    """The iteration-granularity :class:`SteadyStateDetector`: detection
+    state for the modulo-pipeline groups of one loop entry.
+
+    ``niter`` tracks the *remaining* iteration count of the
+    fast-forwarded ("pretend") frame: after a skip the executor keeps
+    walking the same group indices with a smaller effective NITER, which
+    is exactly a continuation of the smaller-NITER run — so the run
+    re-arms and can detect (and skip) again in that frame."""
+
+    mode = "iteration"
+    granularity = "iteration"
+
+    def __init__(self, detector: IterationSteadyDetector, entry: int,
+                 base: int, ready: List[Optional[int]],
+                 mem_base: List[int], mem_stride: List[int],
+                 final_entry: bool = True):
+        self.det = detector
+        self.entry = entry
+        self.base = base
+        self.ready = ready
+        self.mem_base = mem_base
+        self.mem_stride = mem_stride
+        self.final_entry = final_entry
+        self.active = True
+        #: Remaining iterations in the current (pretend) frame.
+        self.niter = detector.sim.n_iterations
+        #: (stall delta, counters delta) per finished group.
+        self.records: List[Optional[Tuple[int, Tuple[int, ...]]]] = (
+            [None] * detector.n_groups
+        )
+        #: Records below this group index may not be compared (start of
+        #: the detection window; bumped past each fast-forward cut).
+        self.valid_from = detector.k0
+        self.prev_offset = 0
+        self.prev_values: Optional[Tuple[int, ...]] = None
+        # (k1, M, signature, ghosts, ready snapshot, offset, counters) of
+        # a cheaply-spotted candidate awaiting signature confirmation.
+        self.pending = None
+        # Confirm-failure backoff: a signature mismatch under a periodic
+        # record stream means the state is still developing (cache fill,
+        # trailing-edge transients), so retrying every period would burn
+        # a full state walk each time on kernels that never settle.
+        # Exponential backoff bounds that cost at O(log) walks while the
+        # state warms up, capped so a late-settling kernel is still
+        # caught reasonably soon after it stabilizes.
+        self.next_search = 0
+        self.backoff = 2 * detector.q
+        self.ff_time_delta = 0
+        self.ff_addr_shift = 0
+
+    # ------------------------------------------------------------------
+    def boundary(self, k: int, offset: int) -> Optional[Replay]:
+        """Observe the boundary before group ``k`` at stall ``offset``."""
+        det = self.det
+        if k < det.k0:
+            return None
+        if k >= self.niter:
+            # Pipeline drain of the (possibly fast-forwarded) frame:
+            # groups are partial from here on, nothing left to detect.
+            self.active = False
+            return None
+        values = det.sim.memory.counters_tuple()
+        if self.prev_values is not None:
+            self.records[k - 1] = (
+                offset - self.prev_offset,
+                tuple(a - b for a, b in zip(values, self.prev_values)),
+            )
+        self.prev_offset = offset
+        self.prev_values = values
+
+        if self.pending is not None:
+            k1, period, sig1, ghosts1, snap1, offset1, counters1 = self.pending
+            if self.records[k - 1] != self.records[k - 1 - period]:
+                self.pending = None  # cycle broke while waiting
+            elif k == k1 + period:
+                self.pending = None
+                base_k = self.base + k * det.ii + offset
+                ghosts2: List[Tuple[int, int]] = []
+                sig2 = det.sim.memory.state_signature(
+                    base_k, period * det.stride, invalid_out=ghosts2
+                )
+                snap2 = self._ready_snapshot(k, base_k)
+                if sig2 == sig1 and snap2 == snap1:
+                    replay = self._confirm(
+                        k1, period, offset1, counters1, k, offset,
+                        ghosts1, ghosts2,
+                    )
+                    if replay is not None:
+                        return replay
+                # State not periodic yet despite periodic statistics:
+                # back off before spending another pair of state walks.
+                self.next_search = k + self.backoff
+                self.backoff = min(self.backoff * 2, 32 * det.q)
+            else:
+                return None
+        if self.pending is None and k >= self.next_search:
+            self._search(k, offset)
+        return None
+
+    # ------------------------------------------------------------------
+    def _search(self, k: int, offset: int) -> None:
+        """Cheap period search: spot a candidate from group records alone."""
+        det = self.det
+        records = self.records
+        for j in range(1, det.MAX_PERIODS + 1):
+            period = j * det.q
+            if k - 2 * period < self.valid_from:
+                break
+            if all(
+                records[g] == records[g - period] for g in range(k - period, k)
+            ):
+                base_k = self.base + k * det.ii + offset
+                ghosts: List[Tuple[int, int]] = []
+                self.pending = (
+                    k,
+                    period,
+                    det.sim.memory.state_signature(
+                        base_k, 0, invalid_out=ghosts
+                    ),
+                    ghosts,
+                    self._ready_snapshot(k, base_k),
+                    offset,
+                    det.sim.memory.counters(),
+                )
+                return
+
+    def _ready_snapshot(self, k: int, base_k: int) -> Tuple[object, ...]:
+        """Relative readiness of every instance future consumers can
+        still read: the ``window`` groups preceding boundary ``k``,
+        anchored at the boundary's own time so two periodic boundaries
+        compare equal."""
+        det = self.det
+        ready = self.ready
+        n_ops = det.n_ops
+        n_iterations = self.niter
+        out: List[object] = []
+        for j in range(1, det.window + 1):
+            group = k - j
+            for op in range(n_ops):
+                iteration = group - det.stage[op]
+                if 0 <= iteration < n_iterations:
+                    value = ready[iteration * n_ops + op]
+                    out.append(None if value is None else value - base_k)
+                else:
+                    out.append(_ABSENT)
+        return tuple(out)
+
+    def _scars_unreachable(self, divergent: set, k2: int) -> bool:
+        """True when no divergent ghost line can ever be touched again.
+
+        The two matched states were compared with their INVALID lines
+        stripped (``divergent`` holds ``(cluster, line address)`` pairs);
+        lines present in only one of them (typically frozen warm-up
+        scars, whose absolute addresses never move with the sweep) are
+        behaviourally inert *unless* a future access maps to one of
+        their exact line addresses and revives it.  A plain
+        overlap test against each reference's remaining byte envelope
+        suffices for any number of skipped periods: the scars' ideal
+        "phantom" images advance by exactly the per-period shift — the
+        same rate the access front advances — so a scar outside the
+        envelope now keeps its relative distance to the stream forever.
+        Each scar is conservatively widened to a full shift unit, which
+        covers any cache's line span."""
+        det = self.det
+        sim = det.sim
+        span = sim.memory.signature_shift_unit()
+        i_min = max(0, k2 - det.k0)
+        i_max = self.niter - 1
+        for op in range(det.n_ops):
+            ref = sim._mem_ref[op]
+            if ref is None:
+                continue
+            a0 = self.mem_base[op] + self.mem_stride[op] * i_min
+            a1 = self.mem_base[op] + self.mem_stride[op] * i_max
+            lo = min(a0, a1)
+            hi = max(a0, a1) + ref.array.element_size - 1
+            for _cluster, d in divergent:
+                if d <= hi and d + span - 1 >= lo:
+                    return False
+        return True
+
+    def _confirm(
+        self,
+        k1: int,
+        period: int,
+        offset1: int,
+        counters1: Dict[str, int],
+        k2: int,
+        offset2: int,
+        ghosts1: List[Tuple[int, int]],
+        ghosts2: List[Tuple[int, int]],
+    ) -> Optional[Replay]:
+        """Signature + window matched: fast-forward whole periods."""
+        det = self.det
+        sim = det.sim
+        shift_per_period = period * det.stride
+        # Skipped groups must stay inside the full-pipeline region
+        # (groups 0..NITER-1 of the current frame); the tail — partial
+        # period plus pipeline drain — is simulated for real.
+        t = (self.niter - k2) // period
+        # Ghosts are (cluster, absolute line address) pairs: cache
+        # identity matters — a scar at the same address in another
+        # cluster's cache is different state and must not cancel.
+        divergent = {
+            (cluster, g + shift_per_period) for cluster, g in ghosts1
+        }.symmetric_difference(ghosts2)
+        if divergent:
+            # The scar-unreachability proof only covers THIS entry's
+            # remaining (forward-moving) stream; a later entry re-sweeps
+            # the whole address range and would touch the divergent
+            # scars, so the end-of-entry state translation would no
+            # longer be exact.
+            if not self.final_entry:
+                return None
+            if not self._scars_unreachable(divergent, k2):
+                return None
+        if t <= 0:
+            return None
+        period_stall = offset2 - offset1
+        counters2 = sim.memory.counters()
+        delta = {key: counters2[key] - counters1[key] for key in counters2}
+        sim.memory.add_counters(delta, t)
+        self.ff_time_delta += t * (period * det.ii + period_stall)
+        self.ff_addr_shift += t * shift_per_period
+        self.niter -= t * period
+        record = IterationSteadyState(
+            entry=self.entry,
+            detected_at=k2,
+            period=period,
+            simulated_iterations=self.niter,
+            replayed_iterations=t * period,
+        )
+        det.detections.append(record)
+        # Re-arm in the fast-forwarded frame: detection may fire again
+        # (a capped skip leaves more periodic groups behind the next,
+        # now-closer scar horizon).
+        self.prev_values = None
+        self.valid_from = k2 + 1
+        self.next_search = 0
+        self.backoff = 2 * det.q
+        return Replay(
+            skipped=t * period,
+            stall_cycles=t * period_stall,
+            record=record,
+        )
+
+    def finish(self) -> None:
+        """Re-anchor the memory system after a fast-forwarded entry.
+
+        The tail was simulated in the fast-forwarded ("pretend") frame;
+        translating by the skipped (time, address) span turns the final
+        state into exactly what full simulation would have left behind,
+        so entry-level memoization — or anything else — can run on top."""
+        if self.ff_time_delta or self.ff_addr_shift:
+            self.det.sim.memory.translate(
+                self.ff_time_delta, self.ff_addr_shift
+            )

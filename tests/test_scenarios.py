@@ -26,6 +26,8 @@ EXPECTED_BUILTINS = {
     "fig6-2cluster",
     "fig6-4cluster",
     "fig6-smoke",
+    "fig6-steady-ablation",
+    "streaming",
     "dsp-4cluster",
     "unified-reference",
     "ablation-cme-sampling",
@@ -161,6 +163,48 @@ class TestExpansion:
     def test_ablation_kernels_constant(self):
         scenario = get_scenario("ablation-cme-sampling")
         assert scenario.kernels == ABLATION_KERNELS
+
+
+class TestSteadySelection:
+    def test_scenario_steady_reaches_cellspecs(self):
+        specs = _tiny_scenario(steady="entry").expand()
+        assert all(spec.steady == "entry" for spec in specs)
+
+    def test_group_steady_overrides_scenario_default(self):
+        scenario = get_scenario("fig6-steady-ablation")
+        specs = scenario.expand()
+        modes = sorted({spec.steady for spec in specs})
+        assert modes == ["auto", "entry", "iteration", "off"]
+        # The cache key must separate the modes, or the ablation would
+        # serve one mode's timing run from another's cached cells.
+        by_mode = {}
+        for spec in specs:
+            by_mode.setdefault(spec.steady, spec)
+        keys = {spec.cache_key("sampling:512") for spec in by_mode.values()}
+        assert len(keys) == len(by_mode)
+
+    def test_unknown_steady_rejected(self):
+        with pytest.raises(KeyError, match="unknown steady mode"):
+            _tiny_scenario(steady="mostly")
+        with pytest.raises(KeyError, match="unknown steady mode"):
+            GroupSpec(
+                label="x",
+                machine=MachineSpec(preset="unified"),
+                scheduler="baseline",
+                steady="never",
+            )
+
+    def test_run_scenario_steady_override(self):
+        outcome = run_scenario(_tiny_scenario(), cache=False, steady="off")
+        assert outcome.scenario.steady == "off"
+        assert outcome.results is not None
+
+    def test_streaming_scenario_shape(self):
+        scenario = get_scenario("streaming")
+        assert scenario.kernels == ("su2cor", "applu", "turb3d")
+        assert scenario.n_cells() == 9
+        kernels = scenario.build_kernels()
+        assert all(kernel.loop.n_times == 1 for kernel in kernels)
 
 
 class TestRunScenario:
