@@ -29,7 +29,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .cme import SamplingCME
+from .cme import SAMPLED_ENGINES
 from .engine import CellPipeline, CellRequest, make_scheduler
 from .harness.charts import render_figure
 from .harness.grid import CellSpec, ExperimentGrid, ProgressCallback
@@ -49,6 +49,19 @@ def _positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
     return value
+
+
+def _add_cme_options(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument("--max-points", type=int, default=512)
+    cmd.add_argument(
+        "--cme", choices=sorted(SAMPLED_ENGINES), default="incremental",
+        help="sampled-CME engine (results are bit-identical; "
+             "'sampling' is the from-scratch reference)",
+    )
+
+
+def _build_locality(args: argparse.Namespace):
+    return SAMPLED_ENGINES[args.cme](args.max_points)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -77,7 +90,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--scheduler", default="rmca", choices=("baseline", "rmca")
         )
         cmd.add_argument("--threshold", type=float, default=1.0)
-        cmd.add_argument("--max-points", type=int, default=512)
+        _add_cme_options(cmd)
 
     for name, alias in (("figure5", "fig5"), ("figure6", "fig6")):
         cmd = sub.add_parser(
@@ -89,7 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
             default=[1.0, 0.75, 0.25, 0.0],
         )
         cmd.add_argument("--kernels", nargs="+", choices=sorted(SPEC_KERNELS))
-        cmd.add_argument("--max-points", type=int, default=512)
+        _add_cme_options(cmd)
         cmd.add_argument("--csv", help="write per-kernel records as CSV")
         cmd.add_argument("--out", help="write the figure as JSON")
         cmd.add_argument(
@@ -206,7 +219,7 @@ def _cmd_suite() -> int:
 def _cmd_schedule(args: argparse.Namespace, run_simulation: bool) -> int:
     kernel = kernel_by_name(args.kernel)
     machine = preset(args.machine)
-    locality = SamplingCME(max_points=args.max_points)
+    locality = _build_locality(args)
     outcome = None
     if run_simulation:
         # Full pipeline: build -> analyze -> schedule -> simulate -> measure,
@@ -286,7 +299,7 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
         if not args.kernels
         else [kernel_by_name(name) for name in args.kernels]
     )
-    grid = _build_grid(args, SamplingCME(max_points=args.max_points))
+    grid = _build_grid(args, _build_locality(args))
     if which == "figure5":
         figure = figure5(
             n_clusters=args.clusters,

@@ -2,7 +2,13 @@
 
 from .analytic import AnalyticCME
 from .equations import EquationCME, MissBreakdown
-from .locality import LocalityAnalyzer, default_analyzer, locality_fingerprint
+from .incremental import IncrementalCME
+from .locality import (
+    SAMPLED_ENGINES,
+    LocalityAnalyzer,
+    default_analyzer,
+    locality_fingerprint,
+)
 from .reuse import (
     ReuseInfo,
     analyze_reuse,
@@ -12,20 +18,25 @@ from .reuse import (
     self_temporal,
 )
 from .sampling import MissEstimate, SamplingCME
+from .trace import TraceStore, loop_fingerprint
 
 __all__ = [
     "AnalyticCME",
     "EquationCME",
+    "IncrementalCME",
     "LocalityAnalyzer",
     "MissBreakdown",
     "MissEstimate",
     "ReuseInfo",
+    "SAMPLED_ENGINES",
     "SamplingCME",
+    "TraceStore",
     "analyze_reuse",
     "default_analyzer",
     "group_pairs",
     "innermost_stride",
     "locality_fingerprint",
+    "loop_fingerprint",
     "self_spatial",
     "self_temporal",
 ]

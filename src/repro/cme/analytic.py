@@ -29,6 +29,7 @@ from ..ir.loop import Loop
 from ..ir.operations import Operation
 from ..machine.config import CacheConfig
 from .reuse import group_pairs, innermost_stride
+from .trace import loop_fingerprint
 
 __all__ = ["AnalyticCME"]
 
@@ -44,13 +45,9 @@ class AnalyticCME:
     name = "analytic"
 
     def __init__(self):
+        # Content-fingerprint keys (see SamplingCME): immune to id reuse
+        # after GC and safe to keep across pickling.
         self._memo: Dict[Tuple, Dict[str, float]] = {}
-
-    def __getstate__(self):
-        # The memo is keyed by id(loop): never ship it across processes.
-        state = self.__dict__.copy()
-        state["_memo"] = {}
-        return state
 
     # ------------------------------------------------------------------
     def per_op_miss_ratio(
@@ -62,7 +59,7 @@ class AnalyticCME:
         """Estimated steady-state miss ratio for every memory op in ``ops``."""
         mem_ops = [op for op in loop.operations if op in tuple(ops) and op.is_memory]
         key = (
-            id(loop),
+            loop_fingerprint(loop),
             tuple(op.name for op in mem_ops),
             cache.size,
             cache.line_size,

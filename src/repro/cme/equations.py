@@ -33,6 +33,7 @@ from typing import Dict, List, Sequence, Tuple
 from ..ir.loop import Loop
 from ..ir.operations import Operation
 from ..machine.config import CacheConfig
+from .trace import loop_fingerprint
 
 __all__ = ["MissBreakdown", "EquationCME"]
 
@@ -76,13 +77,9 @@ class EquationCME:
         if max_points < 1:
             raise ValueError("max_points must be positive")
         self.max_points = max_points
+        # Content-fingerprint keys (see SamplingCME): immune to id reuse
+        # after GC and safe to keep across pickling.
         self._memo: Dict[Tuple, MissBreakdown] = {}
-
-    def __getstate__(self):
-        # The memo is keyed by id(loop): never ship it across processes.
-        state = self.__dict__.copy()
-        state["_memo"] = {}
-        return state
 
     # ------------------------------------------------------------------
     def solve(
@@ -94,7 +91,7 @@ class EquationCME:
         """Classify every access of ``ops`` sharing one cache."""
         mem_ops = tuple(op for op in ops if op.is_memory)
         key = (
-            id(loop),
+            loop_fingerprint(loop),
             tuple(sorted(op.name for op in mem_ops)),
             cache.size,
             cache.line_size,

@@ -7,8 +7,15 @@ The schedulers only need two statistics (Section 4.2 of the paper):
 * the miss ratio of one particular memory instruction within that set.
 
 Any object implementing :class:`LocalityAnalyzer` can drive the RMCA
-scheduler; the package ships the sampled solver (primary, the paper's
-practical choice) and a closed-form analytic model (ablation).
+scheduler; the package ships the incremental sampled engine (primary —
+the paper's sampled estimator, answered incrementally over shared
+traces), the from-scratch sampled reference and a closed-form analytic
+model (ablation).
+
+Analyzers may additionally expose the *batched* probe API
+(``probe_clusters(loop, op, residents, caches)``) the schedulers use to
+answer all candidate clusters' ``resident + [op]`` probes in one sweep;
+the schedulers fall back to the per-call protocol when it is absent.
 """
 
 from __future__ import annotations
@@ -19,9 +26,23 @@ from ..ir.loop import Loop
 from ..ir.operations import Operation
 from ..machine.config import CacheConfig
 from .analytic import AnalyticCME
+from .incremental import IncrementalCME
 from .sampling import SamplingCME
 
-__all__ = ["LocalityAnalyzer", "default_analyzer", "locality_fingerprint"]
+__all__ = [
+    "LocalityAnalyzer",
+    "SAMPLED_ENGINES",
+    "default_analyzer",
+    "locality_fingerprint",
+]
+
+#: The two implementations of the sampled estimator, by engine name —
+#: the single registry the CLI and the benchmarks select from.  Both are
+#: bit-identical and share the ``"sampling"`` fingerprint.
+SAMPLED_ENGINES = {
+    "incremental": lambda points: IncrementalCME(max_points=points),
+    "sampling": lambda points: SamplingCME(max_points=points),
+}
 
 
 @runtime_checkable
@@ -47,9 +68,16 @@ class LocalityAnalyzer(Protocol):
         ...
 
 
-def default_analyzer(max_points: int = 2048) -> SamplingCME:
-    """The analyzer used throughout the paper's experiments."""
-    return SamplingCME(max_points=max_points)
+def default_analyzer(max_points: int = 2048) -> IncrementalCME:
+    """The analyzer used throughout the paper's experiments.
+
+    The incremental engine computes exactly the sampled estimator of
+    the paper (bit-identical to :class:`SamplingCME`, enforced by the
+    equivalence suites) and shares its ``"sampling"`` fingerprint, so
+    grid cache entries and golden recordings are interchangeable
+    between the two.
+    """
+    return IncrementalCME(max_points=max_points)
 
 
 def locality_fingerprint(analyzer: LocalityAnalyzer) -> str:

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..ir.loop import Loop
 from ..ir.operations import Operation
 from ..machine.config import CacheConfig
+from .trace import loop_fingerprint
 
 __all__ = ["MissEstimate", "SamplingCME"]
 
@@ -95,15 +96,11 @@ class SamplingCME:
         if max_points < 1:
             raise ValueError("max_points must be positive")
         self.max_points = max_points
+        # Keyed on the loop *content* fingerprint: a GC'd loop's address
+        # can be recycled by a fresh loop, so an id-keyed memo could
+        # alias a stale estimate.  Content keys are also safe to keep
+        # across pickling / process fan-out.
         self._memo: Dict[Tuple, MissEstimate] = {}
-
-    def __getstate__(self):
-        # Memo entries are keyed by id(loop); in another process a fresh
-        # loop object could reuse such an address and alias a stale
-        # entry, so a pickled analyzer always starts with a cold memo.
-        state = self.__dict__.copy()
-        state["_memo"] = {}
-        return state
 
     # ------------------------------------------------------------------
     def estimate(
@@ -117,7 +114,7 @@ class SamplingCME:
             op for op in ops if op.is_memory
         )
         key = (
-            id(loop),
+            loop_fingerprint(loop),
             tuple(sorted(op.name for op in mem_ops)),
             cache.size,
             cache.line_size,

@@ -157,7 +157,13 @@ class AnalyzeStage(Stage):
 
 
 class ScheduleStage(Stage):
-    """Modulo-schedule the kernel with the requested scheduler."""
+    """Modulo-schedule the kernel with the requested scheduler.
+
+    When the locality analyzer exposes CME telemetry (the incremental
+    engine does), the stage records the probe/memo/replay activity the
+    scheduling run caused — ``cme_*`` deltas in the stage stats — so
+    benchmarks and CI can assert the batched path is actually exercised.
+    """
 
     name = "schedule"
 
@@ -166,8 +172,10 @@ class ScheduleStage(Stage):
         ctx.engine = make_scheduler(
             request.scheduler, request.threshold, ctx.locality
         )
+        telemetry = getattr(ctx.locality, "telemetry", None)
+        before = telemetry() if callable(telemetry) else None
         ctx.schedule = ctx.engine.schedule(ctx.kernel, ctx.machine)
-        return {
+        stats: Dict[str, object] = {
             "scheduler": request.scheduler,
             "threshold": request.threshold,
             "ii": ctx.schedule.ii,
@@ -175,6 +183,11 @@ class ScheduleStage(Stage):
             "stage_count": ctx.schedule.stage_count,
             "communications": ctx.schedule.n_communications,
         }
+        if before is not None:
+            after = telemetry()
+            for key, value in after.items():
+                stats[f"cme_{key}"] = value - before.get(key, 0)
+        return stats
 
 
 class SimulateStage(Stage):

@@ -506,6 +506,15 @@ class ExperimentGrid:
                 out.append(outcome.result)
                 report(spec, "computed")
             return out
+        # Cross-cell trace sharing: build every pending kernel's CME
+        # address trace once in the parent, so the analyzer pickled into
+        # each worker arrives pre-warmed instead of every worker
+        # re-walking the iteration spaces (the traces and memos are
+        # content-addressed, hence safe to ship across processes).
+        prime = getattr(self.locality, "prime", None)
+        if prime is not None:
+            for kernel in {kernel.name: kernel for kernel in kernels}.values():
+                prime(kernel.loop)
         workers = min(self.n_jobs, len(pending))
         results: List[Optional[RunResult]] = [None] * len(pending)
         with ProcessPoolExecutor(

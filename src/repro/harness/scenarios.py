@@ -31,7 +31,7 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..cme import AnalyticCME, EquationCME, SamplingCME
+from ..cme import AnalyticCME, EquationCME, IncrementalCME
 from ..cme.locality import LocalityAnalyzer, locality_fingerprint
 from ..engine.result import RunResult
 from ..engine.stages import SCHEDULER_NAMES
@@ -118,13 +118,19 @@ class MachineSpec:
 
 @dataclass(frozen=True)
 class LocalitySpec:
-    """Which CME backend drives the schedulers, and at what budget."""
+    """Which CME backend drives the schedulers, and at what budget.
+
+    ``"sampling"`` builds the incremental engine — it computes the
+    sampled estimator bit-identically (and shares its fingerprint), so
+    existing scenario specs, cache entries and golden recordings are
+    unchanged by the engine swap.
+    """
 
     kind: str = "sampling"
     max_points: Optional[int] = 512
 
     _BUILDERS = {
-        "sampling": lambda points: SamplingCME(max_points=points),
+        "sampling": lambda points: IncrementalCME(max_points=points),
         "equations": lambda points: EquationCME(max_points=points),
         "analytic": lambda points: AnalyticCME(),
     }

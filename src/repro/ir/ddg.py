@@ -54,6 +54,15 @@ class DependenceGraph:
     def __init__(self, loop: Loop, edges: Optional[List[DepEdge]] = None):
         self.loop = loop
         self._graph = nx.MultiDiGraph()
+        # Lazy adjacency caches: the schedulers query in/out edges on
+        # every placement attempt, and materializing networkx edge views
+        # each time dominated the schedule stage.  The caches preserve
+        # networkx's exact edge order (comm allocation reads edges in
+        # order), are invalidated by add_edge, and are handed out as
+        # tuples so no caller can corrupt them.
+        self._edge_cache: Optional[Tuple[DepEdge, ...]] = None
+        self._in_cache: Optional[Dict[str, Tuple[DepEdge, ...]]] = None
+        self._out_cache: Optional[Dict[str, Tuple[DepEdge, ...]]] = None
         for op in loop.operations:
             self._graph.add_node(op.name, op=op)
         for edge in edges or []:
@@ -70,6 +79,9 @@ class DependenceGraph:
         self._graph.add_edge(
             edge.src, edge.dst, kind=edge.kind, distance=edge.distance
         )
+        self._edge_cache = None
+        self._in_cache = None
+        self._out_cache = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -95,20 +107,42 @@ class DependenceGraph:
         """All node names (program order of the loop body)."""
         return [op.name for op in self.loop.operations]
 
-    def edges(self) -> Iterator[DepEdge]:
-        """All dependence edges."""
-        for src, dst, data in self._graph.edges(data=True):
-            yield DepEdge(src, dst, data["kind"], data["distance"])
+    def edges(self) -> Tuple[DepEdge, ...]:
+        """All dependence edges (cached; networkx iteration order)."""
+        if self._edge_cache is None:
+            self._edge_cache = tuple(
+                DepEdge(src, dst, data["kind"], data["distance"])
+                for src, dst, data in self._graph.edges(data=True)
+            )
+        return self._edge_cache
 
-    def in_edges(self, name: str) -> Iterator[DepEdge]:
+    def _build_adjacency(self) -> None:
+        ins: Dict[str, Tuple[DepEdge, ...]] = {}
+        outs: Dict[str, Tuple[DepEdge, ...]] = {}
+        for op in self.loop.operations:
+            name = op.name
+            ins[name] = tuple(
+                DepEdge(src, dst, data["kind"], data["distance"])
+                for src, dst, data in self._graph.in_edges(name, data=True)
+            )
+            outs[name] = tuple(
+                DepEdge(src, dst, data["kind"], data["distance"])
+                for src, dst, data in self._graph.out_edges(name, data=True)
+            )
+        self._in_cache = ins
+        self._out_cache = outs
+
+    def in_edges(self, name: str) -> Tuple[DepEdge, ...]:
         """Dependences that must be satisfied before ``name`` issues."""
-        for src, dst, data in self._graph.in_edges(name, data=True):
-            yield DepEdge(src, dst, data["kind"], data["distance"])
+        if self._in_cache is None:
+            self._build_adjacency()
+        return self._in_cache[name]
 
-    def out_edges(self, name: str) -> Iterator[DepEdge]:
+    def out_edges(self, name: str) -> Tuple[DepEdge, ...]:
         """Dependences carried from ``name`` to its consumers."""
-        for src, dst, data in self._graph.out_edges(name, data=True):
-            yield DepEdge(src, dst, data["kind"], data["distance"])
+        if self._out_cache is None:
+            self._build_adjacency()
+        return self._out_cache[name]
 
     def predecessors(self, name: str) -> Set[str]:
         return set(self._graph.predecessors(name))

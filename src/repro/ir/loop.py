@@ -120,11 +120,20 @@ class Loop:
         return tuple(op for op in self.operations if op.is_memory)
 
     def operation(self, name: str) -> Operation:
-        """Look an operation up by name."""
-        for op in self.operations:
-            if op.name == name:
-                return op
-        raise KeyError(f"no operation named {name!r} in loop {self.name!r}")
+        """Look an operation up by name (O(1); schedulers call this on
+        every placement).  The index is built lazily and cached on the
+        instance — sound because the operation tuple is fixed at
+        construction."""
+        index = self.__dict__.get("_op_index")
+        if index is None:
+            index = {op.name: op for op in self.operations}
+            self.__dict__["_op_index"] = index
+        op = index.get(name)
+        if op is None:
+            raise KeyError(
+                f"no operation named {name!r} in loop {self.name!r}"
+            )
+        return op
 
     def ref_of(self, op: Operation) -> ArrayReference:
         """The memory reference accessed by a memory operation."""

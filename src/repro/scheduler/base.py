@@ -71,6 +71,12 @@ class _State:
         self.comms: List[Communication] = []
         self.comm_index: Dict[Tuple[str, int], List[Communication]] = {}
         self.ops_per_cluster: List[int] = [0] * machine.n_clusters
+        # Per-cluster memory operations, maintained incrementally on
+        # commit: the CME probes of cluster ranking and binding
+        # prefetching read this on every placement.
+        self._mem_ops: List[List[Operation]] = [
+            [] for _ in range(machine.n_clusters)
+        ]
 
     def lat(self, op_name: str) -> int:
         """Assumed latency of a *scheduled* operation."""
@@ -91,6 +97,8 @@ class _State:
             assumed_latency=assumed_latency,
         )
         self.ops_per_cluster[cluster] += 1
+        if op.is_memory:
+            self._mem_ops[cluster].append(op)
         for comm in new_comms:
             self.comms.append(comm)
             self.comm_index.setdefault(
@@ -98,12 +106,12 @@ class _State:
             ).append(comm)
 
     def memory_ops_in(self, cluster: int) -> List[Operation]:
-        loop = self.kernel.loop
-        return [
-            loop.operation(name)
-            for name, p in self.placements.items()
-            if p.cluster == cluster and loop.operation(name).is_memory
-        ]
+        """Memory operations committed to ``cluster``, in commit order.
+
+        Returns the live list — callers read or copy (``resident +
+        [op]``), never mutate.
+        """
+        return self._mem_ops[cluster]
 
 
 class CommunicationAwareScheduler:
@@ -145,6 +153,40 @@ class CommunicationAwareScheduler:
             if self.config.check_register_pressure
             else None
         )
+        schedule = self._search_ii(
+            kernel, machine, order, mii, res, rec, lifetime_model
+        )
+        if schedule is None and self.config.use_sms_ordering:
+            # The SMS ordering can (rarely) emit a node after both a
+            # predecessor and a successor; if the greedy pass then wedges
+            # it into an empty same-iteration window, no II helps —
+            # distance-0 bounds do not relax with II.  Program order
+            # cannot sandwich a node between scheduled neighbours on
+            # distance-0 flow edges, so retry with it before giving up.
+            # (Only reachable where scheduling previously failed
+            # outright, so no existing schedule can change.)
+            order = [op.name for op in kernel.loop.operations]
+            schedule = self._search_ii(
+                kernel, machine, order, mii, res, rec, lifetime_model
+            )
+        if schedule is None:
+            raise SchedulingError(
+                f"no schedule for {kernel.name!r} on {machine.name!r} "
+                f"with II <= {self.config.max_ii}"
+            )
+        return schedule
+
+    def _search_ii(
+        self,
+        kernel: Kernel,
+        machine: MachineConfig,
+        order: Sequence[str],
+        mii: int,
+        res: int,
+        rec: int,
+        lifetime_model: Optional[LifetimeModel],
+    ) -> Optional[Schedule]:
+        """The II search loop at one fixed node order."""
         for ii in range(mii, self.config.max_ii + 1):
             state = self._attempt(kernel, machine, order, ii)
             if state is None:
@@ -156,10 +198,7 @@ class CommunicationAwareScheduler:
             ):
                 continue
             return schedule
-        raise SchedulingError(
-            f"no schedule for {kernel.name!r} on {machine.name!r} "
-            f"with II <= {self.config.max_ii}"
-        )
+        return None
 
     # ------------------------------------------------------------------
     # Cluster scoring hooks
@@ -246,7 +285,12 @@ class CommunicationAwareScheduler:
     def _assumed_latency(
         self, state: _State, op: Operation, cluster: int
     ) -> int:
-        """Hit latency, or the miss latency for binding-prefetched loads."""
+        """Hit latency, or the miss latency for binding-prefetched loads.
+
+        With a batched analyzer the miss-ratio query is served from the
+        probe snapshots RMCA's cluster sweep left behind (one memoized
+        lookup), instead of re-simulating the cluster's reference set.
+        """
         machine = state.machine
         base = machine.latency(op.opclass)
         if not op.is_load or self.locality is None:

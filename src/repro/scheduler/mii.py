@@ -18,9 +18,7 @@ elementary circuits.
 from __future__ import annotations
 
 import math
-from typing import Callable, Dict, Optional, Tuple
-
-import networkx as nx
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..ir.ddg import DependenceGraph
 from ..ir.operations import FUType, Operation
@@ -72,32 +70,60 @@ def res_mii(ddg: DependenceGraph, machine: MachineConfig) -> int:
     return bound
 
 
-def _has_positive_cycle(
+def _weighted_edges(
     ddg: DependenceGraph,
-    ii: int,
     machine: MachineConfig,
     latency_of: Optional[LatencyFn],
+) -> List[Tuple[str, str, int, int]]:
+    """``(src, dst, latency, distance)`` per dependence edge.
+
+    Latencies do not depend on the II under test, so the binary search
+    of :func:`rec_mii` computes them once and re-weights per probe.
+    """
+    return [
+        (
+            e.src,
+            e.dst,
+            edge_latency(ddg.op(e.src), e.kind, machine, latency_of),
+            e.distance,
+        )
+        for e in ddg.edges()
+    ]
+
+
+def _has_positive_cycle(
+    nodes: List[str],
+    edges: List[Tuple[str, str, int, int]],
+    ii: int,
 ) -> bool:
     """True when some cycle has total ``latency - ii*distance > 0``.
 
-    Implemented as negative-cycle detection on negated weights; parallel
-    edges are collapsed to their maximum weight, which is exact for this
-    test.
+    Longest-path Bellman–Ford from an implicit super-source (all
+    distances 0): an improvement surviving ``|V|`` full relaxation
+    passes can only come from a positive cycle.  Parallel edges are
+    collapsed to their maximum weight at this II, which is exact for
+    the test.  (Hand-rolled — this sits on the schedule-stage hot path
+    via the binding-prefetch recurrence guard.)
     """
-    graph = nx.DiGraph()
-    graph.add_nodes_from(ddg.nodes())
-    for edge in ddg.edges():
-        lat = edge_latency(ddg.op(edge.src), edge.kind, machine, latency_of)
-        weight = lat - ii * edge.distance
-        if graph.has_edge(edge.src, edge.dst):
-            if weight <= graph[edge.src][edge.dst]["weight"]:
-                continue
-        graph.add_edge(edge.src, edge.dst, weight=weight)
-    negated = nx.DiGraph()
-    negated.add_nodes_from(graph.nodes())
-    for src, dst, data in graph.edges(data=True):
-        negated.add_edge(src, dst, weight=-data["weight"])
-    return nx.negative_edge_cycle(negated, weight="weight")
+    collapsed: Dict[Tuple[str, str], int] = {}
+    for src, dst, lat, distance in edges:
+        weight = lat - ii * distance
+        key = (src, dst)
+        prior = collapsed.get(key)
+        if prior is None or weight > prior:
+            collapsed[key] = weight
+    relaxation = list(collapsed.items())
+    dist = {n: 0 for n in nodes}
+    for _ in range(len(nodes)):
+        changed = False
+        for (src, dst), weight in relaxation:
+            candidate = dist[src] + weight
+            if candidate > dist[dst]:
+                dist[dst] = candidate
+                changed = True
+        if not changed:
+            return False
+    return True
 
 
 def rec_mii(
@@ -111,22 +137,20 @@ def rec_mii(
     test whether binding-prefetching a load would raise the II through a
     recurrence, Section 4.3).
     """
-    if not any(True for _ in ddg.edges()):
+    edges = _weighted_edges(ddg, machine, latency_of)
+    if not edges:
         return 1
-    low, high = 1, 1
-    total_latency = sum(
-        edge_latency(ddg.op(e.src), e.kind, machine, latency_of)
-        for e in ddg.edges()
-    )
-    high = max(1, total_latency)
-    if _has_positive_cycle(ddg, high, machine, latency_of):
+    nodes = list(ddg.nodes())
+    low = 1
+    high = max(1, sum(lat for _src, _dst, lat, _d in edges))
+    if _has_positive_cycle(nodes, edges, high):
         # Only possible with a zero-distance cycle, which is malformed.
         raise ValueError("dependence graph has a zero-distance cycle")
-    if not _has_positive_cycle(ddg, low, machine, latency_of):
+    if not _has_positive_cycle(nodes, edges, low):
         return 1
     while low < high:
         mid = (low + high) // 2
-        if _has_positive_cycle(ddg, mid, machine, latency_of):
+        if _has_positive_cycle(nodes, edges, mid):
             low = mid + 1
         else:
             high = mid

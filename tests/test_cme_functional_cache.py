@@ -1,0 +1,136 @@
+"""Direct unit tests for the functional cache model and its per-set twin.
+
+``_FunctionalCache`` is the reference cache the sampled CME sweeps; the
+incremental engine replays the same policy one set at a time
+(:func:`repro.cme.incremental.replay_set_events`).  This suite pins the
+model down directly — tag/index extraction, LRU eviction order,
+set-associative wraparound, cross-set independence — and holds the two
+implementations together on random streams.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cme.incremental import replay_set_events
+from repro.cme.sampling import _FunctionalCache
+from repro.machine.config import CacheConfig
+
+
+def _cache(size=1024, line=32, assoc=1):
+    return _FunctionalCache(
+        CacheConfig(size=size, line_size=line, associativity=assoc)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Tag / index extraction
+# ---------------------------------------------------------------------------
+class TestGeometryExtraction:
+    @pytest.mark.parametrize(
+        "size,line,assoc", [(1024, 32, 1), (2048, 64, 2), (512, 16, 4)]
+    )
+    def test_tag_and_index_reconstruct_the_line_address(
+        self, size, line, assoc
+    ):
+        config = CacheConfig(size=size, line_size=line, associativity=assoc)
+        for address in range(0, 8 * size, 24):
+            set_index = config.set_index(address)
+            tag = config.tag(address)
+            assert 0 <= set_index < config.n_sets
+            line_address = (tag * config.n_sets + set_index) * line
+            assert line_address == config.line_address(address)
+
+    def test_addresses_one_image_apart_share_the_set(self):
+        config = CacheConfig(size=1024, line_size=32)
+        image = config.n_sets * config.line_size
+        for address in (0, 40, 1000):
+            assert config.set_index(address) == config.set_index(
+                address + image
+            )
+            assert config.tag(address) != config.tag(address + image)
+
+    def test_associativity_shrinks_the_set_count(self):
+        direct = CacheConfig(size=1024, line_size=32, associativity=1)
+        two_way = CacheConfig(size=1024, line_size=32, associativity=2)
+        assert two_way.n_sets == direct.n_sets // 2
+        assert two_way.n_lines == direct.n_lines
+
+
+# ---------------------------------------------------------------------------
+# Replacement policy
+# ---------------------------------------------------------------------------
+class TestLRUPolicy:
+    def test_eviction_follows_recency_not_insertion(self):
+        cache = _cache(assoc=4)
+        stride = 1024  # same set, distinct tags
+        for way in range(4):
+            assert not cache.access(way * stride)
+        cache.access(0)  # refresh the oldest line
+        assert not cache.access(4 * stride)  # evicts line 1 (now LRU)
+        assert cache.access(0)
+        assert not cache.access(1 * stride)
+
+    def test_wraparound_at_exact_associativity(self):
+        cache = _cache(assoc=2)
+        cache.access(0)
+        cache.access(1024)
+        assert cache.access(0) and cache.access(1024)  # both resident
+        cache.access(2048)  # third tag wraps the 2-way set
+        assert not cache.access(0)  # 0 was LRU after the re-touches
+
+    def test_hit_refreshes_recency(self):
+        cache = _cache(assoc=2)
+        cache.access(0)
+        cache.access(1024)
+        cache.access(0)      # 1024 becomes LRU
+        cache.access(2048)   # evicts 1024
+        assert cache.access(0)
+        assert not cache.access(1024)
+
+    def test_sets_are_independent(self):
+        cache = _cache(size=256, line=32, assoc=1)
+        # Thrash set 0 with conflicting lines; set 1 must keep its line.
+        cache.access(32)  # set 1
+        for tag in range(6):
+            cache.access(tag * 256)
+        assert cache.access(32)
+
+    def test_within_line_offsets_hit(self):
+        cache = _cache(line=32)
+        assert not cache.access(64)
+        for offset in range(32):
+            assert cache.access(64 + offset)
+
+
+# ---------------------------------------------------------------------------
+# Equivalence with the incremental engine's per-set replay
+# ---------------------------------------------------------------------------
+@settings(max_examples=60, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    assoc=st.sampled_from([1, 2, 4]),
+    n_lines=st.integers(1, 12),
+    n_ops=st.integers(1, 4),
+)
+def test_per_set_replay_matches_functional_cache(seed, assoc, n_lines, n_ops):
+    """Random single-set access streams: `replay_set_events` counts
+    exactly the misses `_FunctionalCache` observes."""
+    rng = random.Random(seed)
+    config = CacheConfig(size=32 * 8 * assoc, line_size=32, associativity=assoc)
+    cache = _FunctionalCache(config)
+    ops = [f"op{i}" for i in range(n_ops)]
+    events = []
+    expected = {}
+    image = config.n_sets * config.line_size
+    for step in range(40):
+        line_choice = rng.randrange(n_lines)
+        name = ops[rng.randrange(n_ops)]
+        address = line_choice * image  # always set 0, tag = line_choice
+        line = address // config.line_size
+        events.append((step, 0, line, name))
+        if not cache.access(address):
+            expected[name] = expected.get(name, 0) + 1
+    assert replay_set_events(events, assoc) == expected

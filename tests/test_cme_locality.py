@@ -2,7 +2,13 @@
 
 import pytest
 
-from repro.cme import AnalyticCME, LocalityAnalyzer, SamplingCME, default_analyzer
+from repro.cme import (
+    AnalyticCME,
+    IncrementalCME,
+    LocalityAnalyzer,
+    SamplingCME,
+    default_analyzer,
+)
 from repro.ir import LoopBuilder
 from repro.machine.config import CacheConfig
 
@@ -12,9 +18,12 @@ class TestProtocol:
         assert isinstance(SamplingCME(), LocalityAnalyzer)
         assert isinstance(AnalyticCME(), LocalityAnalyzer)
 
-    def test_default_analyzer_is_sampling(self):
+    def test_default_analyzer_is_the_incremental_sampled_engine(self):
         analyzer = default_analyzer()
-        assert isinstance(analyzer, SamplingCME)
+        assert isinstance(analyzer, IncrementalCME)
+        assert isinstance(analyzer, LocalityAnalyzer)
+        # Same fingerprint as the from-scratch reference: the engines
+        # are bit-identical and their cache entries interchangeable.
         assert analyzer.name == "sampling"
 
     def test_default_analyzer_max_points(self):

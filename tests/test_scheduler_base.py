@@ -198,3 +198,38 @@ class TestBindingPrefetch:
         # gives RecMII 4; prefetching ld at 13 would force II >= 15.
         assert "ld" not in schedule.prefetched_loads()
         assert schedule.ii < unified().miss_latency
+
+
+class TestOrderingFallback:
+    """The SMS ordering can sandwich a node between an already-placed
+    predecessor and successor on distance-0 flow edges; the empty window
+    then fails at *every* II (distance-0 bounds do not relax with II).
+    The engine must fall back to program order instead of raising."""
+
+    def test_sandwiched_node_schedules_via_program_order_fallback(self):
+        # random_kernel(3327) is the hypothesis-discovered witness: the
+        # SMS order emits iadd6 after both load3 (its producer) and
+        # fmul7 (its consumer), whose greedy placements leave no slot.
+        from repro.workloads import GeneratorConfig, random_kernel
+
+        kernel = random_kernel(
+            3327,
+            GeneratorConfig(
+                max_extent=24, min_extent=6, max_loads=4, max_arith=5
+            ),
+        )
+        schedule = BaselineScheduler().schedule(kernel, two_cluster())
+        schedule.validate()
+        assert schedule.ii >= schedule.mii
+
+    def test_program_order_only_config_still_raises_when_infeasible(self):
+        """The fallback must not mask genuine infeasibility."""
+        b = LoopBuilder("tiny")
+        i = b.dim("i", 0, 8)
+        a = b.array("A", (16,))
+        v = b.load(a, [b.aff(i=1)], name="ld")
+        b.store(a, [b.aff(i=1)], v, name="st")
+        kernel = b.build()
+        config = SchedulerConfig(max_ii=0)  # empty II search space
+        with pytest.raises(SchedulingError):
+            BaselineScheduler(config).schedule(kernel, two_cluster())

@@ -1,0 +1,151 @@
+"""Scheduler equivalence: incremental vs from-scratch CME analyzers.
+
+Every scenario/figure cell scheduled with the incremental engine must
+produce a byte-identical schedule — same II, same placements (clusters,
+times, assumed latencies), same communications — as the from-scratch
+sampling analyzer.  This is the property that lets the engine swap ride
+under the golden figures without regenerating any recording.
+
+Figure cells use the same reduced grids as the golden-regression layer
+(full fig5/fig6 sweeps belong to the benchmark suite); grid scenarios
+are covered exhaustively from the registry.
+"""
+
+import pytest
+
+from repro.cme import IncrementalCME, SamplingCME
+from repro.engine.stages import make_scheduler
+from repro.harness.grid import machine_key
+from repro.harness.scenarios import all_scenarios
+from repro.machine.config import BusConfig
+from repro.machine.presets import four_cluster, two_cluster, unified
+from repro.workloads.suite import spec_suite
+
+MAX_POINTS = 512
+
+
+def _cells_from_grid_scenarios():
+    """Every registered grid-scenario cell that runs the sampled CME,
+    deduplicated on what scheduling actually reads (the steady-state
+    mode only affects simulation)."""
+    seen = set()
+    for scenario in all_scenarios():
+        if scenario.is_figure or scenario.locality.kind != "sampling":
+            continue
+        kernels = scenario.build_kernels()
+        for group in scenario.groups:
+            machine = group.machine.build()
+            for threshold in scenario.thresholds:
+                for kernel in kernels:
+                    key = (
+                        kernel.name,
+                        machine_key(machine),
+                        group.scheduler,
+                        threshold,
+                    )
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    yield (
+                        f"{scenario.name}:{group.label}",
+                        kernel,
+                        machine,
+                        group.scheduler,
+                        threshold,
+                    )
+
+
+def _cells_from_figures():
+    """The golden-regression figure panels (reduced grids).
+
+    * fig6-smoke: 2-cluster, NMB=1, LMB=1, both schedulers, all four
+      thresholds, plus the unified normalization reference.
+    * fig5 reduced: 4-cluster, unbounded 1-cycle buses, both schedulers
+      at the extreme thresholds.
+    """
+    kernels = spec_suite()
+    fig6_machine = two_cluster(
+        register_bus=BusConfig(count=2, latency=1),
+        memory_bus=BusConfig(count=1, latency=1),
+    )
+    fig5_machine = four_cluster(
+        register_bus=BusConfig(count=None, latency=1),
+        memory_bus=BusConfig(count=None, latency=1),
+    )
+    reference = unified(memory_bus=BusConfig(count=1, latency=1))
+    for kernel in kernels:
+        for threshold in (1.0, 0.75, 0.25, 0.0):
+            yield "fig6:unified", kernel, reference, "baseline", threshold
+            for scheduler in ("baseline", "rmca"):
+                yield (
+                    "fig6:NMB=1,LMB=1",
+                    kernel,
+                    fig6_machine,
+                    scheduler,
+                    threshold,
+                )
+        for threshold in (1.0, 0.0):
+            for scheduler in ("baseline", "rmca"):
+                yield (
+                    "fig5:LRB=1,LMB=1",
+                    kernel,
+                    fig5_machine,
+                    scheduler,
+                    threshold,
+                )
+
+
+def _canonical(schedule):
+    """Everything a schedule decides, in a directly comparable shape."""
+    return (
+        schedule.ii,
+        schedule.mii,
+        schedule.res_mii,
+        schedule.rec_mii,
+        sorted(schedule.placements.items()),
+        list(schedule.communications),
+    )
+
+
+@pytest.fixture(scope="module")
+def analyzers():
+    """One warm analyzer of each engine, shared across all cells —
+    exactly how a grid session shares them."""
+    return (
+        SamplingCME(max_points=MAX_POINTS),
+        IncrementalCME(max_points=MAX_POINTS),
+    )
+
+
+def _assert_cells_equivalent(cells, analyzers):
+    reference_cme, incremental_cme = analyzers
+    checked = 0
+    for label, kernel, machine, scheduler, threshold in cells:
+        reference = make_scheduler(scheduler, threshold, reference_cme)
+        incremental = make_scheduler(scheduler, threshold, incremental_cme)
+        want = reference.schedule(kernel, machine)
+        got = incremental.schedule(kernel, machine)
+        assert _canonical(got) == _canonical(want), (
+            f"schedule diverged for {label} {kernel.name} "
+            f"{scheduler} thr={threshold}"
+        )
+        checked += 1
+    assert checked > 0
+
+
+def test_grid_scenario_cells_schedule_identically(analyzers):
+    _assert_cells_equivalent(_cells_from_grid_scenarios(), analyzers)
+
+
+def test_figure_panel_cells_schedule_identically(analyzers):
+    _assert_cells_equivalent(_cells_from_figures(), analyzers)
+
+
+def test_batched_ranking_fires_on_multicluster_memory_kernels(analyzers):
+    """The equivalence above must actually compare the batched path:
+    scheduling a clustered RMCA cell consumes probe_clusters."""
+    _, incremental_cme = analyzers
+    before = incremental_cme.telemetry()["batched_calls"]
+    engine = make_scheduler("rmca", 0.25, incremental_cme)
+    engine.schedule(spec_suite()[0], two_cluster())
+    assert incremental_cme.telemetry()["batched_calls"] > before
