@@ -84,7 +84,12 @@ from .scheduler import (
     SchedulingError,
     expand,
 )
-from .simulator import LockstepSimulator, SimulationResult, simulate
+from .simulator import (
+    LockstepSimulator,
+    SimulationResult,
+    VectorizedSimulator,
+    simulate,
+)
 from .transform import unroll
 from .workloads import (
     SPEC_KERNELS,
@@ -112,6 +117,7 @@ __all__ = [
     "Kernel",
     "KernelProgram",
     "LockstepSimulator",
+    "VectorizedSimulator",
     "Loop",
     "LoopBuilder",
     "MachineConfig",

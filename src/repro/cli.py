@@ -38,6 +38,7 @@ from .harness.report import format_table
 from .harness.scenarios import all_scenarios, get_scenario, run_scenario
 from .harness.sweep import figure5, figure6
 from .machine import ALL_PRESETS, preset
+from .simulator import DEFAULT_SIM_ENGINE, SIM_ENGINES
 from .steady import STEADY_MODES
 from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
 
@@ -126,6 +127,11 @@ def build_parser() -> argparse.ArgumentParser:
             help="steady-state detector selection (results are "
                  "bit-identical across modes; default: auto)",
         )
+        cmd.add_argument(
+            "--sim", choices=sorted(SIM_ENGINES), default=DEFAULT_SIM_ENGINE,
+            help="simulate engine (results are bit-identical; 'scalar' "
+                 "is the per-instance reference walk)",
+        )
         if name == "figure5":
             cmd.add_argument(
                 "--latencies", type=int, nargs="+", default=[1, 2, 4]
@@ -169,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--steady", choices=STEADY_MODES,
         help="override the scenario's steady-state detector selection "
              "(off/entry/iteration/auto; results are bit-identical)",
+    )
+    run_cmd.add_argument(
+        "--sim", choices=sorted(SIM_ENGINES),
+        help="override the scenario's simulate engine (results are "
+             "bit-identical; 'scalar' is the reference walk)",
     )
     run_cmd.add_argument(
         "--spec", action="store_true",
@@ -308,6 +319,7 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             kernels=kernels,
             grid=grid,
             steady=args.steady,
+            sim=args.sim,
         )
     else:
         figure = figure6(
@@ -318,6 +330,7 @@ def _cmd_figure(args: argparse.Namespace, which: str) -> int:
             kernels=kernels,
             grid=grid,
             steady=args.steady,
+            sim=args.sim,
         )
     if not args.no_progress:
         _grid_stats_line(grid, sys.stderr)
@@ -362,7 +375,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(scenario.to_json())
         return 0
     grid = _build_grid(args, scenario.locality.build())
-    outcome = run_scenario(scenario, grid=grid, steady=args.steady)
+    outcome = run_scenario(
+        scenario, grid=grid, steady=args.steady, sim=args.sim
+    )
     if not args.no_progress:
         _grid_stats_line(grid, sys.stderr)
     if outcome.figure is not None:

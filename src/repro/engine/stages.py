@@ -31,7 +31,7 @@ from ..scheduler.base import SchedulerConfig
 from ..scheduler.baseline import BaselineScheduler
 from ..scheduler.result import Schedule
 from ..scheduler.rmca import RMCAScheduler
-from ..simulator.executor import LockstepSimulator
+from ..simulator import DEFAULT_SIM_ENGINE, SIM_ENGINES, validate_sim_engine
 from ..simulator.stats import SimulationResult
 from ..workloads.suite import kernel_by_name
 from .result import RunResult
@@ -95,6 +95,10 @@ class CellRequest:
     n_times: Optional[int] = None
     exact: bool = False
     steady: Optional[str] = None
+    #: Simulate engine (:data:`repro.simulator.SIM_ENGINES`; ``None``
+    #: means the vectorized default).  Results are bit-identical across
+    #: engines — the equivalence suite proves it.
+    sim: Optional[str] = None
     kernels: Mapping[str, Kernel] = field(default_factory=dict)
 
 
@@ -191,13 +195,22 @@ class ScheduleStage(Stage):
 
 
 class SimulateStage(Stage):
-    """Execute the schedule on the distributed-memory timing model."""
+    """Execute the schedule on the distributed-memory timing model.
+
+    ``request.sim`` selects the engine (vectorized by default); the
+    stage records which engine actually ran plus its batching telemetry
+    as ``sim_*`` statistics, so benchmarks and CI can assert the
+    batched path is exercised (and spot scalar fallbacks).
+    """
 
     name = "simulate"
 
     def run(self, ctx: CellContext) -> Dict[str, object]:
         request = ctx.request
-        simulator = LockstepSimulator(
+        sim = validate_sim_engine(
+            request.sim if request.sim is not None else DEFAULT_SIM_ENGINE
+        )
+        simulator = SIM_ENGINES[sim](
             ctx.schedule,
             n_iterations=request.n_iterations,
             n_times=request.n_times,
@@ -207,7 +220,7 @@ class SimulateStage(Stage):
         ctx.simulation = simulator.run()
         steady = simulator.steady_state
         report = simulator.steady_report
-        return {
+        stats: Dict[str, object] = {
             "exact": request.exact,
             "steady_mode": simulator.steady_mode,
             "entries": ctx.simulation.n_times,
@@ -219,7 +232,15 @@ class SimulateStage(Stage):
             "iterations_replayed": report.iterations_replayed if report else 0,
             "iteration_detections": len(report.iterations) if report else 0,
             "iteration_period": report.iteration_period if report else None,
+            "sim_requested": sim,
         }
+        vector_stats = getattr(simulator, "vector_stats", None)
+        if vector_stats is None:
+            stats["sim_engine"] = "scalar"
+        else:
+            for key, value in vector_stats.items():
+                stats[f"sim_{key}"] = value
+        return stats
 
 
 class MeasureStage(Stage):

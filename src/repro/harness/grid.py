@@ -56,6 +56,7 @@ from ..engine.result import RunResult
 from ..engine.stages import CellRequest
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
+from ..simulator import DEFAULT_SIM_ENGINE, validate_sim_engine
 from ..steady import validate_steady_mode
 from ..workloads.suite import SPEC_KERNELS, kernel_by_name
 
@@ -72,7 +73,7 @@ __all__ = [
 
 #: Bump to invalidate every existing cache entry (schema or semantics
 #: changes in the schedule/simulate pipeline).
-CACHE_VERSION = 2
+CACHE_VERSION = 3
 
 #: Environment variable providing a default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_GRID_CACHE"
@@ -137,9 +138,14 @@ class CellSpec:
     #: e.g. the fig6-steady-ablation scenario — never serve one mode's
     #: timing run from another mode's cache entry).
     steady: str = "auto"
+    #: Simulate engine (results are bit-identical across engines; keyed
+    #: for the same reason as ``steady`` — engine A/B timing runs must
+    #: never serve each other's cache entries).
+    sim: str = DEFAULT_SIM_ENGINE
 
     def __post_init__(self) -> None:
         validate_steady_mode(self.steady)
+        validate_sim_engine(self.sim)
 
     @classmethod
     def of(
@@ -151,6 +157,7 @@ class CellSpec:
         n_iterations: Optional[int] = None,
         n_times: Optional[int] = None,
         steady: str = "auto",
+        sim: str = DEFAULT_SIM_ENGINE,
     ) -> "CellSpec":
         if isinstance(kernel, str):
             kernel = kernel_by_name(kernel)
@@ -163,6 +170,7 @@ class CellSpec:
             n_iterations=n_iterations,
             n_times=n_times,
             steady=steady,
+            sim=sim,
         )
 
     @property
@@ -185,6 +193,7 @@ class CellSpec:
                 repr(self.n_iterations),
                 repr(self.n_times),
                 self.steady,
+                self.sim,
                 locality_fp,
             )
         )
@@ -201,6 +210,7 @@ class CellSpec:
                 "n_iterations": self.n_iterations,
                 "n_times": self.n_times,
                 "steady": self.steady,
+                "sim": self.sim,
             },
             sort_keys=True,
         )
@@ -219,6 +229,7 @@ class CellSpec:
             n_iterations=data["n_iterations"],
             n_times=data["n_times"],
             steady=data.get("steady", "auto"),
+            sim=data.get("sim", DEFAULT_SIM_ENGINE),
         )
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -277,6 +288,7 @@ def _execute_cell(
             n_times=spec.n_times,
             exact=exact,
             steady=spec.steady,
+            sim=spec.sim,
         )
     )
 

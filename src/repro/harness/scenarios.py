@@ -38,9 +38,15 @@ from ..engine.stages import SCHEDULER_NAMES
 from ..ir.builder import Kernel
 from ..machine.config import BusConfig, MachineConfig
 from ..machine.presets import ALL_PRESETS, preset
+from ..simulator import DEFAULT_SIM_ENGINE, validate_sim_engine
 from ..steady import STEADY_MODES, validate_steady_mode
 from ..workloads.dsp import DSP_KERNELS, dsp_suite
-from ..workloads.suite import SPEC_KERNELS, spec_suite
+from ..workloads.suite import (
+    SPEC_KERNELS,
+    STREAMING_LONG_KERNELS,
+    spec_suite,
+    streaming_long_suite,
+)
 from .grid import CellSpec, ExperimentGrid, ProgressCallback
 from .sweep import FigureData, figure5, figure6
 
@@ -60,6 +66,7 @@ __all__ = [
 _SUITES = {
     "spec": (SPEC_KERNELS, spec_suite),
     "dsp": (DSP_KERNELS, dsp_suite),
+    "streaming-long": (STREAMING_LONG_KERNELS, streaming_long_suite),
 }
 
 _FIGURES = {"figure5": figure5, "figure6": figure6}
@@ -215,11 +222,15 @@ class ScenarioSpec:
     #: Scenario-wide steady-state detector selection; groups may
     #: override it per bar (see :class:`GroupSpec`).
     steady: str = "auto"
+    #: Simulate-engine selection (results are bit-identical across
+    #: engines; see :data:`repro.simulator.SIM_ENGINES`).
+    sim: str = DEFAULT_SIM_ENGINE
     figure: Optional[str] = None
     figure_args: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         validate_steady_mode(self.steady)
+        validate_sim_engine(self.sim)
         if self.suite not in _SUITES:
             raise KeyError(
                 f"unknown suite {self.suite!r}; choose from {sorted(_SUITES)}"
@@ -279,6 +290,7 @@ class ScenarioSpec:
                 steady=(
                     group.steady if group.steady is not None else self.steady
                 ),
+                sim=self.sim,
             )
             for group in self.groups
             for threshold in self.thresholds
@@ -308,6 +320,7 @@ class ScenarioSpec:
             "n_iterations": self.n_iterations,
             "n_times": self.n_times,
             "steady": self.steady,
+            "sim": self.sim,
             "figure": self.figure,
             "figure_args": {key: value for key, value in self.figure_args},
         }
@@ -336,6 +349,7 @@ class ScenarioSpec:
             n_iterations=data.get("n_iterations"),
             n_times=data.get("n_times"),
             steady=data.get("steady", "auto"),
+            sim=data.get("sim", DEFAULT_SIM_ENGINE),
             figure=data.get("figure"),
             figure_args=tuple(
                 sorted(
@@ -448,6 +462,7 @@ def run_scenario(
     progress: Optional[ProgressCallback] = None,
     exact: bool = False,
     steady: Optional[str] = None,
+    sim: Optional[str] = None,
 ) -> ScenarioOutcome:
     """Execute a scenario (by spec or registry name) on a grid.
 
@@ -456,12 +471,15 @@ def run_scenario(
     its cache — otherwise a grid is built from the scenario's
     :class:`LocalitySpec`.  ``steady`` overrides the scenario's
     scenario-wide detector selection (groups with their own explicit
-    ``steady`` keep it — they exist precisely to pin a mode).
+    ``steady`` keep it — they exist precisely to pin a mode); ``sim``
+    overrides the simulate-engine selection the same way.
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
     if steady is not None:
         scenario = replace(scenario, steady=validate_steady_mode(steady))
+    if sim is not None:
+        scenario = replace(scenario, sim=validate_sim_engine(sim))
     if grid is None:
         grid = ExperimentGrid(
             locality=scenario.locality.build(),
@@ -485,7 +503,9 @@ def run_scenario(
         kwargs = {key: value for key, value in scenario.figure_args}
         if scenario.kernels is not None:
             kwargs["kernels"] = scenario.build_kernels()
-        figure = figure_fn(grid=grid, steady=scenario.steady, **kwargs)
+        figure = figure_fn(
+            grid=grid, steady=scenario.steady, sim=scenario.sim, **kwargs
+        )
         return ScenarioOutcome(scenario=scenario, grid=grid, figure=figure)
     kernels = scenario.build_kernels()
     grid.register(kernels)
@@ -549,6 +569,28 @@ def _streaming_scenario() -> ScenarioSpec:
     )
 
 
+def _streaming_long_scenario() -> ScenarioSpec:
+    return ScenarioSpec(
+        name="streaming-long",
+        description=(
+            "Long-stream variants of the NTIMES=1 kernels (4x NITER, "
+            "matching array extents) with RMCA across the clustered "
+            "presets — shows the iteration detector's asymptotic win "
+            "and stresses the simulate engines at production scale"
+        ),
+        groups=tuple(
+            GroupSpec(
+                label=preset_name,
+                machine=MachineSpec(preset=preset_name),
+                scheduler="rmca",
+            )
+            for preset_name in ("2-cluster", "4-cluster", "heterogeneous")
+        ),
+        thresholds=(1.0,),
+        suite="streaming-long",
+    )
+
+
 def _steady_ablation_scenario() -> ScenarioSpec:
     return ScenarioSpec(
         name="fig6-steady-ablation",
@@ -572,6 +614,7 @@ def _steady_ablation_scenario() -> ScenarioSpec:
 
 _BUILTIN_SCENARIOS = (
     _streaming_scenario(),
+    _streaming_long_scenario(),
     _steady_ablation_scenario(),
     ScenarioSpec(
         name="fig5-2cluster",

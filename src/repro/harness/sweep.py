@@ -33,6 +33,7 @@ from ..cme.locality import LocalityAnalyzer
 from ..ir.builder import Kernel
 from ..machine.config import BusConfig, MachineConfig
 from ..machine.presets import four_cluster, two_cluster, unified
+from ..simulator import DEFAULT_SIM_ENGINE
 from ..workloads.suite import spec_suite
 from .grid import (
     CellSpec,
@@ -180,6 +181,7 @@ def unified_reference(
     memory_bus: Optional[BusConfig] = None,
     grid: Optional[ExperimentGrid] = None,
     steady: str = "auto",
+    sim: str = DEFAULT_SIM_ENGINE,
 ) -> Dict[str, int]:
     """Per-kernel total cycles on Unified at threshold 1.00.
 
@@ -192,7 +194,7 @@ def unified_reference(
     grid.register(kernels)
     machine = unified(memory_bus=memory_bus or _REFERENCE_BUS)
     specs = [
-        CellSpec.of(kernel, machine, "baseline", 1.0, steady=steady)
+        CellSpec.of(kernel, machine, "baseline", 1.0, steady=steady, sim=sim)
         for kernel in kernels
     ]
     results = grid.run(specs)
@@ -212,12 +214,13 @@ def suite_bar(
     reference: Dict[str, int],
     grid: Optional[ExperimentGrid] = None,
     steady: str = "auto",
+    sim: str = DEFAULT_SIM_ENGINE,
 ) -> Tuple[Bar, List[Dict[str, object]]]:
     """Run one bar's cells (through the grid) and average them."""
     grid = _resolve_grid(locality, grid)
     grid.register(kernels)
     specs = [
-        CellSpec.of(kernel, machine, scheduler, threshold, steady=steady)
+        CellSpec.of(kernel, machine, scheduler, threshold, steady=steady, sim=sim)
         for kernel in kernels
     ]
     results = grid.run(specs)
@@ -234,6 +237,7 @@ def _assemble_figure(
     groups: Sequence[Tuple[str, MachineConfig, str]],
     grid: ExperimentGrid,
     steady: str = "auto",
+    sim: str = DEFAULT_SIM_ENGINE,
 ) -> FigureData:
     """Enumerate every cell of a figure, run them in one grid wave.
 
@@ -245,7 +249,9 @@ def _assemble_figure(
     grid.register(kernels)
     reference_machine = unified(memory_bus=_REFERENCE_BUS)
     specs: List[CellSpec] = [
-        CellSpec.of(kernel, reference_machine, "baseline", 1.0, steady=steady)
+        CellSpec.of(
+            kernel, reference_machine, "baseline", 1.0, steady=steady, sim=sim
+        )
         for kernel in kernels
     ]
     bar_plan: List[Tuple[str, str, float, int]] = []
@@ -255,7 +261,9 @@ def _assemble_figure(
     ) -> None:
         bar_plan.append((group, scheduler, threshold, len(specs)))
         specs.extend(
-            CellSpec.of(kernel, machine, scheduler, threshold, steady=steady)
+            CellSpec.of(
+                kernel, machine, scheduler, threshold, steady=steady, sim=sim
+            )
             for kernel in kernels
         )
 
@@ -296,6 +304,7 @@ def figure5(
     n_jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     steady: str = "auto",
+    sim: str = DEFAULT_SIM_ENGINE,
 ) -> FigureData:
     """Figure 5: unbounded buses, LRB × LMB latency sweep.
 
@@ -328,6 +337,7 @@ def figure5(
         groups=groups,
         grid=grid,
         steady=steady,
+        sim=sim,
     )
 
 
@@ -342,6 +352,7 @@ def figure6(
     n_jobs: int = 1,
     progress: Optional[ProgressCallback] = None,
     steady: str = "auto",
+    sim: str = DEFAULT_SIM_ENGINE,
 ) -> FigureData:
     """Figure 6: realistic buses — 2 register buses @ 1 cycle, NMB × LMB.
 
@@ -374,4 +385,5 @@ def figure6(
         groups=groups,
         grid=grid,
         steady=steady,
+        sim=sim,
     )

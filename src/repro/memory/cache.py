@@ -190,6 +190,8 @@ class ClusterCache:
         base: int,
         addr_shift: int = 0,
         invalid_out: Optional[List[int]] = None,
+        live_prune: Optional[object] = None,
+        live_out: Optional[List[Tuple[int, int, str]]] = None,
     ) -> Tuple[object, ...]:
         """Canonical description of everything that can affect a future
         access, normalized for time and address translation.
@@ -212,6 +214,18 @@ class ClusterCache:
         from the signature and appends their *absolute* (unshifted) line
         addresses to the list, leaving the proof obligation to the
         caller.
+
+        Live (M/S) lines carry more behaviour than invalid ones — they
+        can be hit, supply snoops, and participate in eviction choices
+        within their set — so they may only be stripped under a stronger
+        proof: ``live_prune(cluster_id, line_address)`` must return True
+        only when the future access stream provably (a) never touches
+        the line's address from *any* cluster and (b) never maps an
+        access from *this* cluster into the line's set (so the line can
+        never be hit, snooped, or weighed in an eviction).  Matching
+        lines are stripped from the signature and appended to
+        ``live_out`` as ``(cluster id, absolute line address, state)``;
+        the proof obligation is entirely the caller's.
         """
         config = self.config
         rotation = (addr_shift // config.line_size) % config.n_sets
@@ -224,6 +238,16 @@ class ClusterCache:
                 address = self._line_address(index, line.tag)
                 if invalid_out is not None and line.state is LineState.INVALID:
                     invalid_out.append(address)
+                    continue
+                if (
+                    live_prune is not None
+                    and line.state is not LineState.INVALID
+                    and live_prune(self.cluster_id, address)
+                ):
+                    if live_out is not None:
+                        live_out.append(
+                            (self.cluster_id, address, line.state.value)
+                        )
                     continue
                 entries.append((address - addr_shift, line.state.value))
             if not entries:

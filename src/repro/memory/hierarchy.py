@@ -21,11 +21,17 @@ from math import gcd as _gcd
 from typing import Dict, List, Optional, Tuple
 
 from ..machine.config import MachineConfig
-from .cache import ClusterCache, LineState
+from .cache import CacheLine, ClusterCache, LineState
 from .coherence import BusOp, MSIController
 from .membus import MemoryBusPool
 
 __all__ = ["AccessLevel", "AccessResult", "MemoryStats", "DistributedMemorySystem"]
+
+# Module-level aliases keep the enum descriptor lookups out of
+# access_batch's per-access loop.
+_MODIFIED = LineState.MODIFIED
+_SHARED = LineState.SHARED
+_INVALID = LineState.INVALID
 
 
 class AccessLevel:
@@ -97,6 +103,10 @@ class DistributedMemorySystem:
         self.stats = MemoryStats()
         # line address -> completion time of an in-flight main-memory fill
         self._main_in_flight: Dict[int, int] = {}
+        # Lazily built reference tables for access_batch (no state of its
+        # own: every entry aliases a component above).  Invalidated
+        # whenever translate()/reset() rebind the underlying containers.
+        self._batch_tables: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     def access(self, cluster: int, address: int, is_store: bool, time: int) -> AccessResult:
@@ -110,6 +120,13 @@ class DistributedMemorySystem:
         # A line whose fill is still in flight is present in the tags but
         # its data has not arrived; dependent accesses complete no earlier
         # than the fill (secondary misses merge into the MSHR entry).
+        # Boundary audit (PR 5): ``<=`` is the correct comparison — the
+        # model-wide convention is that anything completing at cycle T is
+        # available to a request issued *at* T (consumer stalls require
+        # ``operand_ready > issue``, MSHR releases at T satisfy a T
+        # allocation, and the supplier/main merge checks below mirror it
+        # with ``> bus_grant``).  tests/test_memory_hierarchy.py pins
+        # every one of these boundary cycles.
         pending = cache.in_flight.get(line_addr)
         if pending is not None and pending <= time:
             pending = None
@@ -162,6 +179,7 @@ class DistributedMemorySystem:
             if supplier_pending is not None and supplier_pending > bus_grant:
                 supplier = None
 
+        merged = False
         if supplier is not None:
             # Remote cache supplies the line: one remote-cache access.
             remote_latency = self.caches[supplier].config.hit_latency
@@ -175,6 +193,7 @@ class DistributedMemorySystem:
             if pending is not None and pending > bus_grant:
                 complete = max(pending, transfer_done)
                 self.stats.merged += 1
+                merged = True
             else:
                 complete = full
             self._main_in_flight[line_addr] = complete
@@ -200,7 +219,342 @@ class DistributedMemorySystem:
             level=level,
             mshr_wait=mshr_wait,
             bus_wait=bus_wait,
+            merged=merged,
         )
+
+    # ------------------------------------------------------------------
+    def access_batch(
+        self,
+        clusters: List[int],
+        addresses: List[int],
+        stores: List[bool],
+        nominals: List[int],
+        time_base: int,
+        slacks: List[int],
+        ready_out: List[Optional[int]],
+        start: int,
+        end: int,
+    ) -> int:
+        """Run accesses ``start..end`` of the parallel request lists.
+
+        The batched counterpart of :meth:`access`, built for the
+        vectorized simulate engine: one Python call resolves a whole run
+        of accesses, with every per-access lookup (cache geometry, tag
+        scan, MSHR, bus, snoop) inlined and all statistics accumulated
+        locally and flushed once.  Semantics are line-for-line those of
+        :meth:`access` — the scalar method stays the reference, and the
+        equivalence suite proves bit-identical results *and* state.
+
+        Access ``i`` issues at ``time_base + nominals[i]``; issue times
+        must be non-decreasing across the batch (the caller's stall
+        offset is frozen at ``time_base`` — that is what makes the batch
+        valid).  ``ready_out[i]`` receives each access's ready time.
+
+        Returns the number of accesses consumed.  The batch stops early
+        — after recording the access — when an access's ready time
+        exceeds ``issue + slacks[i]``: such a result may stall a
+        downstream consumer, which changes later issue times, so the
+        caller must re-anchor before continuing.
+        """
+        stats = self.stats
+        bus = self.bus
+        msi = self.msi
+        main_in_flight = self._main_in_flight
+
+        tables = self._batch_tables
+        if tables is None:
+            caches = self.caches
+            tables = self._batch_tables = (
+                [cache._sets for cache in caches],
+                [cache.in_flight for cache in caches],
+                [cache.mshr for cache in caches],
+                [cache.config.line_size for cache in caches],
+                [cache.config.n_sets for cache in caches],
+                [cache.config.hit_latency for cache in caches],
+                [cache.config.associativity for cache in caches],
+                bus._busy_until,  # None when unbounded
+                bus.config.latency,
+                self.machine.main_memory_latency,
+                len(caches),
+            )
+        (
+            sets_by, inflight_by, mshr_by, ls_by, nsets_by, hl_by,
+            assoc_by, bus_busy, bus_latency, main_latency, n_caches,
+        ) = tables
+        modified = _MODIFIED
+        shared = _SHARED
+        invalid = _INVALID
+
+        # Locally accumulated statistics, flushed before every return.
+        d_accesses = d_local = d_remote = d_main = d_merged = 0
+        d_mshr_wait = d_bus_wait = d_upgrades = d_writebacks = 0
+        d_bus_txn = d_bus_busy = d_bus_pool_wait = 0
+        d_inval = d_interv = d_msi_wb = 0
+
+        index = start
+        consumed = 0
+        while index < end:
+            cluster = clusters[index]
+            address = addresses[index]
+            is_store = stores[index]
+            time = time_base + nominals[index]
+            line_size = ls_by[cluster]
+            n_sets = nsets_by[cluster]
+            hit_latency = hl_by[cluster]
+            line_index = address // line_size
+            set_index = line_index % n_sets
+            tag = line_index // n_sets
+            line_addr = address - address % line_size
+            in_flight = inflight_by[cluster]
+            d_accesses += 1
+
+            pending = in_flight.get(line_addr)
+            if pending is not None and pending <= time:
+                pending = None
+
+            ways = sets_by[cluster].get(set_index)
+            found = None
+            if ways is not None:
+                for line in ways:
+                    if line.tag == tag and line.state is not invalid:
+                        found = line
+                        break
+
+            state = found.state if found is not None else invalid
+            if (found is not None) and (
+                state is modified or (not is_store and state is shared)
+            ):
+                # Local hit (same condition as ClusterCache.is_hit).
+                ways.append(ways.pop(ways.index(found)))  # LRU touch
+                d_local += 1
+                ready = time + hit_latency
+                if pending is not None:
+                    d_merged += 1
+                    if pending > ready:
+                        ready = pending
+                ready_out[index] = ready
+                index += 1
+                consumed += 1
+                if ready > time + slacks[index - 1]:
+                    break
+                continue
+
+            if is_store and state is shared:
+                # Write hit on a Shared line: upgrade, no data transfer.
+                request = time + hit_latency
+                if pending is not None and pending > request:
+                    request = pending
+                d_bus_txn += 1
+                d_bus_busy += bus_latency
+                if bus_busy is None:
+                    grant = request
+                else:
+                    best = 0
+                    best_time = bus_busy[0]
+                    for b in range(1, len(bus_busy)):
+                        if bus_busy[b] < best_time:
+                            best = b
+                            best_time = bus_busy[b]
+                    grant = request if request > best_time else best_time
+                    bus_busy[best] = grant + bus_latency
+                    d_bus_pool_wait += grant - request
+                bus_wait = grant - request
+                # Snoop BusUpgr: invalidate every remote copy.
+                supplier = None
+                for other in range(n_caches):
+                    if other == cluster:
+                        continue
+                    o_ls = ls_by[other]
+                    o_line_index = line_addr // o_ls
+                    o_set = o_line_index % nsets_by[other]
+                    o_tag = o_line_index // nsets_by[other]
+                    o_ways = sets_by[other].get(o_set)
+                    if not o_ways:
+                        continue
+                    for o_line in o_ways:
+                        if o_line.tag == o_tag and o_line.state is not invalid:
+                            if o_line.state is modified:
+                                d_msi_wb += 1
+                                if supplier is None:
+                                    supplier = other
+                            o_line.state = invalid
+                            d_inval += 1
+                            break
+                if supplier is not None:
+                    d_interv += 1
+                found.state = modified
+                d_local += 1  # data was local; only permission moved
+                d_upgrades += 1
+                d_bus_wait += bus_wait
+                ready = grant + bus_latency
+                ready_out[index] = ready
+                index += 1
+                consumed += 1
+                if ready > time + slacks[index - 1]:
+                    break
+                continue
+
+            # Miss: MSHR allocation, bus, snoop, fill — the full path.
+            detect = time + hit_latency
+            mshr = mshr_by[cluster]
+            in_use = sorted(
+                t for t in mshr._release_times if t > detect
+            )
+            mshr._release_times = in_use
+            if len(in_use) < mshr.n_entries:
+                mshr_grant = detect
+            else:
+                mshr_grant = in_use[len(in_use) - mshr.n_entries]
+            mshr_wait = mshr_grant - detect
+            mshr.total_wait_cycles += mshr_wait
+
+            d_bus_txn += 1
+            d_bus_busy += bus_latency
+            if bus_busy is None:
+                bus_grant = mshr_grant
+            else:
+                best = 0
+                best_time = bus_busy[0]
+                for b in range(1, len(bus_busy)):
+                    if bus_busy[b] < best_time:
+                        best = b
+                        best_time = bus_busy[b]
+                bus_grant = mshr_grant if mshr_grant > best_time else best_time
+                bus_busy[best] = bus_grant + bus_latency
+                d_bus_pool_wait += bus_grant - mshr_grant
+            bus_wait = bus_grant - mshr_grant
+            transfer_done = bus_grant + bus_latency
+
+            # Snoop BusRd / BusRdX across the other caches.
+            supplier = None
+            snoop_writeback = False
+            for other in range(n_caches):
+                if other == cluster:
+                    continue
+                o_ls = ls_by[other]
+                o_line_index = line_addr // o_ls
+                o_set = o_line_index % nsets_by[other]
+                o_tag = o_line_index // nsets_by[other]
+                o_ways = sets_by[other].get(o_set)
+                if not o_ways:
+                    continue
+                for o_line in o_ways:
+                    if o_line.tag == o_tag and o_line.state is not invalid:
+                        if not is_store:  # BUS_RD
+                            if supplier is None:
+                                supplier = other
+                            if o_line.state is modified:
+                                snoop_writeback = True
+                                d_msi_wb += 1
+                            o_line.state = shared
+                        else:  # BUS_RDX
+                            if o_line.state is modified:
+                                snoop_writeback = True
+                                d_msi_wb += 1
+                                if supplier is None:
+                                    supplier = other
+                            elif supplier is None:
+                                supplier = other
+                            o_line.state = invalid
+                            d_inval += 1
+                        break
+            if supplier is not None:
+                d_interv += 1
+                supplier_pending = inflight_by[supplier].get(line_addr)
+                if (
+                    supplier_pending is not None
+                    and supplier_pending > bus_grant
+                ):
+                    supplier = None
+
+            if supplier is not None:
+                complete = transfer_done + hl_by[supplier]
+                d_remote += 1
+            else:
+                pending_main = main_in_flight.get(line_addr)
+                if pending_main is not None and pending_main > bus_grant:
+                    complete = (
+                        pending_main
+                        if pending_main > transfer_done
+                        else transfer_done
+                    )
+                    d_merged += 1
+                else:
+                    complete = transfer_done + main_latency
+                main_in_flight[line_addr] = complete
+                d_main += 1
+
+            # Fill (inline ClusterCache.fill + the dirty-victim bus slot).
+            new_state = modified if is_store else shared
+            cache_sets = sets_by[cluster]
+            ways = cache_sets.get(set_index)
+            if ways is None:
+                ways = cache_sets.setdefault(set_index, [])
+            revived = None
+            for line in ways:
+                if line.tag == tag:
+                    revived = line
+                    break
+            if revived is not None:
+                revived.state = new_state
+                ways.append(ways.pop(ways.index(revived)))  # touch
+            else:
+                live = [l for l in ways if l.state is not invalid]
+                if len(live) >= assoc_by[cluster]:
+                    evicted = live[0]
+                    ways.remove(evicted)
+                    if evicted.state is modified:
+                        # Dirty eviction: writeback occupies a bus slot
+                        # later but does not delay the requester.
+                        d_bus_txn += 1
+                        d_bus_busy += bus_latency
+                        if bus_busy is not None:
+                            best = 0
+                            best_time = bus_busy[0]
+                            for b in range(1, len(bus_busy)):
+                                if bus_busy[b] < best_time:
+                                    best = b
+                                    best_time = bus_busy[b]
+                            grant = (
+                                complete
+                                if complete > best_time
+                                else best_time
+                            )
+                            bus_busy[best] = grant + bus_latency
+                            d_bus_pool_wait += grant - complete
+                        d_writebacks += 1
+                ways.append(CacheLine(tag=tag, state=new_state))
+            if snoop_writeback:
+                d_writebacks += 1
+
+            mshr._release_times.append(complete)
+            if len(mshr._release_times) > mshr.peak_occupancy:
+                mshr.peak_occupancy = len(mshr._release_times)
+            in_flight[line_addr] = complete
+            d_mshr_wait += mshr_wait
+            d_bus_wait += bus_wait
+            ready_out[index] = complete
+            index += 1
+            consumed += 1
+            if complete > time + slacks[index - 1]:
+                break
+
+        stats.accesses += d_accesses
+        stats.local_hits += d_local
+        stats.remote_hits += d_remote
+        stats.main_memory += d_main
+        stats.merged += d_merged
+        stats.mshr_wait_cycles += d_mshr_wait
+        stats.bus_wait_cycles += d_bus_wait
+        stats.coherence_upgrades += d_upgrades
+        stats.writebacks += d_writebacks
+        bus.total_transactions += d_bus_txn
+        bus.total_busy_cycles += d_bus_busy
+        bus.total_wait_cycles += d_bus_pool_wait
+        msi.n_invalidations += d_inval
+        msi.n_interventions += d_interv
+        msi.n_writebacks += d_msi_wb
+        return consumed
 
     # ------------------------------------------------------------------
     # Steady-state support: translation-normalized signatures + counters
@@ -224,6 +578,8 @@ class DistributedMemorySystem:
         base: int,
         addr_shift: int = 0,
         invalid_out: Optional[List[int]] = None,
+        live_prune: Optional[object] = None,
+        live_out: Optional[List[Tuple[int, int, str]]] = None,
     ) -> Tuple[object, ...]:
         """Hashable canonical form of all timing-relevant state.
 
@@ -243,8 +599,15 @@ class DistributedMemorySystem:
         in a caller's set arithmetic; the behavioural guarantee then
         holds only for streams that never touch those addresses (see
         :meth:`~repro.memory.cache.ClusterCache.state_signature`).
+
+        ``live_prune``/``live_out`` extend the same escape hatch to live
+        (M/S) lines under the stronger per-line proof documented on
+        :meth:`~repro.memory.cache.ClusterCache.state_signature`: the
+        predicate must certify the line's address is unreachable by any
+        cluster *and* its set is unreachable by its own cluster for the
+        whole remaining access stream.
         """
-        if invalid_out is None:
+        if invalid_out is None and live_prune is None:
             cache_signatures = tuple(
                 cache.state_signature(base, addr_shift)
                 for cache in self.caches
@@ -254,11 +617,18 @@ class DistributedMemorySystem:
             for index, cache in enumerate(self.caches):
                 collected: List[int] = []
                 signatures.append(
-                    cache.state_signature(base, addr_shift, collected)
+                    cache.state_signature(
+                        base,
+                        addr_shift,
+                        collected if invalid_out is not None else None,
+                        live_prune,
+                        live_out,
+                    )
                 )
-                invalid_out.extend(
-                    (index, address) for address in collected
-                )
+                if invalid_out is not None:
+                    invalid_out.extend(
+                        (index, address) for address in collected
+                    )
             cache_signatures = tuple(signatures)
         return (
             cache_signatures,
@@ -324,6 +694,9 @@ class DistributedMemorySystem:
                 address + addr_shift: t + time_delta
                 for address, t in self._main_in_flight.items()
             }
+        # translate() rebinds the per-cache containers the batch tables
+        # alias; they are rebuilt on the next access_batch call.
+        self._batch_tables = None
 
     def counters_tuple(self) -> Tuple[int, ...]:
         """Fixed-order tuple of the same statistics as :meth:`counters`.
@@ -400,3 +773,4 @@ class DistributedMemorySystem:
         self.msi.reset_stats()
         self.stats = MemoryStats()
         self._main_in_flight.clear()
+        self._batch_tables = None

@@ -41,6 +41,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 from ..ir.loop import Loop
 from ..machine.config import MachineConfig
 from ..memory.hierarchy import DistributedMemorySystem
@@ -54,7 +56,7 @@ from ..steady import (
 )
 from .stats import SimulationResult
 
-__all__ = ["LockstepSimulator", "SteadyState", "simulate"]
+__all__ = ["LockstepSimulator", "ReadyWindow", "SteadyState", "simulate"]
 
 
 @dataclass(frozen=True)
@@ -62,6 +64,45 @@ class _FlowInput:
     producer: str
     distance: int
     cross_cluster: bool
+
+
+class ReadyWindow:
+    """Ring buffer over the most recent iterations' per-op ready times.
+
+    The lockstep walk only ever looks *back* a bounded number of
+    iterations: flow operands reach at most ``max(flow distance +
+    consumer stage)`` iterations behind the newest written one, and the
+    iteration-level steady detector's ready-window snapshot reaches
+    ``window + stage count`` groups back.  Allocating a fresh
+    ``NITER × n_ops`` list per loop entry is therefore pure churn — this
+    ring keeps exactly the reachable span and is reused across entries.
+
+    A slot is valid only when its tag equals the iteration that wrote
+    it, which reproduces the full list's ``None`` (not-yet-executed /
+    out-of-window) semantics bit for bit; :meth:`get` is the read path
+    detectors use, the executor's hot loop inlines the same indexing.
+    """
+
+    __slots__ = ("n_ops", "span", "values", "tags")
+
+    def __init__(self, n_ops: int, span: int):
+        self.n_ops = n_ops
+        self.span = max(1, span)
+        self.values: List[int] = [0] * (self.span * n_ops)
+        self.tags: List[int] = [-1] * (self.span * n_ops)
+
+    def reset(self) -> None:
+        """Invalidate every slot (fresh loop entry)."""
+        self.tags = [-1] * (self.span * self.n_ops)
+
+    def get(self, iteration: int, op_index: int) -> Optional[int]:
+        """Ready time of instance ``(iteration, op)``; ``None`` when the
+        instance has not executed (or fell out of the ring's span, which
+        the span sizing proves no caller can observe)."""
+        slot = (iteration % self.span) * self.n_ops + op_index
+        if self.tags[slot] != iteration:
+            return None
+        return self.values[slot]
 
 
 def _validate_count(name: str, value: Optional[int], default: int) -> int:
@@ -130,8 +171,8 @@ class LockstepSimulator:
         self.steady_report: Optional[SteadyStateReport] = None
         self.memory = DistributedMemorySystem(self.machine)
         self._flow_inputs = self._collect_flow_inputs()
-        self._instance_order = self._build_instance_order()
         self._build_fast_tables()
+        self._build_instances()
 
     # ------------------------------------------------------------------
     def _collect_flow_inputs(self) -> Dict[str, List[_FlowInput]]:
@@ -153,17 +194,64 @@ class LockstepSimulator:
             )
         return inputs
 
-    def _build_instance_order(self) -> List[Tuple[int, int, str]]:
-        """All (nominal_time, iteration, op) instances of one execution,
-        sorted by nominal time (ties: schedule slot order)."""
-        placements = self.schedule.placements
+    def _build_instances(self) -> None:
+        """All ``(nominal time, iteration, op index)`` instances of one
+        execution, sorted by nominal time with ties broken exactly like
+        the historical ``(nominal, iteration, name)`` tuple sort.
+
+        Built array-at-a-time: the per-instance Python tuple/sort churn
+        used to show up in profiles once every other per-cell cost fell.
+        The sorted numpy columns stay around for the vectorized engine
+        and for :meth:`instance_group_bounds`.
+        """
         ii = self.schedule.ii
-        instances: List[Tuple[int, int, str]] = []
-        for i in range(self.n_iterations):
-            for name, placement in placements.items():
-                instances.append((i * ii + placement.time, i, name))
-        instances.sort()
-        return instances
+        n_ops = self._n_ops
+        n_iterations = self.n_iterations
+        times = np.fromiter(self._op_time, dtype=np.int64, count=n_ops)
+        # Name rank reproduces the tuple sort's string comparison.
+        rank = np.empty(n_ops, dtype=np.int64)
+        for position, name in enumerate(sorted(self._op_names)):
+            rank[self._op_names.index(name)] = position
+        iterations = np.repeat(
+            np.arange(n_iterations, dtype=np.int64), n_ops
+        )
+        ops = np.tile(np.arange(n_ops, dtype=np.int64), n_iterations)
+        nominal = iterations * ii + times[ops]
+        order = np.lexsort((rank[ops], iterations, nominal))
+        self._inst_nominal = nominal[order]
+        self._inst_iter = iterations[order]
+        self._inst_op = ops[order]
+        self._instances_cache: Optional[List[Tuple[int, int, int]]] = None
+
+    @property
+    def _instances(self) -> List[Tuple[int, int, int]]:
+        """The sorted instance list as Python tuples, materialized on
+        first use (the vectorized engine reads only the numpy columns,
+        so it never pays for this)."""
+        cached = self._instances_cache
+        if cached is None:
+            cached = self._instances_cache = list(
+                zip(
+                    self._inst_nominal.tolist(),
+                    self._inst_iter.tolist(),
+                    self._inst_op.tolist(),
+                )
+            )
+        return cached
+
+    def instance_group_bounds(self) -> Tuple[List[int], int]:
+        """Start index of each modulo-pipeline group in the sorted
+        instance list; ``bounds[k]..bounds[k+1]`` is group ``k`` (the
+        instances with nominal issue times in ``[k*II, (k+1)*II)``)."""
+        nominal = self._inst_nominal
+        ii = self.schedule.ii
+        if nominal.size == 0:
+            return [0], 0
+        n_groups = int(nominal[-1]) // ii + 1
+        bounds = np.searchsorted(
+            nominal, np.arange(n_groups + 1, dtype=np.int64) * ii, side="left"
+        )
+        return bounds.tolist(), n_groups
 
     def _build_fast_tables(self) -> None:
         """Index-based mirrors of the per-instance lookups.
@@ -178,12 +266,15 @@ class LockstepSimulator:
         """
         loop = self.loop
         placements = self.schedule.placements
+        ii = self.schedule.ii
         lrb = self.machine.register_bus.latency
         names = list(placements)
         index_of = {name: i for i, name in enumerate(names)}
         self._op_names = names
         self._n_ops = len(names)
         self._cluster = [placements[n].cluster for n in names]
+        self._op_time = [placements[n].time for n in names]
+        self._op_stage = [time // ii for time in self._op_time]
         self._is_memory = []
         self._is_store = []
         self._fu_latency = []
@@ -207,10 +298,57 @@ class LockstepSimulator:
             )
             for name in names
         ]
-        self._instances = [
-            (nominal, iteration, index_of[name])
-            for nominal, iteration, name in self._instance_order
-        ]
+        # Affine address decomposition per memory op: address(point) =
+        # constant + sum(coef[var] * point[var]), extracted once from
+        # the row-major linearization so _entry_tables evaluates a small
+        # dot product per entry instead of re-walking the subscripts.
+        inner = loop.inner
+        known_vars = {inner.var} | {dim.var for dim in loop.outer_dims}
+        self._mem_affine: List[Optional[Tuple[int, int, Tuple[Tuple[str, int], ...]]]] = []
+        for ref in self._mem_ref:
+            if ref is None:
+                self._mem_affine.append(None)
+                continue
+            element_size = ref.array.element_size
+            weight = element_size
+            weights = []
+            for extent in reversed(ref.array.shape):
+                weights.append(weight)
+                weight *= extent
+            weights.reverse()
+            constant = ref.array.base
+            coeffs: Dict[str, int] = {}
+            for expr, dim_weight in zip(ref.subscripts, weights):
+                constant += expr.constant * dim_weight
+                for var, coef in expr.coeffs:
+                    coeffs[var] = coeffs.get(var, 0) + coef * dim_weight
+            if not set(coeffs) <= known_vars:
+                self._mem_affine.append(None)  # defensive: unknown var
+                continue
+            inner_coef = coeffs.pop(inner.var, 0)
+            self._mem_affine.append(
+                (
+                    constant + inner_coef * inner.lower,
+                    inner_coef * inner.step,
+                    tuple(sorted(coeffs.items())),
+                )
+            )
+        # Ready-ring span: the furthest any reader reaches back, in
+        # iterations.  Flow operands reach ``consumer stage + distance``
+        # behind the newest written iteration; the iteration detector's
+        # ready-window snapshot reaches ``window + max stage - 1`` (the
+        # window itself is the max flow ``distance + stage gap``).
+        stage = self._op_stage
+        max_stage = max(stage, default=0)
+        flow_lookback = 0
+        window = 0
+        for dst in range(self._n_ops):
+            for src, distance, _extra in self._flows[dst]:
+                flow_lookback = max(flow_lookback, stage[dst] + distance)
+                window = max(window, distance + stage[dst] - stage[src])
+        self._ready_window = window
+        span = max(flow_lookback, window + max_stage) + 1
+        self._ready = ReadyWindow(self._n_ops, span)
 
     # ------------------------------------------------------------------
     def _make_detectors(self, outer_points):
@@ -309,6 +447,14 @@ class LockstepSimulator:
         mem_base: List[int] = [0] * n_ops
         mem_stride: List[int] = [0] * n_ops
         for op_index in range(n_ops):
+            affine = self._mem_affine[op_index]
+            if affine is not None:
+                constant, stride, coeffs = affine
+                for var, coef in coeffs:
+                    constant += coef * outer[var]
+                mem_base[op_index] = constant
+                mem_stride[op_index] = stride
+                continue
             ref = self._mem_ref[op_index]
             if ref is None:
                 continue
@@ -330,7 +476,8 @@ class LockstepSimulator:
     ) -> int:
         """One entry of the innermost loop starting at global time ``base``;
         returns its stall cycles."""
-        ready: List[Optional[int]] = [None] * (self.n_iterations * self._n_ops)
+        ready = self._ready
+        ready.reset()
         mem_base, mem_stride = self._entry_tables(outer)
 
         run = (
@@ -379,7 +526,7 @@ class LockstepSimulator:
         end: int,
         base: int,
         offset: int,
-        ready: List[Optional[int]],
+        ready: ReadyWindow,
         mem_base: List[int],
         mem_stride: List[int],
         n_iterations: int,
@@ -387,8 +534,9 @@ class LockstepSimulator:
         """Execute instances ``start..end`` of the sorted instance list
         (skipping iterations at or past ``n_iterations``, which a
         steady-state fast-forward has replayed); returns the updated
-        stall offset.  This is THE lockstep hot loop — both the plain
-        path and the detector-partitioned path run exactly this code, so
+        stall offset.  This is THE lockstep hot loop — the reference the
+        vectorized engine is proven bit-identical against, and the walk
+        both the plain path and the detector-partitioned path run, so
         steady modes can never drift from exact simulation."""
         n_ops = self._n_ops
         instances = self._instances
@@ -398,6 +546,9 @@ class LockstepSimulator:
         fu_latency = self._fu_latency
         flows = self._flows
         access = self.memory.access
+        span = ready.span
+        tags = ready.tags
+        values = ready.values
 
         for position in range(start, end):
             nominal, iteration, op_index = instances[position]
@@ -410,10 +561,10 @@ class LockstepSimulator:
                 src_iter = iteration - distance
                 if src_iter < 0:
                     continue  # live-in from before this loop entry
-                produced = ready[src_iter * n_ops + src_index]
-                if produced is None:
+                slot = (src_iter % span) * n_ops + src_index
+                if tags[slot] != src_iter:
                     continue
-                operand_ready = produced + extra
+                operand_ready = values[slot] + extra
                 if operand_ready > issue:
                     offset += operand_ready - issue
                     issue = operand_ready
@@ -425,9 +576,13 @@ class LockstepSimulator:
                     is_store[op_index],
                     issue,
                 )
-                ready[iteration * n_ops + op_index] = result.ready_time
+                slot = (iteration % span) * n_ops + op_index
+                tags[slot] = iteration
+                values[slot] = result.ready_time
             else:
-                ready[iteration * n_ops + op_index] = issue + fu_latency[op_index]
+                slot = (iteration % span) * n_ops + op_index
+                tags[slot] = iteration
+                values[slot] = issue + fu_latency[op_index]
         return offset
 
 
@@ -437,9 +592,18 @@ def simulate(
     n_times: Optional[int] = None,
     exact: bool = False,
     steady: Optional[str] = None,
+    sim: Optional[str] = None,
 ) -> SimulationResult:
-    """Convenience one-shot simulation."""
-    return LockstepSimulator(
+    """Convenience one-shot simulation.
+
+    ``sim`` selects the engine (:data:`repro.simulator.SIM_ENGINES`;
+    default: the vectorized engine).  Results are bit-identical across
+    engines.
+    """
+    from . import DEFAULT_SIM_ENGINE, SIM_ENGINES, validate_sim_engine
+
+    engine = SIM_ENGINES[validate_sim_engine(sim or DEFAULT_SIM_ENGINE)]
+    return engine(
         schedule,
         n_iterations=n_iterations,
         n_times=n_times,

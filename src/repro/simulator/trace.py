@@ -108,7 +108,8 @@ class _TracingSimulator(LockstepSimulator):
         offset = 0
         ready: Dict[Tuple[str, int], int] = {}
 
-        for nominal, iteration, name in self._instance_order:
+        for nominal, iteration, op_index in self._instances:
+            name = self._op_names[op_index]
             placement = placements[name]
             op = loop.operation(name)
             issue = base + nominal + offset

@@ -105,6 +105,9 @@ class IterationSteadyState:
     period: int  #: repeating cycle length, in iterations (line-aligned)
     simulated_iterations: int  #: iterations executed instance by instance
     replayed_iterations: int  #: iterations replayed from the cycle deltas
+    #: Frozen live (M/S) warm-up lines the stale-state proof stripped
+    #: from the signature comparison (0 when the states matched whole).
+    pruned_live_lines: int = 0
 
 
 @dataclass(frozen=True)

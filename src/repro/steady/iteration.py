@@ -116,7 +116,7 @@ class IterationSteadyDetector:
         # First boundary where the pipeline is full and the whole ready
         # window exists.
         self.k0 = self.max_stage + self.window
-        self.group_bounds, self.n_groups = self._group_bounds()
+        self.group_bounds, self.n_groups = simulator.instance_group_bounds()
         self.detections: List[IterationSteadyState] = []
 
     # ------------------------------------------------------------------
@@ -140,37 +140,24 @@ class IterationSteadyDetector:
             strides.append(ref.address(point) - first)
         return strides
 
-    def _group_bounds(self) -> Tuple[List[int], int]:
-        """Start index of each modulo-pipeline group in the (nominal-time
-        sorted) instance list; ``bounds[k]..bounds[k+1]`` is group ``k``."""
-        instances = self.sim._instances
-        ii = self.ii
-        n_groups = (instances[-1][0] // ii + 1) if instances else 0
-        bounds = [0] * (n_groups + 1)
-        k = 0
-        for position, (nominal, _iteration, _op) in enumerate(instances):
-            group = nominal // ii
-            while k < group:
-                k += 1
-                bounds[k] = position
-        while k < n_groups:
-            k += 1
-            bounds[k] = len(instances)
-        return bounds, n_groups
-
     # ------------------------------------------------------------------
     def begin_entry(
         self,
         entry: int,
         base: int,
-        ready: List[Optional[int]],
+        ready,
         mem_base: List[int],
         mem_stride: List[int],
         final_entry: bool = True,
     ):
         """A fresh per-entry detection run, or ``None`` when this kernel
         can never confirm a period (non-uniform strides, or too few
-        iterations for capture + confirm + at least one skipped period)."""
+        iterations for capture + confirm + at least one skipped period).
+
+        ``ready`` is any view with a ``get(iteration, op) -> Optional[int]``
+        read path onto the entry's per-instance ready times — the scalar
+        executor hands its :class:`~repro.simulator.executor.ReadyWindow`
+        ring, the vectorized engine a reconstructing view."""
         if not self.enabled:
             return None
         if self.sim.n_iterations < self.k0 + 4 * self.q:
@@ -194,7 +181,7 @@ class _EntryRun(SteadyStateDetector):
     granularity = "iteration"
 
     def __init__(self, detector: IterationSteadyDetector, entry: int,
-                 base: int, ready: List[Optional[int]],
+                 base: int, ready,
                  mem_base: List[int], mem_stride: List[int],
                  final_entry: bool = True):
         self.det = detector
@@ -216,8 +203,9 @@ class _EntryRun(SteadyStateDetector):
         self.valid_from = detector.k0
         self.prev_offset = 0
         self.prev_values: Optional[Tuple[int, ...]] = None
-        # (k1, M, signature, ghosts, ready snapshot, offset, counters) of
-        # a cheaply-spotted candidate awaiting signature confirmation.
+        # (k1, M, signature, ghosts, ready snapshot, offset, counters,
+        # pruned signature or None) of a cheaply-spotted candidate
+        # awaiting signature confirmation.
         self.pending = None
         # Confirm-failure backoff: a signature mismatch under a periodic
         # record stream means the state is still developing (cache fill,
@@ -230,6 +218,11 @@ class _EntryRun(SteadyStateDetector):
         self.backoff = 2 * detector.q
         self.ff_time_delta = 0
         self.ff_addr_shift = 0
+        # The live-scar pruned comparison (second confirm tier) costs an
+        # extra state walk per candidate, so it is armed only once the
+        # whole-state comparison has failed — kernels whose states match
+        # outright never pay for it.
+        self.try_pruned = False
 
     # ------------------------------------------------------------------
     def boundary(self, k: int, offset: int) -> Optional[Replay]:
@@ -252,7 +245,8 @@ class _EntryRun(SteadyStateDetector):
         self.prev_values = values
 
         if self.pending is not None:
-            k1, period, sig1, ghosts1, snap1, offset1, counters1 = self.pending
+            (k1, period, sig1, ghosts1, snap1, offset1, counters1,
+             sig1_pruned) = self.pending
             if self.records[k - 1] != self.records[k - 1 - period]:
                 self.pending = None  # cycle broke while waiting
             elif k == k1 + period:
@@ -263,13 +257,42 @@ class _EntryRun(SteadyStateDetector):
                     base_k, period * det.stride, invalid_out=ghosts2
                 )
                 snap2 = self._ready_snapshot(k, base_k)
-                if sig2 == sig1 and snap2 == snap1:
+                if snap2 == snap1 and sig2 == sig1:
                     replay = self._confirm(
                         k1, period, offset1, counters1, k, offset,
                         ghosts1, ghosts2,
                     )
                     if replay is not None:
                         return replay
+                elif snap2 == snap1 and sig1_pruned is None:
+                    # Arm the pruned tier for the next candidate: this
+                    # state may carry frozen live warm-up lines that can
+                    # only ever match with the reachability proof.
+                    self.try_pruned = self.final_entry
+                elif snap2 == snap1:
+                    # Second tier: the whole-state comparison failed, so
+                    # retry with provably-unreachable live lines
+                    # stripped (frozen warm-up scars never translate
+                    # with the sweep).  Each boundary prunes against its
+                    # *own* remaining stream: the store trail grows by
+                    # one period between capture and confirm, and only
+                    # per-side envelopes keep the kept/pruned frontier
+                    # at the same shift-relative position in both
+                    # states.
+                    ghosts2p: List[Tuple[int, int]] = []
+                    live2: List[Tuple[int, int, str]] = []
+                    sig2_pruned = det.sim.memory.state_signature(
+                        base_k, period * det.stride, invalid_out=ghosts2p,
+                        live_prune=self._live_prune_predicate(k),
+                        live_out=live2,
+                    )
+                    if sig2_pruned == sig1_pruned:
+                        replay = self._confirm(
+                            k1, period, offset1, counters1, k, offset,
+                            ghosts1, ghosts2p, len(live2),
+                        )
+                        if replay is not None:
+                            return replay
                 # State not periodic yet despite periodic statistics:
                 # back off before spending another pair of state walks.
                 self.next_search = k + self.backoff
@@ -294,18 +317,112 @@ class _EntryRun(SteadyStateDetector):
             ):
                 base_k = self.base + k * det.ii + offset
                 ghosts: List[Tuple[int, int]] = []
+                sig = det.sim.memory.state_signature(
+                    base_k, 0, invalid_out=ghosts
+                )
+                # Fallback signature with provably-unreachable live
+                # lines stripped (set-band reachability): frozen live
+                # warm-up scars never translate with the sweep, so a
+                # state carrying one can only match under this pruned
+                # comparison.  Final entries only: translate() would
+                # misplace the stripped lines for a later entry's
+                # re-sweep.
+                sig_pruned = None
+                if self.try_pruned:
+                    sig_pruned = det.sim.memory.state_signature(
+                        base_k, 0, invalid_out=[],
+                        live_prune=self._live_prune_predicate(k),
+                    )
                 self.pending = (
                     k,
                     period,
-                    det.sim.memory.state_signature(
-                        base_k, 0, invalid_out=ghosts
-                    ),
+                    sig,
                     ghosts,
                     self._ready_snapshot(k, base_k),
                     offset,
                     det.sim.memory.counters(),
+                    sig_pruned,
                 )
                 return
+
+    def _live_prune_predicate(self, k: int):
+        """Set-band reachability proof for frozen *live* (M/S) lines.
+
+        Returns a ``(cluster, line address) -> bool`` predicate that is
+        True only when the remaining access stream provably never
+        interacts with the line: (a) no reference's remaining byte
+        envelope — iterations ``max(0, k - k0)..niter-1``, which covers
+        the tail *and* every skipped period (the phantom argument of
+        :meth:`_scars_unreachable`) — overlaps the line's span from any
+        cluster, so it is never hit, revived or snooped; and (b) no
+        same-cluster reference's envelope maps into the line's cache
+        set, so it can never be weighed in (or evicted by) a fill.  Such
+        a line is behaviourally inert and may be stripped from the
+        signature comparison, which is what lets kernels whose warm-up
+        leaves non-translating live scars (turb3d on 2-cluster) still
+        prove their steady period.
+        """
+        det = self.det
+        sim = det.sim
+        caches = sim.memory.caches
+        span = sim.memory.signature_shift_unit()
+        envelopes: List[Tuple[int, int]] = []
+        byte_bands: Dict[int, List[Tuple[int, int]]] = {}
+        for op, lo, hi in self._remaining_envelopes(k):
+            envelopes.append((lo, hi))
+            byte_bands.setdefault(sim._cluster[op], []).append((lo, hi))
+
+        def prunable(cluster: int, line_addr: int) -> bool:
+            # (a) address reachability, widened to a full shift unit so
+            # any cache's line span is covered (mirrors the ghost check).
+            for lo, hi in envelopes:
+                if line_addr <= hi and line_addr + span - 1 >= lo:
+                    return False
+            # (b) set reachability from the line's own cluster.
+            config = caches[cluster].config
+            line_size = config.line_size
+            n_sets = config.n_sets
+            scar_set = config.set_index(line_addr)
+            for lo, hi in byte_bands.get(cluster, ()):
+                first = lo // line_size
+                last = hi // line_size
+                if last - first + 1 >= n_sets:
+                    return False
+                s0 = first % n_sets
+                s1 = last % n_sets
+                if s0 <= s1:
+                    if s0 <= scar_set <= s1:
+                        return False
+                elif scar_set >= s0 or scar_set <= s1:
+                    return False
+            return True
+
+        return prunable
+
+    def _remaining_envelopes(self, k: int) -> List[Tuple[int, int, int]]:
+        """Per-reference byte envelope of the remaining stream from
+        boundary ``k``: ``(op index, lo, hi)`` over iterations
+        ``max(0, k - k0)..niter-1``, with ``hi`` widened to the last
+        element's final byte.  This is the soundness-critical range both
+        stale-state proofs (:meth:`_scars_unreachable` for invalid
+        ghosts, :meth:`_live_prune_predicate` for live scars) test
+        against — the range already covers every skipped period, which
+        is what makes the phantom argument work."""
+        det = self.det
+        sim = det.sim
+        i_min = max(0, k - det.k0)
+        i_max = self.niter - 1
+        envelopes: List[Tuple[int, int, int]] = []
+        for op in range(det.n_ops):
+            ref = sim._mem_ref[op]
+            if ref is None:
+                continue
+            a0 = self.mem_base[op] + self.mem_stride[op] * i_min
+            a1 = self.mem_base[op] + self.mem_stride[op] * i_max
+            lo = min(a0, a1)
+            hi = max(a0, a1) + ref.array.element_size - 1
+            envelopes.append((op, lo, hi))
+        return envelopes
 
     def _ready_snapshot(self, k: int, base_k: int) -> Tuple[object, ...]:
         """Relative readiness of every instance future consumers can
@@ -322,7 +439,7 @@ class _EntryRun(SteadyStateDetector):
             for op in range(n_ops):
                 iteration = group - det.stage[op]
                 if 0 <= iteration < n_iterations:
-                    value = ready[iteration * n_ops + op]
+                    value = ready.get(iteration, op)
                     out.append(None if value is None else value - base_k)
                 else:
                     out.append(_ABSENT)
@@ -344,19 +461,8 @@ class _EntryRun(SteadyStateDetector):
         envelope now keeps its relative distance to the stream forever.
         Each scar is conservatively widened to a full shift unit, which
         covers any cache's line span."""
-        det = self.det
-        sim = det.sim
-        span = sim.memory.signature_shift_unit()
-        i_min = max(0, k2 - det.k0)
-        i_max = self.niter - 1
-        for op in range(det.n_ops):
-            ref = sim._mem_ref[op]
-            if ref is None:
-                continue
-            a0 = self.mem_base[op] + self.mem_stride[op] * i_min
-            a1 = self.mem_base[op] + self.mem_stride[op] * i_max
-            lo = min(a0, a1)
-            hi = max(a0, a1) + ref.array.element_size - 1
+        span = self.det.sim.memory.signature_shift_unit()
+        for _op, lo, hi in self._remaining_envelopes(k2):
             for _cluster, d in divergent:
                 if d <= hi and d + span - 1 >= lo:
                     return False
@@ -372,6 +478,7 @@ class _EntryRun(SteadyStateDetector):
         offset2: int,
         ghosts1: List[Tuple[int, int]],
         ghosts2: List[Tuple[int, int]],
+        pruned_live: int = 0,
     ) -> Optional[Replay]:
         """Signature + window matched: fast-forward whole periods."""
         det = self.det
@@ -412,6 +519,7 @@ class _EntryRun(SteadyStateDetector):
             period=period,
             simulated_iterations=self.niter,
             replayed_iterations=t * period,
+            pruned_live_lines=pruned_live,
         )
         det.detections.append(record)
         # Re-arm in the fast-forwarded frame: detection may fire again

@@ -123,14 +123,14 @@ def swim(n: int = _N2D) -> Kernel:
     return b.build()
 
 
-def su2cor(n: int = _N1D // 2) -> Kernel:
+def su2cor(n: int = _N1D // 2, name: str = "su2cor") -> Kernel:
     """SU(2) gauge-field correlation (complex multiply-accumulate).
 
     Interleaved real/imaginary vectors accessed with stride 2 — spatial
     reuse spans two iterations per line instead of four — plus a
     loop-carried accumulation recurrence for the correlation sum.
     """
-    b = LoopBuilder("su2cor")
+    b = LoopBuilder(name)
     i = b.dim("i", 0, n)
     a = b.array("A", (2 * n,))
     c = b.array("C", (2 * n,))
@@ -215,14 +215,14 @@ def mgrid(n: int = _N3D) -> Kernel:
     return b.build()
 
 
-def applu(n: int = _N1D) -> Kernel:
+def applu(n: int = _N1D, name: str = "applu") -> Kernel:
     """SSOR lower-triangular solve (applu's BLTS sweep, 1-D slice).
 
     ``V[i] = (B[i] - L[i] * V[i-1]) * DINV[i]`` — the value recurrence
     through ``V`` makes RecMII the binding constraint and exercises the
     scheduler's recurrence guard on binding prefetching.
     """
-    b = LoopBuilder("applu")
+    b = LoopBuilder(name)
     i = b.dim("i", 1, n)
     bb = b.array("B", (n,))
     ll = b.array("L", (n,))
@@ -239,7 +239,7 @@ def applu(n: int = _N1D) -> Kernel:
     return b.build()
 
 
-def turb3d(n: int = _N1D // 2) -> Kernel:
+def turb3d(n: int = _N1D // 2, name: str = "turb3d") -> Kernel:
     """Radix-2 FFT butterfly pass (turb3d's per-dimension transform).
 
     Reads ``X[i]`` and ``X[i + n]`` — two streams half a vector apart.
@@ -247,7 +247,7 @@ def turb3d(n: int = _N1D // 2) -> Kernel:
     direct-mapped sets, the cross-stream analogue of the motivating
     example's ping-pong interference.
     """
-    b = LoopBuilder("turb3d")
+    b = LoopBuilder(name)
     i = b.dim("i", 0, n)
     re = b.array("RE", (2 * n,))
     im = b.array("IM", (2 * n,))

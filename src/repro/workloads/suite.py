@@ -13,7 +13,14 @@ from typing import Callable, Dict, List, Mapping, Optional
 from ..ir.builder import Kernel
 from . import kernels as _k
 
-__all__ = ["SPEC_KERNELS", "spec_suite", "kernel_by_name", "suite_stats"]
+__all__ = [
+    "SPEC_KERNELS",
+    "STREAMING_LONG_KERNELS",
+    "spec_suite",
+    "streaming_long_suite",
+    "kernel_by_name",
+    "suite_stats",
+]
 
 SPEC_KERNELS: Mapping[str, Callable[[], Kernel]] = {
     "tomcatv": _k.tomcatv,
@@ -25,6 +32,29 @@ SPEC_KERNELS: Mapping[str, Callable[[], Kernel]] = {
     "turb3d": _k.turb3d,
     "apsi": _k.apsi,
 }
+
+#: Long-stream variants of the ``NTIMES=1`` streaming kernels: 4x NITER
+#: with matching array extents (the factories scale every array with
+#: ``n``), per the ROADMAP item on showing the iteration-level steady
+#: detector's asymptotic win and stressing memoization at production
+#: scale.  Registered as their own suite so the short originals keep
+#: their paper-scale footprints.
+STREAMING_LONG_KERNELS: Mapping[str, Callable[[], Kernel]] = {
+    "su2cor-long": lambda: _k.su2cor(n=4 * 512, name="su2cor-long"),
+    "applu-long": lambda: _k.applu(n=4 * 1024, name="applu-long"),
+    "turb3d-long": lambda: _k.turb3d(n=4 * 512, name="turb3d-long"),
+}
+
+
+def streaming_long_suite(names: Optional[List[str]] = None) -> List[Kernel]:
+    """Instantiate the long-stream suite (or a named subset)."""
+    selected = list(STREAMING_LONG_KERNELS) if names is None else names
+    unknown = [n for n in selected if n not in STREAMING_LONG_KERNELS]
+    if unknown:
+        raise KeyError(
+            f"unknown kernels {unknown}; known: {list(STREAMING_LONG_KERNELS)}"
+        )
+    return [STREAMING_LONG_KERNELS[name]() for name in selected]
 
 
 def spec_suite(names: Optional[List[str]] = None) -> List[Kernel]:

@@ -123,6 +123,93 @@ class TestMerging:
         assert system.stats.merged >= 1
 
 
+class TestFillCompletionBoundary:
+    """Boundary-cycle semantics of in-flight fills (PR 5 audit).
+
+    The repo-wide convention is that anything completing at cycle ``T``
+    is available to a request issued *at* ``T``: consumer stalls require
+    ``operand_ready > issue``, MSHR entries released at ``T`` do not
+    block a ``T`` allocation, and a fill completing at ``T`` no longer
+    merges a ``T`` access.  These tests pin each boundary so an
+    accidental ``<`` / ``<=`` flip in any of the four checks
+    (:mod:`repro.memory.hierarchy` lines around ``pending <= time``,
+    ``supplier_pending > bus_grant``, ``pending > bus_grant``;
+    :meth:`repro.memory.cache.MSHR.allocate`'s ``t > time``) fails
+    loudly instead of silently shifting figures.
+    """
+
+    def test_access_one_cycle_before_fill_merges(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        fill = first.ready_time  # 13: detect 2 + bus 1 + main 10
+        result = system.access(0, 0, is_store=False, time=fill - 1)
+        assert result.merged
+        # Data arrives with the fill, not before.
+        assert result.ready_time == max(fill - 1 + 2, fill)
+        assert system.stats.merged == 1
+
+    def test_access_at_fill_cycle_is_a_plain_hit(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        fill = first.ready_time
+        result = system.access(0, 0, is_store=False, time=fill)
+        assert not result.merged
+        assert result.ready_time == fill + 2
+        assert system.stats.merged == 0
+
+    def test_supplier_with_fill_pending_at_grant_supplies(self):
+        """A remote holder whose fill completes exactly at the bus grant
+        can supply the line (available-at-T convention)."""
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        fill = first.ready_time  # cluster 0's in-flight completes here
+        # Issue so the second miss's bus grant lands exactly on ``fill``:
+        # detect = time + 2, bus free well before, so grant = time + 2.
+        result = system.access(1, 0, is_store=False, time=fill - 2)
+        assert result.level == AccessLevel.REMOTE
+        assert system.stats.remote_hits == 1
+
+    def test_supplier_with_fill_pending_after_grant_merges_into_main(self):
+        system = _system()
+        first = system.access(0, 0, is_store=False, time=0)
+        fill = first.ready_time
+        # One cycle earlier the supplier's fill is still in flight at the
+        # grant; the request resolves through main memory, merging with
+        # the fill already under way.
+        result = system.access(1, 0, is_store=False, time=fill - 3)
+        assert result.level == AccessLevel.MAIN
+        assert result.merged
+        assert result.ready_time == fill
+        assert system.stats.remote_hits == 0
+
+    def test_main_fill_completing_at_grant_pays_full_latency(self):
+        system = _system()
+        # White-box: a main-memory fill completing exactly at this miss's
+        # bus grant (detect 2 + idle bus = grant 2) cannot serve it.
+        system._main_in_flight[0] = 2
+        result = system.access(0, 0, is_store=False, time=0)
+        assert not result.merged
+        assert result.ready_time == 2 + 1 + 10
+
+    def test_main_fill_completing_after_grant_merges(self):
+        system = _system()
+        system._main_in_flight[0] = 3
+        result = system.access(0, 0, is_store=False, time=0)
+        assert result.merged
+        # No earlier than the transfer, no later than the in-flight fill.
+        assert result.ready_time == 3
+
+    def test_mshr_entry_released_at_allocation_time_frees(self):
+        from repro.memory.cache import MSHR
+
+        mshr = MSHR(1)
+        mshr.hold(5)
+        assert mshr.allocate(5) == 5  # released at 5, usable at 5
+        mshr2 = MSHR(1)
+        mshr2.hold(6)
+        assert mshr2.allocate(5) == 6  # still held at 5, wait one cycle
+
+
 class TestCoherenceIntegration:
     def test_invariants_hold_after_mixed_traffic(self):
         system = DistributedMemorySystem(four_cluster(

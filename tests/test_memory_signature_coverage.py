@@ -45,6 +45,11 @@ COVERAGE = {
         "msi": "recurse",
         "stats": "counters",
         "_main_in_flight": "signature",
+        # Pure aliasing: lazily built reference tables for access_batch
+        # (every entry points at a component classified above) that are
+        # invalidated whenever translate()/reset() rebind a container.
+        # No behavioural state of its own.
+        "_batch_tables": "excluded",
     },
     ClusterCache: {
         "config": "config",
