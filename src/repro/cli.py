@@ -112,7 +112,13 @@ def build_parser() -> argparse.ArgumentParser:
         )
         cmd.add_argument(
             "--no-cache", action="store_true",
-            help="recompute every cell (disable memory and disk caching)",
+            help="recompute every cell (disable memory and disk caching; "
+                 "warm-state reuse keeps working in memory)",
+        )
+        cmd.add_argument(
+            "--no-warm-store", action="store_true",
+            help="disable content-addressed warm-state reuse between "
+                 "cells (results are bit-identical either way)",
         )
         cmd.add_argument(
             "--cache-dir", metavar="DIR",
@@ -156,7 +162,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument(
         "--no-cache", action="store_true",
-        help="recompute every cell (disable memory and disk caching)",
+        help="recompute every cell (disable memory and disk caching; "
+             "warm-state reuse keeps working in memory)",
+    )
+    run_cmd.add_argument(
+        "--no-warm-store", action="store_true",
+        help="disable content-addressed warm-state reuse between cells "
+             "(results are bit-identical either way)",
     )
     run_cmd.add_argument(
         "--cache-dir", metavar="DIR",
@@ -292,6 +304,7 @@ def _build_grid(args: argparse.Namespace, locality) -> ExperimentGrid:
         cache_dir=args.cache_dir,
         progress=None if args.no_progress else _progress_printer(sys.stderr),
         exact=getattr(args, "exact", False),
+        warm=not args.no_warm_store,
     )
 
 
@@ -305,9 +318,12 @@ def _emit_figure(figure, args: argparse.Namespace) -> None:
 
 
 def _cmd_figure(args: argparse.Namespace, which: str) -> int:
+    # Explicit is-None test: argparse leaves the attribute None when the
+    # flag is absent, and a falsy-but-present value must not be treated
+    # as "use the default suite".
     kernels = (
         None
-        if not args.kernels
+        if args.kernels is None
         else [kernel_by_name(name) for name in args.kernels]
     )
     grid = _build_grid(args, _build_locality(args))
@@ -344,11 +360,19 @@ def _grid_stats_line(grid: ExperimentGrid, stream) -> None:
         f"{stage}={seconds:.2f}s"
         for stage, seconds in stats.stage_seconds.items()
     )
+    warm = ""
+    if grid.warm_store is not None:
+        store = grid.warm_store
+        warm = (
+            f"\nwarm state: {store.hits} hits, {store.misses} misses, "
+            f"{store.stores} stored"
+        )
     print(
         f"cells: {stats.requested} requested, {stats.computed} computed, "
         f"{stats.memory_hits + stats.disk_hits} cached, "
         f"{stats.deduplicated} deduplicated"
-        + (f"\nstage seconds: {stages}" if stages else ""),
+        + (f"\nstage seconds: {stages}" if stages else "")
+        + warm,
         file=stream,
     )
 

@@ -99,6 +99,11 @@ class CellRequest:
     #: means the vectorized default).  Results are bit-identical across
     #: engines — the equivalence suite proves it.
     sim: Optional[str] = None
+    #: Optional :class:`repro.simulator.WarmStateStore`: lets cells whose
+    #: schedules land byte-identical share the detector-confirmed
+    #: post-warm-up memory state instead of re-simulating it.  ``None``
+    #: (and ``exact=True``/``steady="off"``) runs every warm-up cold.
+    warm_store: Optional[object] = None
     kernels: Mapping[str, Kernel] = field(default_factory=dict)
 
 
@@ -216,6 +221,7 @@ class SimulateStage(Stage):
             n_times=request.n_times,
             exact=request.exact,
             steady=request.steady,
+            warm_store=request.warm_store,
         )
         ctx.simulation = simulator.run()
         steady = simulator.steady_state
@@ -240,6 +246,8 @@ class SimulateStage(Stage):
         else:
             for key, value in vector_stats.items():
                 stats[f"sim_{key}"] = value
+        for key, value in simulator.warm_stats.items():
+            stats[f"sim_warm_{key}"] = value
         return stats
 
 

@@ -34,7 +34,11 @@ def render_figure(
     """Render all groups of a figure as stacked ASCII bars."""
     if not figure.bars:
         return figure.title + "\n(no bars)"
-    scale = max_scale or max(bar.norm_total for bar in figure.bars)
+    scale = (
+        max(bar.norm_total for bar in figure.bars)
+        if max_scale is None
+        else max_scale
+    )
     lines: List[str] = [figure.title, f"(full width = {scale:.3f}x unified)"]
     for group in figure.groups:
         lines.append("")

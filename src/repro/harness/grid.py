@@ -56,7 +56,7 @@ from ..engine.result import RunResult
 from ..engine.stages import CellRequest
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
-from ..simulator import DEFAULT_SIM_ENGINE, validate_sim_engine
+from ..simulator import DEFAULT_SIM_ENGINE, WarmStateStore, validate_sim_engine
 from ..steady import validate_steady_mode
 from ..workloads.suite import SPEC_KERNELS, kernel_by_name
 
@@ -275,6 +275,7 @@ def _execute_cell(
     kernel: Kernel,
     locality: LocalityAnalyzer,
     exact: bool = False,
+    warm_store: Optional[WarmStateStore] = None,
 ) -> CellOutcome:
     """Execute one cell through the engine pipeline (serial path)."""
     return CellPipeline().run(
@@ -289,21 +290,31 @@ def _execute_cell(
             exact=exact,
             steady=spec.steady,
             sim=spec.sim,
+            warm_store=warm_store,
         )
     )
 
 
 #: Per-worker analyzer installed by :func:`_init_worker`.  Shipping the
 #: analyzer once per worker (instead of once per task) lets its CME memo
-#: accumulate across the cells that worker executes.
+#: accumulate across the cells that worker executes.  The warm-state
+#: store travels the same way: its in-memory entries accumulated before
+#: fan-out arrive pre-primed, and its disk layer (when enabled) lets the
+#: workers share warm-ups discovered *during* the sweep.
 _WORKER_LOCALITY: Optional[LocalityAnalyzer] = None
 _WORKER_EXACT: bool = False
+_WORKER_WARM: Optional[WarmStateStore] = None
 
 
-def _init_worker(locality: LocalityAnalyzer, exact: bool = False) -> None:
-    global _WORKER_LOCALITY, _WORKER_EXACT
+def _init_worker(
+    locality: LocalityAnalyzer,
+    exact: bool = False,
+    warm_store: Optional[WarmStateStore] = None,
+) -> None:
+    global _WORKER_LOCALITY, _WORKER_EXACT, _WORKER_WARM
     _WORKER_LOCALITY = locality
     _WORKER_EXACT = exact
+    _WORKER_WARM = warm_store
 
 
 def _execute_cell_pooled(
@@ -312,7 +323,9 @@ def _execute_cell_pooled(
     """Pool entry point; ships the result plus per-stage timings back."""
     if _WORKER_LOCALITY is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process missing its locality analyzer")
-    outcome = _execute_cell(spec, kernel, _WORKER_LOCALITY, _WORKER_EXACT)
+    outcome = _execute_cell(
+        spec, kernel, _WORKER_LOCALITY, _WORKER_EXACT, _WORKER_WARM
+    )
     return outcome.result, outcome.report.stage_seconds
 
 
@@ -345,6 +358,17 @@ class ExperimentGrid:
         memoization disabled.  Results are bit-identical either way (the
         cache key is deliberately execution-strategy-agnostic); the flag
         exists for benchmarking and paranoia runs.
+    warm:
+        ``True`` (default) shares detector-confirmed post-warm-up memory
+        state between cells whose schedules land byte-identical (a
+        :class:`~repro.simulator.WarmStateStore` keyed by
+        ``Schedule.fingerprint()`` × geometry × steady mode).  The
+        store's disk layer lives under ``cache_dir/warm`` and is active
+        only while caching is enabled; with ``cache=False`` the store
+        still deduplicates warm-ups *within* this run, in memory.
+        ``False`` disables warm-state reuse entirely.  Results are
+        bit-identical either way: adoption re-proves replay soundness
+        against the consuming run's own address tables.
     """
 
     def __init__(
@@ -356,6 +380,7 @@ class ExperimentGrid:
         kernels: Optional[Mapping[str, Kernel]] = None,
         progress: Optional[ProgressCallback] = None,
         exact: bool = False,
+        warm: bool = True,
     ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -374,6 +399,14 @@ class ExperimentGrid:
         self._memory: Dict[str, RunResult] = {}
         self._kernels: Dict[str, Kernel] = dict(kernels or {})
         self._locality_fp = locality_fingerprint(self.locality)
+        warm_dir = (
+            self.cache_dir / "warm"
+            if (cache and self.cache_dir is not None)
+            else None
+        )
+        self.warm_store: Optional[WarmStateStore] = (
+            WarmStateStore(cache_dir=warm_dir) if warm else None
+        )
 
     # ------------------------------------------------------------------
     # Kernel resolution
@@ -416,8 +449,18 @@ class ExperimentGrid:
             return None
         try:
             with path.open("rb") as handle:
-                return pickle.load(handle)
-        except Exception:  # corrupt entry: treat as a miss
+                result = pickle.load(handle)
+            if not isinstance(result, RunResult):
+                raise ValueError("foreign object in cell cache")
+            return result
+        except Exception:
+            # Corrupt / truncated / foreign entry: a cache must never
+            # turn disk rot into a failed sweep.  Drop the file so the
+            # recomputed result can take its slot cleanly.
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
 
     def _disk_store(self, key: str, result: RunResult) -> None:
@@ -435,11 +478,19 @@ class ExperimentGrid:
         tmp.replace(path)  # atomic within one filesystem
 
     def clear_cache(self) -> None:
-        """Drop the in-memory layer and delete on-disk entries."""
+        """Drop the in-memory layer and delete on-disk entries.
+
+        Clears the warm-state store too: its entries key off the same
+        ``CACHE_VERSION``-independent content hashes, but "clear the
+        cache" means *all* derived state under ``cache_dir``.
+        """
         self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("*/*.pkl"):
                 path.unlink(missing_ok=True)
+        if self.warm_store is not None:
+            self.warm_store._memory.clear()
+            self.warm_store.clear_disk()
 
     # ------------------------------------------------------------------
     # Execution
@@ -512,7 +563,8 @@ class ExperimentGrid:
             out = []
             for (spec, _key), kernel in zip(pending, kernels):
                 outcome = _execute_cell(
-                    spec, kernel, self.locality, self.exact
+                    spec, kernel, self.locality, self.exact,
+                    self.warm_store,
                 )
                 self.stats.add_stage_seconds(outcome.report.stage_seconds)
                 out.append(outcome.result)
@@ -532,7 +584,7 @@ class ExperimentGrid:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.locality, self.exact),
+            initargs=(self.locality, self.exact, self.warm_store),
         ) as pool:
             futures = {
                 pool.submit(_execute_cell_pooled, spec, kernel): index

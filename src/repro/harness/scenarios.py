@@ -463,6 +463,7 @@ def run_scenario(
     exact: bool = False,
     steady: Optional[str] = None,
     sim: Optional[str] = None,
+    warm: bool = True,
 ) -> ScenarioOutcome:
     """Execute a scenario (by spec or registry name) on a grid.
 
@@ -472,7 +473,9 @@ def run_scenario(
     :class:`LocalitySpec`.  ``steady`` overrides the scenario's
     scenario-wide detector selection (groups with their own explicit
     ``steady`` keep it — they exist precisely to pin a mode); ``sim``
-    overrides the simulate-engine selection the same way.
+    overrides the simulate-engine selection the same way.  ``warm``
+    controls content-addressed warm-state reuse on the grid this call
+    builds (ignored for an explicit ``grid``, which owns its store).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -488,6 +491,7 @@ def run_scenario(
             cache_dir=cache_dir,
             progress=progress,
             exact=exact,
+            warm=warm,
         )
     else:
         wanted = locality_fingerprint(scenario.locality.build())

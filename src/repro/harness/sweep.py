@@ -192,7 +192,9 @@ def unified_reference(
     """
     grid = _resolve_grid(locality, grid)
     grid.register(kernels)
-    machine = unified(memory_bus=memory_bus or _REFERENCE_BUS)
+    machine = unified(
+        memory_bus=_REFERENCE_BUS if memory_bus is None else memory_bus
+    )
     specs = [
         CellSpec.of(kernel, machine, "baseline", 1.0, steady=steady, sim=sim)
         for kernel in kernels

@@ -229,11 +229,19 @@ class MachineConfig:
         register_bus: Optional[BusConfig] = None,
         memory_bus: Optional[BusConfig] = None,
     ) -> "MachineConfig":
-        """Copy with different bus parameters (for sweep harnesses)."""
+        """Copy with different bus parameters (for sweep harnesses).
+
+        Explicit is-None tests: ``None`` means "keep mine", and a passed
+        bus must be used as given — never coerced through truthiness.
+        """
         return replace(
             self,
-            register_bus=register_bus or self.register_bus,
-            memory_bus=memory_bus or self.memory_bus,
+            register_bus=(
+                self.register_bus if register_bus is None else register_bus
+            ),
+            memory_bus=(
+                self.memory_bus if memory_bus is None else memory_bus
+            ),
         )
 
     def to_dict(self) -> Dict[str, object]:

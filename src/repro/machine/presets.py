@@ -64,8 +64,16 @@ def _machine(
     return MachineConfig(
         name=name,
         clusters=(cluster,) * n_clusters,
-        register_bus=register_bus or BusConfig(count=2, latency=1),
-        memory_bus=memory_bus or BusConfig(count=1, latency=1),
+        register_bus=(
+            BusConfig(count=2, latency=1)
+            if register_bus is None
+            else register_bus
+        ),
+        memory_bus=(
+            BusConfig(count=1, latency=1)
+            if memory_bus is None
+            else memory_bus
+        ),
         main_memory_latency=_MAIN_MEMORY_LATENCY,
     )
 
@@ -128,8 +136,16 @@ def heterogeneous(
     return MachineConfig(
         name="heterogeneous",
         clusters=(big, small),
-        register_bus=register_bus or BusConfig(count=2, latency=1),
-        memory_bus=memory_bus or BusConfig(count=1, latency=1),
+        register_bus=(
+            BusConfig(count=2, latency=1)
+            if register_bus is None
+            else register_bus
+        ),
+        memory_bus=(
+            BusConfig(count=1, latency=1)
+            if memory_bus is None
+            else memory_bus
+        ),
         main_memory_latency=_MAIN_MEMORY_LATENCY,
     )
 

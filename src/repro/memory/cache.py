@@ -94,6 +94,38 @@ class MSHR:
             self._release_times = [t + time_delta for t in self._release_times]
 
 
+def _set_fragment(
+    ways: List[CacheLine], index: int, n_sets: int, line_size: int
+) -> Optional[tuple]:
+    """Shift-invariant signature fragment of one cache set.
+
+    ``(anchor tag, relative ways, live anchor tag, relative live ways,
+    absolute invalid-line addresses)`` — everything
+    :meth:`ClusterCache.state_signature` needs to serve both the full
+    and the ``invalid_out`` probe shapes without walking the lines
+    again.  ``None`` stands for an empty set.
+    """
+    if not ways:
+        return None
+    anchor = ways[0].tag
+    rel = tuple((line.tag - anchor, line.state.value) for line in ways)
+    live_anchor = None
+    live_rel: Tuple[Tuple[int, str], ...] = ()
+    invalid_addrs = []
+    live = []
+    for line in ways:
+        if line.state is LineState.INVALID:
+            invalid_addrs.append((line.tag * n_sets + index) * line_size)
+        else:
+            live.append(line)
+    if live:
+        live_anchor = live[0].tag
+        live_rel = tuple(
+            (line.tag - live_anchor, line.state.value) for line in live
+        )
+    return (anchor, rel, live_anchor, live_rel, tuple(invalid_addrs))
+
+
 class ClusterCache:
     """Functional cache state (tags + MSI) of one cluster.
 
@@ -109,6 +141,13 @@ class ClusterCache:
         self.mshr = MSHR(config.mshr_entries)
         # line address -> fill completion time (for secondary-miss merging)
         self.in_flight: Dict[int, int] = {}
+        # Incremental-signature support: per-set fragments of the last
+        # signature in shift-invariant (anchor-relative) form, plus the
+        # set indices mutated since they were built.  A probe recomputes
+        # only the dirty fragments, so its cost is O(sets touched since
+        # the previous probe) instead of O(resident lines).
+        self._set_frags: Dict[int, Optional[tuple]] = {}
+        self._dirty_sets: set = set()
 
     # ------------------------------------------------------------------
     def _lookup(self, address: int) -> Optional[CacheLine]:
@@ -137,7 +176,9 @@ class ClusterCache:
         ways = self._sets.get(index, [])
         for pos, line in enumerate(ways):
             if line.tag == tag:
-                ways.append(ways.pop(pos))
+                if pos != len(ways) - 1:
+                    ways.append(ways.pop(pos))
+                    self._dirty_sets.add(index)
                 return
 
     # ------------------------------------------------------------------
@@ -149,6 +190,7 @@ class ClusterCache:
         index = self.config.set_index(address)
         tag = self.config.tag(address)
         ways = self._sets.setdefault(index, [])
+        self._dirty_sets.add(index)
         for line in ways:
             if line.tag == tag:
                 line.state = state
@@ -169,6 +211,7 @@ class ClusterCache:
         line = self._lookup(address)
         if line is not None:
             line.state = state
+            self._dirty_sets.add(self.config.set_index(address))
 
     def invalidate(self, address: int) -> bool:
         """Drop a line (snoop-invalidate); returns True when it was M."""
@@ -177,6 +220,7 @@ class ClusterCache:
             return False
         was_dirty = line.state is LineState.MODIFIED
         line.state = LineState.INVALID
+        self._dirty_sets.add(self.config.set_index(address))
         return was_dirty
 
     def _line_address(self, set_index: int, tag: int) -> int:
@@ -226,14 +270,97 @@ class ClusterCache:
         lines are stripped from the signature and appended to
         ``live_out`` as ``(cluster id, absolute line address, state)``;
         the proof obligation is entirely the caller's.
+
+        Each set contributes one ``(rotated index, shifted anchor
+        address, relative ways)`` triple, where the anchor is the first
+        emitted line and the other ways are recorded as whole-image tag
+        deltas against it.  Two states compare equal under this encoding
+        exactly when they do under a per-line shifted-address walk (the
+        anchor pins the set's absolute position modulo the shift; the
+        deltas pin everything else), but the relative part is
+        shift-invariant — which is what lets fragments be cached across
+        probes with different ``addr_shift``.  The default path serves
+        probes from cached per-set fragments, recomputing only sets
+        mutated since the previous probe; ``live_prune`` callers take
+        the full reference walk (:meth:`_signature_walk`), since the
+        predicate's verdict can change between probes with no cache
+        mutation at all.
+        """
+        if live_prune is not None:
+            return self._signature_walk(
+                base, addr_shift, invalid_out, live_prune, live_out
+            )
+        config = self.config
+        n_sets = config.n_sets
+        line_size = config.line_size
+        rotation = (addr_shift // line_size) % n_sets
+        frags = self._set_frags
+        dirty = self._dirty_sets
+        sets = []
+        for index, ways in self._sets.items():
+            if index in dirty or index not in frags:
+                frags[index] = _set_fragment(ways, index, n_sets, line_size)
+            frag = frags[index]
+            if frag is None:
+                continue
+            anchor_tag, rel, live_anchor, live_rel, invalid_addrs = frag
+            if invalid_out is not None:
+                if invalid_addrs:
+                    invalid_out.extend(invalid_addrs)
+                if live_anchor is None:
+                    continue
+                anchor = (live_anchor * n_sets + index) * line_size
+                sets.append(
+                    ((index - rotation) % n_sets, anchor - addr_shift, live_rel)
+                )
+            else:
+                anchor = (anchor_tag * n_sets + index) * line_size
+                sets.append(
+                    ((index - rotation) % n_sets, anchor - addr_shift, rel)
+                )
+        dirty.clear()
+        sets.sort()
+        in_flight = self.in_flight
+        if in_flight:
+            # Completions at or before ``base`` are behaviourally absent
+            # (issue times are non-decreasing and the hierarchy treats a
+            # stale completion as no completion), so drop them for good:
+            # the dict would otherwise grow with every miss of the run.
+            # Deleting in place keeps access_batch's table aliases valid.
+            expired = [a for a, t in in_flight.items() if t <= base]
+            for address in expired:
+                del in_flight[address]
+        fills = tuple(
+            sorted(
+                (address - addr_shift, t - base)
+                for address, t in in_flight.items()
+            )
+        )
+        return (tuple(sets), fills, self.mshr.pending_signature(base))
+
+    def _signature_walk(
+        self,
+        base: int,
+        addr_shift: int = 0,
+        invalid_out: Optional[List[int]] = None,
+        live_prune: Optional[object] = None,
+        live_out: Optional[List[Tuple[int, int, str]]] = None,
+    ) -> Tuple[object, ...]:
+        """From-scratch reference walk behind :meth:`state_signature`.
+
+        Produces bit-identical output to the fragment-served fast path
+        (the incremental-signature property tests pin this), and
+        additionally supports ``live_prune``.
         """
         config = self.config
-        rotation = (addr_shift // config.line_size) % config.n_sets
+        n_sets = config.n_sets
+        image = n_sets * config.line_size
+        rotation = (addr_shift // config.line_size) % n_sets
         sets = []
         for index, ways in self._sets.items():
             if not ways:
                 continue
-            entries = []
+            kept = []
             for line in ways:
                 address = self._line_address(index, line.tag)
                 if invalid_out is not None and line.state is LineState.INVALID:
@@ -249,10 +376,14 @@ class ClusterCache:
                             (self.cluster_id, address, line.state.value)
                         )
                     continue
-                entries.append((address - addr_shift, line.state.value))
-            if not entries:
+                kept.append((address, line.state.value))
+            if not kept:
                 continue
-            sets.append(((index - rotation) % config.n_sets, tuple(entries)))
+            anchor = kept[0][0]
+            rel = tuple(
+                ((address - anchor) // image, state) for address, state in kept
+            )
+            sets.append(((index - rotation) % n_sets, anchor - addr_shift, rel))
         sets.sort()
         fills = tuple(
             sorted(
@@ -262,6 +393,16 @@ class ClusterCache:
             )
         )
         return (tuple(sets), fills, self.mshr.pending_signature(base))
+
+    def invalidate_fragments(self) -> None:
+        """Drop every cached signature fragment (full recompute next probe).
+
+        The one hook for wholesale-rebinding mutations (``translate``,
+        ``clear``, warm-state restore) and for tests that poke ``_sets``
+        directly.
+        """
+        self._set_frags.clear()
+        self._dirty_sets.clear()
 
     def translate(self, time_delta: int, addr_shift: int) -> None:
         """Shift the whole cache state by ``addr_shift`` bytes and
@@ -297,6 +438,7 @@ class ClusterCache:
                     for address, line in zip(shifted, ways)
                 ]
             self._sets = new_sets
+            self.invalidate_fragments()
         if addr_shift or time_delta:
             self.in_flight = {
                 address + addr_shift: t + time_delta
@@ -316,3 +458,4 @@ class ClusterCache:
     def clear(self) -> None:
         self._sets.clear()
         self.in_flight.clear()
+        self.invalidate_fragments()

@@ -146,7 +146,9 @@ class DistributedMemorySystem:
 
         # Write hit on a Shared line: upgrade (BusUpgr), no data transfer.
         if is_store and cache.state_of(address) is LineState.SHARED:
-            request = max(time + hit_latency, pending or 0)
+            request = time + hit_latency
+            if pending is not None and pending > request:
+                request = pending
             grant = self.bus.acquire(request)
             bus_wait = grant - request
             self.msi.snoop(cluster, line_addr, BusOp.BUS_UPGR)
@@ -276,10 +278,12 @@ class DistributedMemorySystem:
                 bus.config.latency,
                 self.machine.main_memory_latency,
                 len(caches),
+                [cache._dirty_sets for cache in caches],
             )
         (
             sets_by, inflight_by, mshr_by, ls_by, nsets_by, hl_by,
             assoc_by, bus_busy, bus_latency, main_latency, n_caches,
+            dirty_by,
         ) = tables
         modified = _MODIFIED
         shared = _SHARED
@@ -325,7 +329,9 @@ class DistributedMemorySystem:
                 state is modified or (not is_store and state is shared)
             ):
                 # Local hit (same condition as ClusterCache.is_hit).
-                ways.append(ways.pop(ways.index(found)))  # LRU touch
+                if ways[-1] is not found:
+                    ways.append(ways.pop(ways.index(found)))  # LRU touch
+                    dirty_by[cluster].add(set_index)
                 d_local += 1
                 ready = time + hit_latency
                 if pending is not None:
@@ -379,10 +385,12 @@ class DistributedMemorySystem:
                                     supplier = other
                             o_line.state = invalid
                             d_inval += 1
+                            dirty_by[other].add(o_set)
                             break
                 if supplier is not None:
                     d_interv += 1
                 found.state = modified
+                dirty_by[cluster].add(set_index)
                 d_local += 1  # data was local; only permission moved
                 d_upgrades += 1
                 d_bus_wait += bus_wait
@@ -457,6 +465,7 @@ class DistributedMemorySystem:
                                 supplier = other
                             o_line.state = invalid
                             d_inval += 1
+                        dirty_by[other].add(o_set)
                         break
             if supplier is not None:
                 d_interv += 1
@@ -486,6 +495,7 @@ class DistributedMemorySystem:
 
             # Fill (inline ClusterCache.fill + the dirty-victim bus slot).
             new_state = modified if is_store else shared
+            dirty_by[cluster].add(set_index)
             cache_sets = sets_by[cluster]
             ways = cache_sets.get(set_index)
             if ways is None:
@@ -630,14 +640,22 @@ class DistributedMemorySystem:
                         (index, address) for address in collected
                     )
             cache_signatures = tuple(signatures)
+        main_in_flight = self._main_in_flight
+        if main_in_flight:
+            # Same pruning as the per-cache fast path: completions at or
+            # before ``base`` can never merge with a future miss, so the
+            # probe drops them in place (preserving batch-table aliases)
+            # instead of re-filtering an ever-growing dict every probe.
+            expired = [a for a, t in main_in_flight.items() if t <= base]
+            for address in expired:
+                del main_in_flight[address]
         return (
             cache_signatures,
             self.bus.state_signature(base),
             tuple(
                 sorted(
                     (address - addr_shift, t - base)
-                    for address, t in self._main_in_flight.items()
-                    if t > base
+                    for address, t in main_in_flight.items()
                 )
             ),
         )
@@ -694,9 +712,21 @@ class DistributedMemorySystem:
                 address + addr_shift: t + time_delta
                 for address, t in self._main_in_flight.items()
             }
-        # translate() rebinds the per-cache containers the batch tables
-        # alias; they are rebuilt on the next access_batch call.
+        self._invalidate_derived()
+
+    def _invalidate_derived(self) -> None:
+        """Drop every lazily derived view of the live state, in one place.
+
+        Two such views exist: access_batch's reference tables (which
+        alias containers that :meth:`translate`/:meth:`reset` rebind)
+        and the per-set signature fragments cached by each
+        :class:`ClusterCache`.  Any operation that rewrites state behind
+        the mutator hooks — translation, reset, warm-state restore —
+        must funnel through here so neither view can go stale.
+        """
         self._batch_tables = None
+        for cache in self.caches:
+            cache.invalidate_fragments()
 
     def counters_tuple(self) -> Tuple[int, ...]:
         """Fixed-order tuple of the same statistics as :meth:`counters`.
@@ -773,4 +803,96 @@ class DistributedMemorySystem:
         self.msi.reset_stats()
         self.stats = MemoryStats()
         self._main_in_flight.clear()
-        self._batch_tables = None
+        self._invalidate_derived()
+
+    # ------------------------------------------------------------------
+    # Warm-state support: deep, picklable state snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Deep, picklable copy of all live state *and* statistics.
+
+        The warm-state store content-addresses these snapshots so that
+        cells sharing a schedule skip re-simulating warm-up; restoring
+        one must therefore reproduce the source system bit for bit —
+        including aggregate counters, which the snapshotted run had
+        already accumulated by the capture point.  Only plain ints,
+        strings, tuples, dicts and lists appear in the result, so it
+        pickles compactly and loads without importing simulator state.
+        """
+        bus = self.bus
+        return {
+            "caches": [
+                {
+                    "sets": {
+                        index: [(line.tag, line.state.value) for line in ways]
+                        for index, ways in cache._sets.items()
+                    },
+                    "in_flight": dict(cache.in_flight),
+                    "mshr": (
+                        list(cache.mshr._release_times),
+                        cache.mshr.total_wait_cycles,
+                        cache.mshr.peak_occupancy,
+                    ),
+                }
+                for cache in self.caches
+            ],
+            "bus": (
+                None if bus._busy_until is None else list(bus._busy_until),
+                bus.total_wait_cycles,
+                bus.total_transactions,
+                bus.total_busy_cycles,
+            ),
+            "msi": (
+                self.msi.n_invalidations,
+                self.msi.n_interventions,
+                self.msi.n_writebacks,
+            ),
+            "stats": {
+                "accesses": self.stats.accesses,
+                "local_hits": self.stats.local_hits,
+                "remote_hits": self.stats.remote_hits,
+                "main_memory": self.stats.main_memory,
+                "merged": self.stats.merged,
+                "mshr_wait_cycles": self.stats.mshr_wait_cycles,
+                "bus_wait_cycles": self.stats.bus_wait_cycles,
+                "coherence_upgrades": self.stats.coherence_upgrades,
+                "writebacks": self.stats.writebacks,
+            },
+            "main_in_flight": dict(self._main_in_flight),
+        }
+
+    def restore(self, snap: dict) -> None:
+        """Rebuild the exact state captured by :meth:`snapshot`.
+
+        Valid only on a system built from the same machine
+        configuration (the warm-state store keys snapshots so this
+        holds by construction).  Dict insertion order is part of the
+        copy, so signatures and batch walks iterate identically to the
+        source system's.
+        """
+        for cache, data in zip(self.caches, snap["caches"]):
+            cache._sets = {
+                index: [
+                    CacheLine(tag=tag, state=LineState(state))
+                    for tag, state in ways
+                ]
+                for index, ways in data["sets"].items()
+            }
+            cache.in_flight = dict(data["in_flight"])
+            release_times, wait_cycles, peak = data["mshr"]
+            cache.mshr._release_times = list(release_times)
+            cache.mshr.total_wait_cycles = wait_cycles
+            cache.mshr.peak_occupancy = peak
+        busy, bus_wait, bus_txn, bus_busy = snap["bus"]
+        self.bus._busy_until = None if busy is None else list(busy)
+        self.bus.total_wait_cycles = bus_wait
+        self.bus.total_transactions = bus_txn
+        self.bus.total_busy_cycles = bus_busy
+        (
+            self.msi.n_invalidations,
+            self.msi.n_interventions,
+            self.msi.n_writebacks,
+        ) = snap["msi"]
+        self.stats = MemoryStats(**snap["stats"])
+        self._main_in_flight = dict(snap["main_in_flight"])
+        self._invalidate_derived()

@@ -128,7 +128,7 @@ class CommunicationAwareScheduler:
         config: Optional[SchedulerConfig] = None,
         locality=None,
     ):
-        self.config = config or SchedulerConfig()
+        self.config = SchedulerConfig() if config is None else config
         self.locality = locality
 
     # ------------------------------------------------------------------

@@ -131,6 +131,52 @@ class Schedule:
         """NCYCLE_compute = NTIMES * (NITER + SC - 1) * II (Section 2.2)."""
         return n_times * (n_iterations + self.stage_count - 1) * self.ii
 
+    def fingerprint(self) -> str:
+        """Content hash of everything the simulator reads from this
+        schedule: the kernel's loop (operations, references, bounds) and
+        dependence graph, the full machine configuration, the II, and
+        every placement and communication.  ``scheduler_name`` and
+        ``threshold`` are deliberately *excluded* — they label how the
+        schedule was produced, not what it is, so cells whose schedules
+        land byte-identical (e.g. neighbouring thresholds that move no
+        load across the miss-ratio boundary) hash equal and can share
+        content-addressed warm state.
+        """
+        cached = getattr(self, "_content_fingerprint", None)
+        if cached is not None:
+            return cached
+        import hashlib
+        import json
+
+        edges = sorted(
+            (edge.src, edge.dst, edge.kind, edge.distance)
+            for edge in self.kernel.ddg.edges()
+        )
+        payload = "\n".join(
+            [
+                repr(self.kernel.loop),
+                repr(edges),
+                json.dumps(self.machine.to_dict(), sort_keys=True),
+                str(self.ii),
+                repr(
+                    sorted(
+                        (name, p.cluster, p.time, p.assumed_latency)
+                        for name, p in self.placements.items()
+                    )
+                ),
+                repr(
+                    sorted(
+                        (c.producer, c.src_cluster, c.dst_cluster,
+                         c.bus, c.start, c.latency)
+                        for c in self.communications
+                    )
+                ),
+            ]
+        )
+        digest = hashlib.sha256(payload.encode("utf-8")).hexdigest()
+        object.__setattr__(self, "_content_fingerprint", digest)
+        return digest
+
     def validate(self) -> None:
         """Internal consistency checks (used heavily by the test suite).
 

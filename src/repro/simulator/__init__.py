@@ -14,6 +14,7 @@ from .executor import LockstepSimulator, ReadyWindow, SteadyState, simulate
 from .stats import SimulationResult
 from .trace import Trace, TraceEvent, trace_schedule
 from .vectorized import VectorizedSimulator
+from .warmstate import WARM_STATE_VERSION, WarmRecord, WarmStateStore
 
 __all__ = [
     "DEFAULT_SIM_ENGINE",
@@ -25,6 +26,9 @@ __all__ = [
     "Trace",
     "TraceEvent",
     "VectorizedSimulator",
+    "WARM_STATE_VERSION",
+    "WarmRecord",
+    "WarmStateStore",
     "simulate",
     "trace_schedule",
     "validate_sim_engine",

@@ -153,6 +153,7 @@ class LockstepSimulator:
         n_times: Optional[int] = None,
         exact: bool = False,
         steady: Optional[str] = None,
+        warm_store=None,
     ):
         self.schedule = schedule
         self.loop: Loop = schedule.kernel.loop
@@ -165,6 +166,12 @@ class LockstepSimulator:
         )
         self.exact = exact
         self.steady_mode = resolve_steady_mode(steady, exact)
+        #: Optional :class:`~repro.simulator.warmstate.WarmStateStore`.
+        #: Consulted/fed by :meth:`run`; ignored when the resolved
+        #: steady mode is ``off`` (exact runs never reuse state).
+        self.warm_store = warm_store
+        #: Warm-state telemetry of the last :meth:`run` (both engines).
+        self.warm_stats = {"hits": 0, "stores": 0}
         #: Entry-level detection record (back-compat; also in the report).
         self.steady_state: Optional[SteadyState] = None
         #: Combined steady-state telemetry, populated by :meth:`run`.
@@ -375,9 +382,40 @@ class LockstepSimulator:
         entry_compute = (self.n_iterations + schedule.stage_count - 1) * schedule.ii
         entry_detector, iteration_detector = self._make_detectors(outer_points)
 
+        warm = self.warm_store if self.steady_mode != "off" else None
+        warm_key = None
+        warm_iterations: Optional[tuple] = None
+        warm_done = False
+        captured: dict = {}
+        if warm is not None:
+            warm_key = warm.key(
+                schedule.fingerprint(),
+                self.steady_mode,
+                self.n_iterations,
+                self.n_times,
+            )
+            record = warm.lookup(warm_key)
+            if record is not None:
+                adopted = self._adopt_warm(
+                    record, entry_detector, iteration_detector
+                )
+                if adopted is not None:
+                    total_stall, warm_iterations = adopted
+                    self.warm_stats["hits"] += 1
+                    warm_done = True
+            if not warm_done and entry_detector is not None:
+                # Capture the boundary state the moment a detection
+                # confirms — before its replay deltas are applied.
+                def _capture(match_start: int, at_entry: int) -> None:
+                    captured["match_start"] = match_start
+                    captured["entry"] = at_entry
+                    captured["snapshot"] = self.memory.snapshot()
+
+                entry_detector.warm_sink = _capture
+
         clock = 0  # global time: memory-system state spans loop entries
         entry = 0
-        while entry < self.n_times:
+        while not warm_done and entry < self.n_times:
             if entry_detector is not None:
                 replay = entry_detector.boundary(entry, clock)
                 if replay is not None:
@@ -392,11 +430,19 @@ class LockstepSimulator:
                 entry_detector.commit(entry, stall)
             entry += 1
 
+        if warm is not None and not warm_done:
+            self._store_warm(
+                warm, warm_key, entry_detector, iteration_detector,
+                captured, total_stall,
+            )
+
         self.steady_report = SteadyStateReport(
             mode=self.steady_mode,
             entry=self.steady_state,
             iterations=(
-                tuple(iteration_detector.detections)
+                warm_iterations
+                if warm_iterations is not None
+                else tuple(iteration_detector.detections)
                 if iteration_detector is not None
                 else ()
             ),
@@ -417,6 +463,99 @@ class LockstepSimulator:
             memory=self.memory.stats,
             register_comms=comms,
         )
+
+    # ------------------------------------------------------------------
+    # Warm-state store integration (see repro.simulator.warmstate)
+    # ------------------------------------------------------------------
+    def _adopt_warm(
+        self, record, entry_detector, iteration_detector
+    ) -> Optional[Tuple[int, Optional[tuple]]]:
+        """Try to resume from a warm record; ``None`` falls back to cold.
+
+        Returns ``(total stall, iteration records or None)`` on success,
+        with the memory system holding the state full simulation would
+        have produced and ``self.steady_state`` populated for the entry
+        shape.  Adoption never assumes the record fits: the entry shape
+        re-proves replay soundness against this run's own address
+        tables, and a record that fails any check leaves the system
+        reset for an ordinary cold run.
+        """
+        from .warmstate import WARM_STATE_VERSION, WarmRecord
+
+        if not isinstance(record, WarmRecord):
+            return None
+        if record.version != WARM_STATE_VERSION:
+            return None
+        if record.match_start is None:
+            # Iteration shape: the snapshot is the *final* state of a
+            # single-entry run whose iteration detector fired.
+            if self.n_times != 1 or iteration_detector is None:
+                return None
+            if not record.iterations:
+                return None
+            self.memory.restore(record.snapshot)
+            return record.entry_stall, tuple(record.iterations)
+        # Entry shape: restore the detection-boundary state, then let
+        # the detector re-prove and replay exactly as on a cold hit.
+        if entry_detector is None:
+            return None
+        self.memory.restore(record.snapshot)
+        replay = entry_detector.adopt(
+            list(record.records), record.match_start, record.entries_simulated
+        )
+        if replay is None:
+            self.memory.reset()  # pristine cold-start state
+            return None
+        self.steady_state = replay.record
+        stall = sum(
+            stall for stall, _ in record.records[: record.entries_simulated]
+        )
+        return stall + replay.stall_cycles, None
+
+    def _store_warm(
+        self, warm, warm_key, entry_detector, iteration_detector,
+        captured: dict, total_stall: int,
+    ) -> None:
+        """Record this run's warm-up prefix, if a detector confirmed one.
+
+        Only detector-confirmed state is stored — "warm" is defined by
+        the detectors, so kernels that never converge are never cached
+        (their state would be an arbitrary mid-run snapshot with no
+        evidence attached).
+        """
+        from .warmstate import WARM_STATE_VERSION, WarmRecord
+
+        if captured:
+            at_entry = captured["entry"]
+            warm.store(
+                warm_key,
+                WarmRecord(
+                    version=WARM_STATE_VERSION,
+                    entries_simulated=at_entry,
+                    records=tuple(entry_detector.records[:at_entry]),
+                    match_start=captured["match_start"],
+                    snapshot=captured["snapshot"],
+                ),
+            )
+            self.warm_stats["stores"] += 1
+        elif (
+            self.n_times == 1
+            and iteration_detector is not None
+            and iteration_detector.detections
+        ):
+            warm.store(
+                warm_key,
+                WarmRecord(
+                    version=WARM_STATE_VERSION,
+                    entries_simulated=1,
+                    records=(),
+                    match_start=None,
+                    snapshot=self.memory.snapshot(),
+                    entry_stall=total_stall,
+                    iterations=tuple(iteration_detector.detections),
+                ),
+            )
+            self.warm_stats["stores"] += 1
 
     # ------------------------------------------------------------------
     def _outer_points(self) -> Iterator[Dict[str, int]]:
@@ -593,20 +732,24 @@ def simulate(
     exact: bool = False,
     steady: Optional[str] = None,
     sim: Optional[str] = None,
+    warm_store=None,
 ) -> SimulationResult:
     """Convenience one-shot simulation.
 
     ``sim`` selects the engine (:data:`repro.simulator.SIM_ENGINES`;
     default: the vectorized engine).  Results are bit-identical across
-    engines.
+    engines.  ``warm_store`` optionally shares post-warm-up memory
+    state between content-equal runs (bit-identical either way).
     """
     from . import DEFAULT_SIM_ENGINE, SIM_ENGINES, validate_sim_engine
 
-    engine = SIM_ENGINES[validate_sim_engine(sim or DEFAULT_SIM_ENGINE)]
+    requested = DEFAULT_SIM_ENGINE if sim is None else sim
+    engine = SIM_ENGINES[validate_sim_engine(requested)]
     return engine(
         schedule,
         n_iterations=n_iterations,
         n_times=n_times,
         exact=exact,
         steady=steady,
+        warm_store=warm_store,
     ).run()

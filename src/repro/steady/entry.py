@@ -53,6 +53,11 @@ class EntrySteadyDetector(SteadyStateDetector):
         self.records: List[Tuple[int, Dict[str, int]]] = []
         self.cumulative_shift = 0
         self._counters_before: Optional[Dict[str, int]] = None
+        # Optional warm-state capture hook: called as (match_start,
+        # entry) right before a confirmed detection replays its deltas,
+        # i.e. while the memory system still holds the pristine
+        # boundary state worth snapshotting.
+        self.warm_sink = None
 
     # ------------------------------------------------------------------
     # Signature capture + period detection (protocol steps 1 and 2)
@@ -82,6 +87,8 @@ class EntrySteadyDetector(SteadyStateDetector):
         if match is not None and self._replay_is_sound(
             match, index, self.cumulative_shift - match[1]
         ):
+            if self.warm_sink is not None:
+                self.warm_sink(match[0], index)
             return self._replay(match[0], index)
         self.history[key] = (index, self.cumulative_shift)
         self._counters_before = memory.counters()
@@ -93,6 +100,65 @@ class EntrySteadyDetector(SteadyStateDetector):
         self.records.append(
             (stall, {key: after[key] - before[key] for key in after})
         )
+
+    # ------------------------------------------------------------------
+    # Warm-state adoption: seed this detector from a recorded prefix
+    # ------------------------------------------------------------------
+    def adopt(
+        self,
+        records: List[Tuple[int, Dict[str, int]]],
+        match_start: int,
+        entry: int,
+    ) -> Optional[Replay]:
+        """Resume from a warm-state record instead of simulating.
+
+        The record claims: entries ``0..entry-1`` were simulated with
+        the given ``(stall, counters-delta)`` records, and the state
+        before ``entry`` matched the state before ``match_start``.  The
+        claim is *re-proven here against this run's own address
+        tables* — the shift chain must be barrier-free over the match
+        window and the remaining streams must be exact translations
+        (:meth:`_replay_is_sound`), exactly as on a cold detection.
+        Returns the :class:`Replay` on success; ``None`` means the
+        record does not prove out for this run and the caller must
+        simulate from scratch (the store key makes that unreachable in
+        practice, but adoption *verifies* rather than assumes it).
+
+        The caller must have restored the memory system to the record's
+        boundary snapshot first: :meth:`_replay` applies the replayed
+        counter deltas to it.
+        """
+        if entry >= self.sim.n_times or len(records) < entry:
+            return None
+        if not 0 <= match_start < entry:
+            return None
+        n_points = len(self.outer_points)
+        cumulative = 0
+        shift_at_match: Optional[int] = 0 if match_start == 0 else None
+        for index in range(1, entry + 1):
+            delta = self.shift_table[(index - 1) % n_points]
+            if delta is None:
+                # A barrier inside the match window would have cleared
+                # the history before the recorded match could form.
+                if index > match_start:
+                    return None
+                cumulative = 0
+            else:
+                cumulative += delta
+            if index == match_start:
+                shift_at_match = cumulative
+        if shift_at_match is None:
+            return None
+        shift = cumulative - shift_at_match
+        if shift % self.shift_unit != 0:
+            # The recorded signatures can only have compared equal
+            # under a whole-shift-unit translation.
+            return None
+        if not self._replay_is_sound((match_start, shift_at_match), entry, shift):
+            return None
+        self.records = list(records[:entry])
+        self.cumulative_shift = cumulative
+        return self._replay(match_start, entry)
 
     # ------------------------------------------------------------------
     # Exactness proof (protocol step 3)

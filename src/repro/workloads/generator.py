@@ -53,7 +53,7 @@ def random_kernel(
     seed: int, config: Optional[GeneratorConfig] = None
 ) -> Kernel:
     """Generate a random (but always schedulable) kernel from ``seed``."""
-    cfg = config or GeneratorConfig()
+    cfg = GeneratorConfig() if config is None else config
     rng = np.random.default_rng(seed)
     b = LoopBuilder(f"rand{seed}")
 

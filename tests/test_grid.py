@@ -168,6 +168,44 @@ class TestCaching:
         assert fresh.stats.computed == 1
         assert result.kernel == small_suite[0].name
 
+    def test_truncated_disk_entry_unlinked_and_recomputed(
+        self, small_suite, tmp_path
+    ):
+        """A half-written cache file is a miss: dropped, recomputed, and
+        the recomputed result takes its slot (served on the next run)."""
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        grid = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        expected = grid.run_one(spec)
+        paths = list(tmp_path.glob("*/*.pkl"))
+        assert paths
+        for path in paths:
+            path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 2)])
+        fresh = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        result = fresh.run_one(spec)
+        assert fresh.stats.computed == 1
+        assert fresh.stats.disk_hits == 0
+        assert result.canonical() == expected.canonical()
+        # The rot was unlinked and replaced by the recomputed entry:
+        again = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        served = again.run_one(spec)
+        assert again.stats.disk_hits == 1
+        assert again.stats.computed == 0
+        assert served.canonical() == expected.canonical()
+
+    def test_foreign_disk_entry_treated_as_miss(
+        self, small_suite, tmp_path
+    ):
+        """A valid pickle of the wrong type must not be served."""
+        spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
+        grid = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        grid.run_one(spec)
+        for path in tmp_path.glob("*/*.pkl"):
+            path.write_bytes(pickle.dumps({"not": "a RunResult"}))
+        fresh = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)
+        result = fresh.run_one(spec)
+        assert fresh.stats.computed == 1
+        assert result.kernel == small_suite[0].name
+
     def test_clear_cache(self, small_suite, tmp_path):
         spec = CellSpec.of(small_suite[0], unified(), "baseline", 1.0)
         grid = ExperimentGrid(locality=_locality(), cache_dir=tmp_path)

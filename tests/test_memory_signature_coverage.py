@@ -57,6 +57,14 @@ COVERAGE = {
         "_sets": "signature",
         "mshr": "recurse",
         "in_flight": "signature",
+        # Derived views of _sets for incremental signatures: cached
+        # per-set fragments plus the set indices mutated since they were
+        # built.  No behavioural state of their own — every mutator marks
+        # its set dirty, wholesale rebinds funnel through
+        # invalidate_fragments(), and the incremental-signature property
+        # tests pin fragment-served probes to the from-scratch walk.
+        "_set_frags": "excluded",
+        "_dirty_sets": "excluded",
     },
     MSHR: {
         "n_entries": "config",
@@ -187,9 +195,13 @@ class TestSignatureSensitivity:
     def test_invalid_lines_are_state(self):
         memory, time = _warmed_memory()
         before = self._signature(memory, time)
+        # Direct _sets surgery bypasses the mutator hooks, so the
+        # fragment cache must be dropped by hand (the hook for exactly
+        # this kind of test).
         memory.caches[0]._sets.setdefault(3, []).append(
             CacheLine(tag=999, state=LineState.INVALID)
         )
+        memory.caches[0].invalidate_fragments()
         assert self._signature(memory, time) != before
 
     def test_invalid_lines_strippable(self):
@@ -199,6 +211,7 @@ class TestSignatureSensitivity:
         memory.caches[0]._sets.setdefault(3, []).append(
             CacheLine(tag=999, state=LineState.INVALID)
         )
+        memory.caches[0].invalidate_fragments()
         ghosts2 = []
         assert memory.state_signature(time, invalid_out=ghosts2) == stripped
         assert len(ghosts2) == len(ghosts) + 1

@@ -1,0 +1,178 @@
+"""Incremental state-signature equivalence.
+
+The per-set fragment cache behind ``ClusterCache.state_signature`` must
+be *exactly* transparent: after any interleaving of mutations — scalar
+accesses, batched accesses (whose inlined hit/fill/snoop paths mark
+dirtiness separately), translations and resets — the fragment-served
+signature must equal both
+
+* the from-scratch ``_signature_walk`` over the same state, and
+* a recomputation with every fragment dropped (``invalidate_fragments``).
+
+Order matters: the fast path is probed FIRST, so a mutation hook missed
+anywhere would leave a stale fragment behind and show up as a mismatch
+here.  A never-probed twin system receiving the identical stream pins
+the other direction: probing (which prunes expired in-flight entries in
+place) must never change observable behaviour.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.machine import four_cluster, heterogeneous, two_cluster
+from repro.memory.hierarchy import DistributedMemorySystem
+
+_MACHINES = [two_cluster, four_cluster, heterogeneous]
+_INFINITE = 1 << 60
+
+
+def _drive(memory, rng, n_ops, probe=None):
+    """Random mutation stream; calls ``probe(time)`` now and then."""
+    n_clusters = len(memory.caches)
+    time = 0
+    unit = memory.signature_shift_unit()
+    for _ in range(n_ops):
+        action = rng.choices(
+            ["access", "batch", "translate", "reset", "probe"],
+            weights=[6, 4, 1, 1, 3],
+        )[0]
+        if action == "access":
+            time += rng.randrange(0, 4)
+            memory.access(
+                rng.randrange(n_clusters),
+                rng.randrange(0, 4096) * rng.choice([1, 4, 8]),
+                rng.random() < 0.35,
+                time,
+            )
+        elif action == "batch":
+            k = rng.randrange(1, 12)
+            clusters, addresses, stores, nominals = [], [], [], []
+            for _ in range(k):
+                time += rng.randrange(0, 3)
+                clusters.append(rng.randrange(n_clusters))
+                addresses.append(rng.randrange(0, 4096) * rng.choice([1, 8]))
+                stores.append(rng.random() < 0.35)
+                nominals.append(time)
+            ready = [None] * k
+            slacks = [rng.choice([0, 3, _INFINITE]) for _ in range(k)]
+            index = 0
+            while index < k:
+                consumed = memory.access_batch(
+                    clusters, addresses, stores, nominals, 0, slacks,
+                    ready, index, k,
+                )
+                assert consumed >= 1
+                index += consumed
+        elif action == "translate":
+            delta_t = rng.randrange(0, 50)
+            delta_a = rng.randrange(-4, 5) * unit
+            memory.translate(delta_t, delta_a)
+            time += delta_t
+        elif action == "reset":
+            memory.reset()
+            time = 0
+        elif probe is not None:
+            probe(time)
+    return time
+
+
+class TestIncrementalSignature:
+    @given(seed=st.integers(0, 100_000))
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_fast_path_equals_from_scratch(self, seed):
+        rng = random.Random(seed)
+        memory = DistributedMemorySystem(rng.choice(_MACHINES)())
+        unit = memory.signature_shift_unit()
+
+        def probe(time):
+            base = time - rng.randrange(0, 8)
+            shift = rng.randrange(-2, 3) * unit
+            # Non-destructive reference walk first, then the
+            # fragment-served fast path (which prunes and caches), then
+            # a full recomputation with every fragment dropped.
+            walks = tuple(
+                cache._signature_walk(base, shift)
+                for cache in memory.caches
+            )
+            fast = memory.state_signature(base, shift)
+            assert fast[0] == walks, seed
+            for cache in memory.caches:
+                cache.invalidate_fragments()
+            assert memory.state_signature(base, shift) == fast, seed
+
+        _drive(memory, rng, n_ops=60, probe=probe)
+        probe(_drive(memory, rng, n_ops=5))
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_probing_is_behaviour_invisible(self, seed):
+        """A system probed throughout must stay bit-identical to a twin
+        running the same stream unprobed.
+
+        Probes prune in-flight entries expired relative to their base,
+        so — like the steady-state detectors — they query at the current
+        simulation time (monotone between resets; a reset clears the
+        in-flight tables in both systems).  The final signatures, the
+        counters, and the behaviour of a shared continuation stream must
+        all be unaffected by the extra probes."""
+        machine = random.Random(seed).choice(_MACHINES)()
+        probed = DistributedMemorySystem(machine)
+        silent = DistributedMemorySystem(machine)
+        end = _drive(
+            probed, random.Random(seed), n_ops=60,
+            probe=lambda time: probed.state_signature(time),
+        )
+        silent_end = _drive(
+            silent, random.Random(seed), n_ops=60, probe=lambda time: None
+        )
+        assert end == silent_end
+        assert probed.counters() == silent.counters()
+        assert probed.state_signature(end) == silent.state_signature(end)
+        # The pruned system must keep *behaving* identically too:
+        rng = random.Random(seed + 1)
+        n_clusters = len(machine.clusters)
+        for step in range(40):
+            cluster = rng.randrange(n_clusters)
+            address = rng.randrange(0, 4096) * rng.choice([1, 4, 8])
+            store = rng.random() < 0.35
+            end += rng.randrange(0, 4)
+            a = probed.access(cluster, address, store, end)
+            b = silent.access(cluster, address, store, end)
+            assert (a.ready_time, a.level, a.merged) == (
+                b.ready_time, b.level, b.merged
+            ), (seed, step)
+        assert probed.counters() == silent.counters()
+        assert probed.state_signature(end) == silent.state_signature(end)
+
+    @given(seed=st.integers(0, 100_000))
+    @settings(
+        max_examples=15, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    def test_invalid_strip_path_agrees(self, seed):
+        """The invalid-stripping probe (served from the same fragments)
+        must match a from-scratch walk with the same escape hatch."""
+        rng = random.Random(seed)
+        memory = DistributedMemorySystem(rng.choice(_MACHINES)())
+        time = _drive(memory, rng, n_ops=50)
+        walk_invalid, walks = [], []
+        for cache in memory.caches:
+            collected = []
+            walks.append(cache._signature_walk(time, 0, collected))
+            walk_invalid.append(collected)
+        fast_invalid = []
+        fast = memory.state_signature(time, 0, invalid_out=fast_invalid)
+        assert fast[0] == tuple(walks), seed
+        assert fast_invalid == [
+            (index, address)
+            for index, collected in enumerate(walk_invalid)
+            for address in collected
+        ], seed
