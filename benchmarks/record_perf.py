@@ -1,33 +1,34 @@
-"""Record the PR 6 warm-state win: simulate-stage seconds for a cold
-pass (empty warm-state store) vs a warm pass (store primed by the cold
-pass) on the fig6, streaming and streaming-long scenarios, on both
-simulate engines.
+"""Record the PR 7 stage-store win: wall-clock and per-stage hit rates
+for a no-store pass (per-stage dedup disabled), a cold pass (fresh
+stage store — in-run dedup only) and a warm pass (store primed by the
+cold pass) on the fig6, streaming and fig6-steady-ablation scenarios,
+on both simulate engines.
 
-Each trial builds a fresh in-memory ``WarmStateStore``, runs the
-scenario cold on a cache-disabled single-job grid (steady-state
-detection in its default ``auto`` mode, incremental CME analyzer), then
-runs it again against the now-primed store.  The cold pass already
-reuses warm states *within* the run (threshold sweeps frequently
-produce byte-identical schedules); the warm pass is the repeat-sweep
-case the store exists for — every post-warm-up memory state is adopted
-instead of re-simulated.  Results must be identical across engines and
-across cold/warm passes (bars for figure scenarios, per-cell
-cycle/stall/memory digests for grid scenarios); timings, the per-stage
-second split and warm-store telemetry go to ``benchmarks/BENCH_pr6.json``.
+Each trial builds a fresh in-memory ``StageStore``, runs the scenario
+with the store disabled (the pre-PR baseline), then cold against the
+empty store — threshold sweeps frequently produce byte-identical
+schedules, so duplicate cells skip the simulate stage *within* the
+run — and finally warm against the primed store, the repeat-sweep /
+cross-scenario case where every schedule and simulation is adopted
+instead of recomputed.  Results must be identical across engines,
+passes and store settings (bars for figure scenarios, per-cell
+cycle/stall/memory digests for grid scenarios); timings, per-stage
+second splits and per-stage hit/miss/store counters go to
+``benchmarks/BENCH_pr7.json``.
 
-The acceptance bar of PR 6 is the **simulate-stage** speedup of the
-warm vectorized pass against the PR 5 recording
-(``benchmarks/BENCH_pr5.json``, same container/protocol): >= 1.5x on
-fig6 with bit-identical figures and a non-zero warm hit count.  The
-cold-pass speedup (incremental signatures + in-run reuse alone) is
-quoted alongside.
+The acceptance bar of PR 7: on fig6 the cold pass shows non-zero
+simulate-store hits (duplicate schedules skip simulate entirely) and
+the warm pass reuses every schedule, with bit-identical figures and a
+measurable warm-vs-nostore wall-clock win.  The PR 6 recording
+(``benchmarks/BENCH_pr6.json``, same container/protocol) is quoted
+alongside.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/record_perf.py [--out PATH]
         [--skip-fig6] [--repeats N]
 
-Single-job on purpose: the point is the per-cell speedup, not process
+Single-job on purpose: the point is the per-cell dedup, not process
 fan-out (which composes with it).
 """
 
@@ -40,17 +41,18 @@ import platform
 import sys
 import time
 
+from repro.engine import StageStore
 from repro.harness.grid import ExperimentGrid
 from repro.harness.scenarios import get_scenario, run_scenario
-from repro.simulator import WarmStateStore
 
-DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_pr6.json"
-PR5_RECORDING = pathlib.Path(__file__).parent / "BENCH_pr5.json"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_pr7.json"
+PR6_RECORDING = pathlib.Path(__file__).parent / "BENCH_pr6.json"
 
 #: The engines under comparison; both are bit-identical lockstep models.
 SIM_ENGINES = ("scalar", "vectorized")
-#: Store passes: "cold" primes a fresh store, "warm" replays from it.
-PASSES = ("cold", "warm")
+#: Store passes: "nostore" disables per-stage dedup (the pre-PR
+#: baseline), "cold" primes a fresh store, "warm" replays from it.
+PASSES = ("nostore", "cold", "warm")
 
 
 def _digest(outcome):
@@ -69,14 +71,19 @@ def _digest(outcome):
     ]
 
 
-def _run_pass(scenario, sim: str, store: WarmStateStore) -> dict:
-    grid = ExperimentGrid(locality=scenario.locality.build(), cache=False)
-    grid.warm_store = store
-    before = (store.hits, store.misses, store.stores)
+def _run_pass(scenario, sim: str, store: StageStore | None) -> dict:
+    grid = ExperimentGrid(
+        locality=scenario.locality.build(),
+        cache=False,
+        stage_store=store is not None,
+    )
+    if store is not None:
+        grid.stage_store = store
+        before = store.telemetry()
     start = time.perf_counter()
     outcome = run_scenario(scenario, grid=grid, steady="auto", sim=sim)
     seconds = time.perf_counter() - start
-    return {
+    sample = {
         "seconds": round(seconds, 3),
         "cells_requested": grid.stats.requested,
         "cells_computed": grid.stats.computed,
@@ -84,22 +91,39 @@ def _run_pass(scenario, sim: str, store: WarmStateStore) -> dict:
             stage: round(value, 3)
             for stage, value in grid.stats.stage_seconds.items()
         },
-        "warm_state": {
-            "hits": store.hits - before[0],
-            "misses": store.misses - before[1],
-            "stores": store.stores - before[2],
-        },
         "digest": _digest(outcome),
     }
+    if store is not None:
+        after = store.telemetry()
+        sample["stage_store"] = {
+            stage: {
+                counter: after[stage][counter] - before[stage][counter]
+                for counter in ("hits", "misses", "stores")
+            }
+            for stage in after
+        }
+        sample["stage_hit_analyze"] = sample["stage_store"]["analyze"]["hits"]
+        sample["stage_hit_schedule"] = (
+            sample["stage_store"]["schedule"]["hits"]
+        )
+        sample["stage_hit_simulate"] = (
+            sample["stage_store"]["simulate"]["hits"]
+        )
+    return sample
 
 
 def _measure(scenario_name: str, sim: str, repeats: int) -> dict:
-    """Best cold/warm pair over ``repeats`` trials (fresh store each)."""
+    """Best nostore/cold/warm triple over ``repeats`` trials (fresh
+    store each)."""
     scenario = get_scenario(scenario_name)
     best = None
     for _ in range(repeats):
-        store = WarmStateStore()  # in-memory only: no disk layer
-        trial = {name: _run_pass(scenario, sim, store) for name in PASSES}
+        store = StageStore()  # in-memory only: no disk layer
+        trial = {
+            "nostore": _run_pass(scenario, sim, None),
+            "cold": _run_pass(scenario, sim, store),
+            "warm": _run_pass(scenario, sim, store),
+        }
         if best is None or (
             trial["warm"]["seconds"] < best["warm"]["seconds"]
         ):
@@ -107,19 +131,22 @@ def _measure(scenario_name: str, sim: str, repeats: int) -> dict:
     return best
 
 
-def _pr5_baseline() -> dict:
-    """Quote the PR 5 recording (same protocol) when it is available."""
-    if not PR5_RECORDING.exists():
-        return {"note": "BENCH_pr5.json not found"}
-    data = json.loads(PR5_RECORDING.read_text())
+def _pr6_baseline() -> dict:
+    """Quote the PR 6 recording (same protocol) when it is available."""
+    if not PR6_RECORDING.exists():
+        return {"note": "BENCH_pr6.json not found"}
+    data = json.loads(PR6_RECORDING.read_text())
     quoted = {}
     for name, entry in data.get("scenarios", {}).items():
-        run = entry.get("sims", {}).get("vectorized", {})
+        runs = entry.get("sims", {}).get("vectorized", {})
         quoted[name] = {
-            "seconds": run.get("seconds"),
-            "simulate_stage_seconds": run.get("stage_seconds", {}).get(
-                "simulate"
-            ),
+            pass_name: {
+                "seconds": run.get("seconds"),
+                "simulate_stage_seconds": run.get("stage_seconds", {}).get(
+                    "simulate"
+                ),
+            }
+            for pass_name, run in runs.items()
         }
     return quoted
 
@@ -132,7 +159,7 @@ def _speedup(before, after):
 
 
 def record(scenarios, out: pathlib.Path, repeats: int) -> dict:
-    pr5 = _pr5_baseline()
+    pr6 = _pr6_baseline()
     results = {}
     for name in scenarios:
         runs = {}
@@ -141,63 +168,68 @@ def record(scenarios, out: pathlib.Path, repeats: int) -> dict:
             runs[sim] = _measure(name, sim, repeats)
             for pass_name in PASSES:
                 sample = runs[sim][pass_name]
-                print(
-                    f"[{name}]   {pass_name}: {sample['seconds']}s "
-                    f"(simulate "
-                    f"{sample['stage_seconds'].get('simulate')}s), "
-                    f"warm {sample['warm_state']['hits']} hits / "
-                    f"{sample['warm_state']['stores']} stores",
-                    flush=True,
+                hits = sample.get("stage_store", {})
+                line = (
+                    f"[{name}]   {pass_name}: {sample['seconds']}s"
                 )
-        reference = runs["scalar"]["cold"]["digest"]
+                if hits:
+                    line += (
+                        f", stage hits sched "
+                        f"{hits['schedule']['hits']}/"
+                        f"{hits['schedule']['hits'] + hits['schedule']['misses']}"
+                        f" sim {hits['simulate']['hits']}/"
+                        f"{hits['simulate']['hits'] + hits['simulate']['misses']}"
+                    )
+                print(line, flush=True)
+        reference = runs["scalar"]["nostore"]["digest"]
         for sim, trial in runs.items():
             for pass_name, sample in trial.items():
                 if sample["digest"] != reference:
                     raise AssertionError(
                         f"{name}: sim={sim} {pass_name} pass diverges "
-                        f"from the cold scalar reference"
+                        f"from the no-store scalar reference"
                     )
                 del sample["digest"]
         vec = runs["vectorized"]
-        before = (pr5.get(name) or {}).get("simulate_stage_seconds")
+        pr6_entry = pr6.get(name) or {}
         results[name] = {
             "sims": runs,
-            #: The PR's acceptance number: PR 5 recording vs the warm
-            #: vectorized pass (the repeat-sweep case the store serves).
-            "speedup_simulate_warm_vs_pr5": _speedup(
-                before, vec["warm"]["stage_seconds"].get("simulate")
+            #: The PR's headline numbers: per-stage dedup within one run
+            #: (cold vs the disabled-store baseline) and across runs
+            #: (warm, the repeat-sweep / cross-scenario case).
+            "speedup_cold_vs_nostore": _speedup(
+                vec["nostore"]["seconds"], vec["cold"]["seconds"]
             ),
-            #: Cold-pass before/after: incremental signatures plus
-            #: in-run warm reuse, without a primed store.
-            "speedup_simulate_cold_vs_pr5": _speedup(
-                before, vec["cold"]["stage_seconds"].get("simulate")
+            "speedup_warm_vs_nostore": _speedup(
+                vec["nostore"]["seconds"], vec["warm"]["seconds"]
             ),
-            "speedup_total_warm_vs_pr5": _speedup(
-                (pr5.get(name) or {}).get("seconds"),
+            "speedup_warm_vs_cold": _speedup(
+                vec["cold"]["seconds"], vec["warm"]["seconds"]
+            ),
+            #: Cross-PR: PR 6's warm pass (warm-state reuse only) vs
+            #: this PR's warm pass (schedules and simulations adopted).
+            "speedup_warm_vs_pr6_warm": _speedup(
+                (pr6_entry.get("warm") or {}).get("seconds"),
                 vec["warm"]["seconds"],
-            ),
-            #: In-run cold-vs-warm A/B on the vectorized engine.
-            "speedup_simulate_warm_vs_cold": _speedup(
-                vec["cold"]["stage_seconds"].get("simulate"),
-                vec["warm"]["stage_seconds"].get("simulate"),
             ),
         }
     payload = {
-        "pr": 6,
+        "pr": 7,
         "protocol": (
             "single-job ExperimentGrid, cell cache disabled, steady=auto, "
-            "incremental CME analyzer, fresh in-memory WarmStateStore per "
-            "trial; each trial runs the scenario cold (priming the store) "
-            "then warm (replaying from it); best warm pass of "
+            "incremental CME analyzer, fresh in-memory StageStore per "
+            "trial; each trial runs the scenario with the store disabled "
+            "(baseline), cold (priming the store, in-run dedup active) "
+            "and warm (replaying from it); best warm pass of "
             f"{repeats} trials per engine, identical results asserted "
-            "across engines and passes"
+            "across engines, passes and store settings"
         ),
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
         },
-        "pr5_baseline": pr5,
+        "pr6_baseline": pr6,
         "scenarios": results,
     }
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -210,38 +242,47 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=pathlib.Path, default=DEFAULT_OUT)
     parser.add_argument(
         "--skip-fig6", action="store_true",
-        help="record only the streaming suites (fig6 is the larger grid)",
+        help="record only the smaller scenarios (fig6 is the larger grid)",
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
-        help="cold+warm trials per engine; the best warm pass is "
-             "recorded (default: 3)",
+        help="nostore+cold+warm trials per engine; the best warm pass "
+             "is recorded (default: 3)",
     )
     args = parser.parse_args(argv)
-    scenarios = ["streaming", "streaming-long"]
+    scenarios = ["streaming", "fig6-steady-ablation"]
     if not args.skip_fig6:
         scenarios.append("fig6-2cluster")
     payload = record(scenarios, args.out, args.repeats)
     failed = False
     for name, entry in payload["scenarios"].items():
-        speedup = entry["speedup_simulate_warm_vs_pr5"]
-        if speedup is None:
-            speedup = entry["speedup_simulate_warm_vs_cold"]
+        vec = entry["sims"]["vectorized"]
         print(
-            f"{name}: warm simulate stage {speedup}x vs PR 5 "
-            f"(cold {entry['speedup_simulate_cold_vs_pr5']}x, "
-            f"warm-vs-cold {entry['speedup_simulate_warm_vs_cold']}x)"
+            f"{name}: warm {entry['speedup_warm_vs_nostore']}x vs no-store "
+            f"(cold {entry['speedup_cold_vs_nostore']}x, "
+            f"warm-vs-cold {entry['speedup_warm_vs_cold']}x)"
         )
-        warm_hits = entry["sims"]["vectorized"]["warm"]["warm_state"]["hits"]
-        if warm_hits == 0:
-            print(f"WARNING: {name} warm pass had zero warm-state hits")
-            failed = True
-        if name == "fig6-2cluster" and (speedup is None or speedup < 1.5):
+        warm_schedule = vec["warm"]["stage_store"]["schedule"]
+        if warm_schedule["misses"] != 0 or warm_schedule["hits"] == 0:
             print(
-                f"WARNING: {name} warm simulate-stage speedup is "
-                f"{speedup}x (< 1.5x)"
+                f"WARNING: {name} warm pass recomputed "
+                f"{warm_schedule['misses']} schedules"
             )
             failed = True
+        if name == "fig6-2cluster":
+            cold_sim = vec["cold"]["stage_store"]["simulate"]
+            if cold_sim["hits"] == 0:
+                print(
+                    f"WARNING: {name} cold pass had zero simulate-store "
+                    f"hits (threshold sweep should dedup schedules)"
+                )
+                failed = True
+            if (entry["speedup_warm_vs_nostore"] or 0) < 1.2:
+                print(
+                    f"WARNING: {name} warm-vs-nostore speedup is "
+                    f"{entry['speedup_warm_vs_nostore']}x (< 1.2x)"
+                )
+                failed = True
     return 1 if failed else 0
 
 

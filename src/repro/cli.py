@@ -121,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "cells (results are bit-identical either way)",
         )
         cmd.add_argument(
+            "--no-stage-store", action="store_true",
+            help="disable the per-stage content-addressed result store "
+                 "(analyze/schedule/simulate dedup; results are "
+                 "bit-identical either way)",
+        )
+        cmd.add_argument(
             "--cache-dir", metavar="DIR",
             help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
         )
@@ -169,6 +175,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-warm-store", action="store_true",
         help="disable content-addressed warm-state reuse between cells "
              "(results are bit-identical either way)",
+    )
+    run_cmd.add_argument(
+        "--no-stage-store", action="store_true",
+        help="disable the per-stage content-addressed result store "
+             "(analyze/schedule/simulate dedup; results are "
+             "bit-identical either way)",
     )
     run_cmd.add_argument(
         "--cache-dir", metavar="DIR",
@@ -305,6 +317,7 @@ def _build_grid(args: argparse.Namespace, locality) -> ExperimentGrid:
         progress=None if args.no_progress else _progress_printer(sys.stderr),
         exact=getattr(args, "exact", False),
         warm=not args.no_warm_store,
+        stage_store=not args.no_stage_store,
     )
 
 
@@ -367,12 +380,23 @@ def _grid_stats_line(grid: ExperimentGrid, stream) -> None:
             f"\nwarm state: {store.hits} hits, {store.misses} misses, "
             f"{store.stores} stored"
         )
+    stage = ""
+    if grid.stage_store is not None:
+        parts = []
+        for name, counts in grid.stage_store.telemetry().items():
+            probes = counts["hits"] + counts["misses"]
+            parts.append(f"{name} {counts['hits']}/{probes} reused")
+        stage = (
+            f"\nstage store: " + ", ".join(parts)
+            + f", {sum(c['stores'] for c in grid.stage_store.telemetry().values())} stored"
+        )
     print(
         f"cells: {stats.requested} requested, {stats.computed} computed, "
         f"{stats.memory_hits + stats.disk_hits} cached, "
         f"{stats.deduplicated} deduplicated"
         + (f"\nstage seconds: {stages}" if stages else "")
-        + warm,
+        + warm
+        + stage,
         file=stream,
     )
 

@@ -181,6 +181,20 @@ class TraceStore:
             self.address_builds += 1
         return trace
 
+    def peek_address_trace(
+        self, loop_fp: str, max_points: int
+    ) -> "AddressTrace | None":
+        """The cached address trace for a key, or ``None`` — never builds."""
+        return self._addresses.get((loop_fp, max_points))
+
+    def install_address_trace(self, trace: AddressTrace) -> None:
+        """Adopt an externally supplied trace (e.g. from a stage store).
+
+        First-wins: an already-cached trace for the same content key is
+        kept — both encode the same addresses, so either is correct.
+        """
+        self._addresses.setdefault((trace.loop_fp, trace.max_points), trace)
+
     def geometry_trace(
         self, loop: Loop, max_points: int, cache: CacheConfig
     ) -> GeometryTrace:

@@ -16,6 +16,11 @@ from .pipeline import (
     execute_cell,
 )
 from .result import CELL_EXECUTIONS, ExecutionCounter, RunResult
+from .stagestore import (
+    STAGE_STORE_STAGES,
+    STAGE_STORE_VERSION,
+    StageStore,
+)
 from .stages import (
     SCHEDULER_NAMES,
     AnalyzeStage,
@@ -42,10 +47,13 @@ __all__ = [
     "PipelineReport",
     "RunResult",
     "SCHEDULER_NAMES",
+    "STAGE_STORE_STAGES",
+    "STAGE_STORE_VERSION",
     "ScheduleStage",
     "SimulateStage",
     "Stage",
     "StageRecord",
+    "StageStore",
     "default_stages",
     "execute_cell",
     "make_scheduler",

@@ -21,10 +21,11 @@ any cell execution can report where its time went.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Mapping, Optional, Union
 
 from ..cme.locality import LocalityAnalyzer, default_analyzer, locality_fingerprint
+from ..cme.trace import loop_fingerprint
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
 from ..scheduler.base import SchedulerConfig
@@ -33,8 +34,10 @@ from ..scheduler.result import Schedule
 from ..scheduler.rmca import RMCAScheduler
 from ..simulator import DEFAULT_SIM_ENGINE, SIM_ENGINES, validate_sim_engine
 from ..simulator.stats import SimulationResult
+from ..steady import resolve_steady_mode
 from ..workloads.suite import kernel_by_name
 from .result import RunResult
+from .stagestore import StageStore, kernel_fingerprint, machine_key
 
 __all__ = [
     "SCHEDULER_NAMES",
@@ -104,6 +107,13 @@ class CellRequest:
     #: post-warm-up memory state instead of re-simulating it.  ``None``
     #: (and ``exact=True``/``steady="off"``) runs every warm-up cold.
     warm_store: Optional[object] = None
+    #: Optional :class:`repro.engine.stagestore.StageStore`: content-
+    #: addressed analyze/schedule/simulate results shared across cells,
+    #: runs and scenarios.  Each stage consults its store layer before
+    #: computing and publishes after; ``None`` computes everything.
+    #: Results are bit-identical either way — the keys cover everything
+    #: each stage reads.
+    stage_store: Optional[StageStore] = None
     kernels: Mapping[str, Kernel] = field(default_factory=dict)
 
 
@@ -155,14 +165,48 @@ class BuildStage(Stage):
 
 
 class AnalyzeStage(Stage):
-    """Attach the locality analyzer every scheduling decision reads."""
+    """Attach the locality analyzer every scheduling decision reads.
+
+    With a stage store, the analyzer's address trace for this kernel —
+    the analyze product everything downstream samples — is adopted from
+    the store when some earlier cell (any machine, scheduler, threshold,
+    run or scenario) already walked the iteration space, and published
+    into it otherwise.  Only analyzers with a content-addressed
+    :class:`~repro.cme.trace.TraceStore` participate; the others carry
+    no shareable analyze product.
+    """
 
     name = "analyze"
 
     def run(self, ctx: CellContext) -> Dict[str, object]:
-        locality = ctx.request.locality
+        request = ctx.request
+        locality = request.locality
         ctx.locality = locality if locality is not None else default_analyzer()
-        return {"analyzer": locality_fingerprint(ctx.locality)}
+        stats: Dict[str, object] = {
+            "analyzer": locality_fingerprint(ctx.locality)
+        }
+        store = request.stage_store
+        traces = getattr(ctx.locality, "traces", None)
+        max_points = getattr(ctx.locality, "max_points", None)
+        if store is None or traces is None or max_points is None:
+            return stats
+        loop_fp = loop_fingerprint(ctx.kernel.loop)
+        key = StageStore.analyze_key(loop_fp, str(stats["analyzer"]))
+        local = traces.peek_address_trace(loop_fp, max_points)
+        if local is not None:
+            # The analyzer walked (or adopted) this trace already —
+            # make sure the store has it for other cells and processes.
+            store.publish("analyze", key, local)
+            stats["store_hit"] = False
+            return stats
+        hit = store.lookup("analyze", key)
+        if hit is not None:
+            traces.install_address_trace(hit)
+            stats["store_hit"] = True
+            return stats
+        store.store("analyze", key, traces.address_trace(ctx.kernel.loop, max_points))
+        stats["store_hit"] = False
+        return stats
 
 
 class ScheduleStage(Stage):
@@ -178,6 +222,32 @@ class ScheduleStage(Stage):
 
     def run(self, ctx: CellContext) -> Dict[str, object]:
         request = ctx.request
+        store = request.stage_store
+        store_key: Optional[str] = None
+        if store is not None:
+            store_key = StageStore.schedule_key(
+                kernel_name=ctx.kernel.name,
+                kernel_fp=kernel_fingerprint(ctx.kernel),
+                machine=machine_key(ctx.machine),
+                scheduler=request.scheduler,
+                threshold=request.threshold,
+                locality_fp=locality_fingerprint(ctx.locality),
+            )
+            hit = store.lookup("schedule", store_key)
+            if hit is not None:
+                # Scheduling is deterministic per key (the equivalence
+                # suite proves it), so the stored schedule IS this
+                # cell's schedule — labels included.
+                ctx.schedule = hit
+                return {
+                    "scheduler": request.scheduler,
+                    "threshold": request.threshold,
+                    "ii": hit.ii,
+                    "mii": hit.mii,
+                    "stage_count": hit.stage_count,
+                    "communications": hit.n_communications,
+                    "store_hit": True,
+                }
         ctx.engine = make_scheduler(
             request.scheduler, request.threshold, ctx.locality
         )
@@ -196,6 +266,9 @@ class ScheduleStage(Stage):
             after = telemetry()
             for key, value in after.items():
                 stats[f"cme_{key}"] = value - before.get(key, 0)
+        if store is not None:
+            store.store("schedule", store_key, ctx.schedule)
+            stats["store_hit"] = False
         return stats
 
 
@@ -215,6 +288,43 @@ class SimulateStage(Stage):
         sim = validate_sim_engine(
             request.sim if request.sim is not None else DEFAULT_SIM_ENGINE
         )
+        store = request.stage_store
+        store_key: Optional[str] = None
+        if store is not None and not request.exact:
+            # Keyed on the schedule *content* (scheduler name/threshold
+            # excluded — the warm-state key family): cells whose
+            # schedules land byte-identical share one simulation.
+            # ``exact=True`` means "actually simulate", so it bypasses
+            # the store the way it bypasses the steady-state detectors.
+            store_key = StageStore.simulate_key(
+                schedule_fp=ctx.schedule.fingerprint(),
+                sim=sim,
+                steady=resolve_steady_mode(request.steady, request.exact),
+                n_iterations=request.n_iterations,
+                n_times=request.n_times,
+            )
+            hit = store.lookup("simulate", store_key)
+            if hit is not None:
+                # The stored result came from some schedule with this
+                # content, possibly under a different scheduler name or
+                # threshold — the timing numbers are identical, the
+                # labels must be this cell's.
+                ctx.simulation = replace(
+                    hit,
+                    kernel=ctx.kernel.name,
+                    machine=ctx.machine.name,
+                    scheduler=request.scheduler,
+                    threshold=request.threshold,
+                )
+                return {
+                    "exact": request.exact,
+                    "steady_mode": resolve_steady_mode(
+                        request.steady, request.exact
+                    ),
+                    "entries": ctx.simulation.n_times,
+                    "sim_requested": sim,
+                    "store_hit": True,
+                }
         simulator = SIM_ENGINES[sim](
             ctx.schedule,
             n_iterations=request.n_iterations,
@@ -248,6 +358,9 @@ class SimulateStage(Stage):
                 stats[f"sim_{key}"] = value
         for key, value in simulator.warm_stats.items():
             stats[f"sim_warm_{key}"] = value
+        if store_key is not None:
+            store.store("simulate", store_key, ctx.simulation)
+            stats["store_hit"] = False
         return stats
 
 

@@ -54,6 +54,7 @@ from ..cme.locality import (
 from ..engine.pipeline import CellOutcome, CellPipeline
 from ..engine.result import RunResult
 from ..engine.stages import CellRequest
+from ..engine.stagestore import StageStore, kernel_fingerprint, machine_key
 from ..ir.builder import Kernel
 from ..machine.config import MachineConfig
 from ..simulator import DEFAULT_SIM_ENGINE, WarmStateStore, validate_sim_engine
@@ -73,7 +74,7 @@ __all__ = [
 
 #: Bump to invalidate every existing cache entry (schema or semantics
 #: changes in the schedule/simulate pipeline).
-CACHE_VERSION = 3
+CACHE_VERSION = 4
 
 #: Environment variable providing a default on-disk cache directory.
 CACHE_ENV_VAR = "REPRO_GRID_CACHE"
@@ -84,28 +85,10 @@ ProgressCallback = Callable[[int, int, "CellSpec", str], None]
 # ----------------------------------------------------------------------
 # Fingerprints
 # ----------------------------------------------------------------------
-def kernel_fingerprint(kernel: Kernel) -> str:
-    """Content hash of a kernel's loop structure and dependence graph.
-
-    Everything the schedulers and the CME analyzers read is covered: loop
-    dims, operations (name/class/operands/reference), the memory-reference
-    table and the DDG edge multiset.  Two kernels with equal fingerprints
-    produce identical cells on identical machines.
-    """
-    edges = sorted(
-        (e.src, e.dst, e.kind, e.distance) for e in kernel.ddg.edges()
-    )
-    digest = hashlib.sha256()
-    digest.update(repr(kernel.loop).encode())
-    digest.update(repr(edges).encode())
-    return digest.hexdigest()[:16]
-
-
-def machine_key(machine: MachineConfig) -> str:
-    """Canonical JSON encoding of a machine (hashable cache-key part)."""
-    return json.dumps(
-        machine.to_dict(), sort_keys=True, separators=(",", ":")
-    )
+# ``kernel_fingerprint`` and ``machine_key`` now live in
+# ``repro.engine.stagestore`` (the stages consult them too) and are
+# re-exported here for compatibility — this module remains their
+# harness-facing home.
 
 
 def machine_from_key(key: str) -> MachineConfig:
@@ -276,6 +259,7 @@ def _execute_cell(
     locality: LocalityAnalyzer,
     exact: bool = False,
     warm_store: Optional[WarmStateStore] = None,
+    stage_store: Optional[StageStore] = None,
 ) -> CellOutcome:
     """Execute one cell through the engine pipeline (serial path)."""
     return CellPipeline().run(
@@ -291,6 +275,7 @@ def _execute_cell(
             steady=spec.steady,
             sim=spec.sim,
             warm_store=warm_store,
+            stage_store=stage_store,
         )
     )
 
@@ -300,33 +285,46 @@ def _execute_cell(
 #: accumulate across the cells that worker executes.  The warm-state
 #: store travels the same way: its in-memory entries accumulated before
 #: fan-out arrive pre-primed, and its disk layer (when enabled) lets the
-#: workers share warm-ups discovered *during* the sweep.
+#: workers share warm-ups discovered *during* the sweep.  The stage
+#: store's in-memory layer arrives pre-primed too; each task ships its
+#: fresh entries back with its result (:meth:`StageStore.drain`) so the
+#: parent — and through it, later runs — sees every worker's products.
 _WORKER_LOCALITY: Optional[LocalityAnalyzer] = None
 _WORKER_EXACT: bool = False
 _WORKER_WARM: Optional[WarmStateStore] = None
+_WORKER_STAGES: Optional[StageStore] = None
 
 
 def _init_worker(
     locality: LocalityAnalyzer,
     exact: bool = False,
     warm_store: Optional[WarmStateStore] = None,
+    stage_store: Optional[StageStore] = None,
 ) -> None:
-    global _WORKER_LOCALITY, _WORKER_EXACT, _WORKER_WARM
+    global _WORKER_LOCALITY, _WORKER_EXACT, _WORKER_WARM, _WORKER_STAGES
     _WORKER_LOCALITY = locality
     _WORKER_EXACT = exact
     _WORKER_WARM = warm_store
+    _WORKER_STAGES = stage_store
 
 
 def _execute_cell_pooled(
     spec: CellSpec, kernel: Kernel
-) -> Tuple[RunResult, Dict[str, float]]:
-    """Pool entry point; ships the result plus per-stage timings back."""
+) -> Tuple[RunResult, Dict[str, float], Optional[Dict[str, Dict[str, object]]]]:
+    """Pool entry point; ships the result, per-stage timings and the
+    stage-store delta (fresh entries + counters) back to the parent."""
     if _WORKER_LOCALITY is None:  # pragma: no cover - defensive
         raise RuntimeError("worker process missing its locality analyzer")
     outcome = _execute_cell(
-        spec, kernel, _WORKER_LOCALITY, _WORKER_EXACT, _WORKER_WARM
+        spec,
+        kernel,
+        _WORKER_LOCALITY,
+        _WORKER_EXACT,
+        _WORKER_WARM,
+        _WORKER_STAGES,
     )
-    return outcome.result, outcome.report.stage_seconds
+    delta = _WORKER_STAGES.drain() if _WORKER_STAGES is not None else None
+    return outcome.result, outcome.report.stage_seconds, delta
 
 
 class ExperimentGrid:
@@ -369,6 +367,20 @@ class ExperimentGrid:
         ``False`` disables warm-state reuse entirely.  Results are
         bit-identical either way: adoption re-proves replay soundness
         against the consuming run's own address tables.
+    stage_store:
+        ``True`` (default) shares per-stage results between cells
+        through a content-addressed :class:`~repro.engine.StageStore`:
+        analyze products keyed by loop × analyzer config, schedules by
+        kernel × machine × scheduler × threshold × analyzer, and
+        simulations by ``Schedule.fingerprint()`` × engine × steady mode
+        × iteration overrides — so cells differing only in steady mode
+        or simulate engine reuse one schedule, and cells whose schedules
+        land byte-identical (neighbouring thresholds) skip simulate
+        entirely.  The store's disk layer lives under
+        ``cache_dir/stages`` and is active only while caching is
+        enabled; with ``cache=False`` it still dedups *within* this
+        grid, in memory.  ``False`` disables stage-level reuse; results
+        are bit-identical either way.
     """
 
     def __init__(
@@ -381,6 +393,7 @@ class ExperimentGrid:
         progress: Optional[ProgressCallback] = None,
         exact: bool = False,
         warm: bool = True,
+        stage_store: bool = True,
     ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -406,6 +419,14 @@ class ExperimentGrid:
         )
         self.warm_store: Optional[WarmStateStore] = (
             WarmStateStore(cache_dir=warm_dir) if warm else None
+        )
+        stages_dir = (
+            self.cache_dir / "stages"
+            if (cache and self.cache_dir is not None)
+            else None
+        )
+        self.stage_store: Optional[StageStore] = (
+            StageStore(cache_dir=stages_dir) if stage_store else None
         )
 
     # ------------------------------------------------------------------
@@ -480,9 +501,10 @@ class ExperimentGrid:
     def clear_cache(self) -> None:
         """Drop the in-memory layer and delete on-disk entries.
 
-        Clears the warm-state store too: its entries key off the same
-        ``CACHE_VERSION``-independent content hashes, but "clear the
-        cache" means *all* derived state under ``cache_dir``.
+        Clears the warm-state and stage stores too: their entries key
+        off ``CACHE_VERSION``-independent content hashes, but "clear the
+        cache" means *all* derived state under ``cache_dir`` — cells,
+        traces, warm states and per-stage results alike.
         """
         self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.exists():
@@ -491,6 +513,8 @@ class ExperimentGrid:
         if self.warm_store is not None:
             self.warm_store._memory.clear()
             self.warm_store.clear_disk()
+        if self.stage_store is not None:
+            self.stage_store.clear()
 
     # ------------------------------------------------------------------
     # Execution
@@ -564,7 +588,7 @@ class ExperimentGrid:
             for (spec, _key), kernel in zip(pending, kernels):
                 outcome = _execute_cell(
                     spec, kernel, self.locality, self.exact,
-                    self.warm_store,
+                    self.warm_store, self.stage_store,
                 )
                 self.stats.add_stage_seconds(outcome.report.stage_seconds)
                 out.append(outcome.result)
@@ -584,7 +608,12 @@ class ExperimentGrid:
         with ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_worker,
-            initargs=(self.locality, self.exact, self.warm_store),
+            initargs=(
+                self.locality,
+                self.exact,
+                self.warm_store,
+                self.stage_store,
+            ),
         ) as pool:
             futures = {
                 pool.submit(_execute_cell_pooled, spec, kernel): index
@@ -599,8 +628,12 @@ class ExperimentGrid:
                 )
                 for future in finished:
                     index = futures[future]
-                    result, stage_seconds = future.result()
+                    result, stage_seconds, delta = future.result()
                     results[index] = result
                     self.stats.add_stage_seconds(stage_seconds)
+                    if delta is not None and self.stage_store is not None:
+                        # Content-addressed entries: first-wins merge is
+                        # deterministic regardless of completion order.
+                        self.stage_store.merge(delta)
                     report(pending[index][0], "computed")
         return results  # type: ignore[return-value]

@@ -464,6 +464,7 @@ def run_scenario(
     steady: Optional[str] = None,
     sim: Optional[str] = None,
     warm: bool = True,
+    stage_store: bool = True,
 ) -> ScenarioOutcome:
     """Execute a scenario (by spec or registry name) on a grid.
 
@@ -474,8 +475,9 @@ def run_scenario(
     scenario-wide detector selection (groups with their own explicit
     ``steady`` keep it — they exist precisely to pin a mode); ``sim``
     overrides the simulate-engine selection the same way.  ``warm``
-    controls content-addressed warm-state reuse on the grid this call
-    builds (ignored for an explicit ``grid``, which owns its store).
+    and ``stage_store`` control content-addressed warm-state and
+    per-stage-result reuse on the grid this call builds (ignored for an
+    explicit ``grid``, which owns its stores).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -492,6 +494,7 @@ def run_scenario(
             progress=progress,
             exact=exact,
             warm=warm,
+            stage_store=stage_store,
         )
     else:
         wanted = locality_fingerprint(scenario.locality.build())

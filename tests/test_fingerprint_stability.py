@@ -1,0 +1,128 @@
+"""Cross-process fingerprint stability.
+
+``loop_fingerprint``, ``kernel_fingerprint`` and
+``Schedule.fingerprint()`` are stage-store and warm-store *keys*: a
+fingerprint that drifted after pickling, or differed between the parent
+process and an ``n_jobs>1`` worker, would silently poison dedup —
+either missing every cross-process hit or, far worse, serving the wrong
+entry.  These tests pin the contract: fingerprints are pure functions
+of content, byte-identical across pickling, process pools and fresh
+interpreters.
+"""
+
+import pickle
+import subprocess
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.cme import IncrementalCME
+from repro.cme.trace import _FINGERPRINT_ATTR, loop_fingerprint
+from repro.engine.stages import make_scheduler
+from repro.engine.stagestore import kernel_fingerprint
+from repro.machine import two_cluster
+from repro.workloads import spec_suite
+
+MAX_POINTS = 512
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return IncrementalCME(max_points=MAX_POINTS)
+
+
+@pytest.fixture(scope="module")
+def schedules(analyzer):
+    return [
+        make_scheduler("rmca", 1.0, analyzer).schedule(
+            kernel, two_cluster()
+        )
+        for kernel in spec_suite(["applu", "su2cor"])
+    ]
+
+
+# Module-level so a ProcessPoolExecutor can pickle them into workers.
+def _worker_loop_fp(loop):
+    return loop_fingerprint(loop)
+
+
+def _worker_kernel_fp(kernel):
+    return kernel_fingerprint(kernel)
+
+
+def _worker_schedule_fp(schedule):
+    return schedule.fingerprint()
+
+
+class TestPickleStability:
+    def test_loop_fingerprint_survives_pickling(self):
+        for kernel in spec_suite():
+            expected = loop_fingerprint(kernel.loop)
+            clone = pickle.loads(pickle.dumps(kernel.loop))
+            # Recompute from content, not from a pickled memo attribute:
+            clone.__dict__.pop(_FINGERPRINT_ATTR, None)
+            assert loop_fingerprint(clone) == expected, kernel.name
+
+    def test_kernel_fingerprint_survives_pickling(self):
+        for kernel in spec_suite():
+            expected = kernel_fingerprint(kernel)
+            clone = pickle.loads(pickle.dumps(kernel))
+            assert kernel_fingerprint(clone) == expected, kernel.name
+
+    def test_schedule_fingerprint_survives_pickling(self, schedules):
+        for schedule in schedules:
+            expected = schedule.fingerprint()
+            clone = pickle.loads(pickle.dumps(schedule))
+            if hasattr(clone, "_content_fingerprint"):
+                object.__delattr__(clone, "_content_fingerprint")
+            assert clone.fingerprint() == expected
+
+    def test_fresh_kernel_objects_agree(self):
+        """Two independent instantiations of the same suite kernel hash
+        equal — the fingerprint reads content, not identity."""
+        for a, b in zip(spec_suite(), spec_suite()):
+            assert loop_fingerprint(a.loop) == loop_fingerprint(b.loop)
+            assert kernel_fingerprint(a) == kernel_fingerprint(b)
+
+
+class TestProcessFanout:
+    def test_fingerprints_identical_in_pool_workers(self, schedules):
+        kernels = spec_suite(["applu", "su2cor"])
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            loop_fps = list(
+                pool.map(_worker_loop_fp, [k.loop for k in kernels])
+            )
+            kernel_fps = list(pool.map(_worker_kernel_fp, kernels))
+            schedule_fps = list(pool.map(_worker_schedule_fp, schedules))
+        assert loop_fps == [loop_fingerprint(k.loop) for k in kernels]
+        assert kernel_fps == [kernel_fingerprint(k) for k in kernels]
+        assert schedule_fps == [s.fingerprint() for s in schedules]
+
+    def test_fingerprints_identical_in_fresh_interpreter(self):
+        """A brand-new Python process building the suite from source
+        computes the same loop/kernel fingerprints — no dependence on
+        interpreter state, hash seeds or import order."""
+        kernels = spec_suite(["applu", "tomcatv"])
+        script = (
+            "from repro.cme.trace import loop_fingerprint\n"
+            "from repro.engine.stagestore import kernel_fingerprint\n"
+            "from repro.workloads import spec_suite\n"
+            "for k in spec_suite(['applu', 'tomcatv']):\n"
+            "    print(k.name, loop_fingerprint(k.loop), "
+            "kernel_fingerprint(k))\n"
+        )
+        src = str(Path(__file__).resolve().parent.parent / "src")
+        output = subprocess.run(
+            [sys.executable, "-c", script],
+            capture_output=True,
+            text=True,
+            check=True,
+            env={"PYTHONPATH": src, "PATH": "/usr/bin:/bin"},
+        ).stdout
+        expected = "".join(
+            f"{k.name} {loop_fingerprint(k.loop)} {kernel_fingerprint(k)}\n"
+            for k in kernels
+        )
+        assert output == expected

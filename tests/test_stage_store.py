@@ -1,0 +1,420 @@
+"""Per-stage result-store equivalence and robustness.
+
+The load-bearing contract of the stage store: for every cell the
+repository can run, a pipeline execution that *adopts* stored
+analyze/schedule/simulate products produces a **bit-identical**
+:class:`RunResult` compared to computing everything — per grid-scenario
+cell and for the golden figure panels, the same standard
+``tests/test_warm_state.py`` holds warm-state reuse to.  The disk layer
+is exercised for rot-robustness the same way the cell cache is:
+corrupt, truncated, foreign and version-mismatched entries are misses,
+never errors.
+"""
+
+import pickle
+
+import pytest
+
+from repro.cme import IncrementalCME
+from repro.cme.trace import AddressTrace, loop_fingerprint
+from repro.engine import CellRequest, StageStore, execute_cell
+from repro.engine.stagestore import STAGE_STORE_VERSION
+from repro.engine.stages import make_scheduler
+from repro.harness.grid import ExperimentGrid
+from repro.harness.scenarios import run_scenario
+from repro.machine import two_cluster
+from repro.workloads import spec_suite
+from test_simulator_vectorized import _grid_scenario_cells
+
+MAX_POINTS = 512
+
+
+@pytest.fixture(scope="module")
+def analyzer():
+    return IncrementalCME(max_points=MAX_POINTS)
+
+
+def _canonical(results):
+    return [result.canonical() for result in results]
+
+
+def _trace():
+    kernel = spec_suite(["applu"])[0]
+    return AddressTrace.build(kernel.loop, 16)
+
+
+class TestStageStoreUnit:
+    def test_analyze_key_composition(self):
+        base = StageStore.analyze_key("fp", "sampling:512")
+        assert StageStore.analyze_key("fp2", "sampling:512") != base
+        assert StageStore.analyze_key("fp", "sampling:128") != base
+        assert StageStore.analyze_key("fp", "sampling:512") == base
+
+    def test_schedule_key_composition(self):
+        base = StageStore.schedule_key("k", "fp", "m", "rmca", 1.0, "s:512")
+        for other in (
+            StageStore.schedule_key("k2", "fp", "m", "rmca", 1.0, "s:512"),
+            StageStore.schedule_key("k", "fp2", "m", "rmca", 1.0, "s:512"),
+            StageStore.schedule_key("k", "fp", "m2", "rmca", 1.0, "s:512"),
+            StageStore.schedule_key("k", "fp", "m", "baseline", 1.0, "s:512"),
+            StageStore.schedule_key("k", "fp", "m", "rmca", 0.25, "s:512"),
+            StageStore.schedule_key("k", "fp", "m", "rmca", 1.0, "s:128"),
+        ):
+            assert other != base
+        assert (
+            StageStore.schedule_key("k", "fp", "m", "rmca", 1.0, "s:512")
+            == base
+        )
+
+    def test_simulate_key_composition(self):
+        base = StageStore.simulate_key("fp", "vectorized", "auto", None, None)
+        for other in (
+            StageStore.simulate_key("fp2", "vectorized", "auto", None, None),
+            StageStore.simulate_key("fp", "scalar", "auto", None, None),
+            StageStore.simulate_key("fp", "vectorized", "entry", None, None),
+            StageStore.simulate_key("fp", "vectorized", "auto", 8, None),
+            StageStore.simulate_key("fp", "vectorized", "auto", None, 3),
+        ):
+            assert other != base
+        assert (
+            StageStore.simulate_key("fp", "vectorized", "auto", None, None)
+            == base
+        )
+
+    def test_disk_roundtrip(self, tmp_path):
+        trace = _trace()
+        key = StageStore.analyze_key(trace.loop_fp, "sampling:16")
+        store = StageStore(cache_dir=tmp_path)
+        store.store("analyze", key, trace)
+        fresh = StageStore(cache_dir=tmp_path)
+        hit = fresh.lookup("analyze", key)
+        assert hit is not None and hit.addresses == trace.addresses
+        assert fresh.counts("analyze")["hits"] == 1
+        assert fresh.lookup("analyze", "other") is None
+        assert fresh.counts("analyze")["misses"] == 1
+
+    @pytest.mark.parametrize(
+        "rot",
+        [
+            b"not a pickle",
+            None,  # truncation marker, handled below
+            pickle.dumps({"foreign": "object"}),
+        ],
+        ids=["garbage", "truncated", "foreign"],
+    )
+    def test_disk_rot_is_a_miss_and_unlinked(self, tmp_path, rot):
+        trace = _trace()
+        key = StageStore.analyze_key(trace.loop_fp, "sampling:16")
+        store = StageStore(cache_dir=tmp_path)
+        store.store("analyze", key, trace)
+        paths = list(tmp_path.glob("*/*/*.pkl"))
+        assert len(paths) == 1
+        if rot is None:
+            rot = paths[0].read_bytes()[: paths[0].stat().st_size // 2]
+        paths[0].write_bytes(rot)
+        fresh = StageStore(cache_dir=tmp_path)
+        assert fresh.lookup("analyze", key) is None
+        assert not paths[0].exists()  # rot dropped, slot reusable
+
+    def test_version_and_value_type_mismatch_are_misses(self, tmp_path):
+        trace = _trace()
+        key = StageStore.analyze_key(trace.loop_fp, "sampling:16")
+        store = StageStore(cache_dir=tmp_path)
+        store.store("analyze", key, trace)
+        path = next(tmp_path.glob("*/*/*.pkl"))
+        for bad in (
+            {"version": -1, "stage": "analyze", "key": key, "value": trace},
+            # A foreign value type under a valid envelope is still rot:
+            {
+                "version": STAGE_STORE_VERSION,
+                "stage": "analyze",
+                "key": key,
+                "value": "not a trace",
+            },
+        ):
+            path.write_bytes(pickle.dumps(bad))
+            fresh = StageStore(cache_dir=tmp_path)
+            assert fresh.lookup("analyze", key) is None
+            store._disk_store("analyze", key, trace)  # restore for 2nd case
+
+    def test_clear_wipes_memory_and_disk(self, tmp_path):
+        trace = _trace()
+        store = StageStore(cache_dir=tmp_path)
+        store.store("analyze", "k", trace)
+        store.clear()
+        assert len(store) == 0
+        assert not list(tmp_path.glob("*/*/*.pkl"))
+        assert store.lookup("analyze", "k") is None
+
+    def test_publish_is_idempotent(self):
+        trace = _trace()
+        store = StageStore()
+        assert store.publish("analyze", "k", trace) is True
+        assert store.publish("analyze", "k", trace) is False
+        assert store.counts("analyze")["stores"] == 1
+
+    def test_pickled_copy_keeps_entries_resets_telemetry(self):
+        trace = _trace()
+        store = StageStore()
+        store.store("analyze", "k", trace)
+        store.lookup("analyze", "k")
+        copy = pickle.loads(pickle.dumps(store))
+        assert copy.counts("analyze") == {"hits": 0, "misses": 0, "stores": 0}
+        assert copy.drain()["entries"]["analyze"] == {}
+        # ... but the content itself ships:
+        assert copy.lookup("analyze", "k") is not None
+
+    def test_drain_and_merge(self):
+        trace = _trace()
+        worker = StageStore()
+        worker.store("analyze", "k", trace)
+        worker.lookup("analyze", "k")
+        worker.lookup("analyze", "missing")
+        delta = worker.drain()
+        assert set(delta["entries"]["analyze"]) == {"k"}
+        # drain resets the worker's local delta:
+        assert worker.drain()["entries"]["analyze"] == {}
+        assert worker.counts("analyze")["hits"] == 0
+        parent = StageStore()
+        parent.merge(delta)
+        assert parent.lookup("analyze", "k") is not None
+        assert parent.counts("analyze") == {
+            "hits": 2,  # 1 merged from the worker + the lookup above
+            "misses": 1,
+            "stores": 1,
+        }
+
+
+class TestStageEquivalence:
+    def test_every_grid_scenario_cell(self, analyzer):
+        """no-store == store pass == store-hit pass, for every registered
+        grid-scenario cell."""
+        checked = 0
+        store = StageStore()
+        for (label, kernel, machine, scheduler, threshold, steady,
+             n_iterations, n_times) in _grid_scenario_cells():
+            def request(stage_store):
+                return CellRequest(
+                    kernel=kernel,
+                    machine=machine,
+                    scheduler=scheduler,
+                    threshold=threshold,
+                    locality=analyzer,
+                    steady=steady,
+                    n_iterations=n_iterations,
+                    n_times=n_times,
+                    stage_store=stage_store,
+                )
+
+            cold = execute_cell(request(None)).result.canonical()
+            first = execute_cell(request(store))
+            second = execute_cell(request(store))
+            assert first.result.canonical() == cold, label
+            assert second.result.canonical() == cold, label
+            assert second.report.stage("schedule").stats["store_hit"], label
+            assert second.report.stage("simulate").stats["store_hit"], label
+            checked += 1
+        assert checked > 0
+
+    def test_threshold_sweep_dedups_simulate(self, tmp_path):
+        """The fig6 threshold sweep must skip simulate for the cells
+        whose schedules land byte-identical — the headline dedup win."""
+        outcome = run_scenario("fig6-smoke", cache=False)
+        telemetry = outcome.grid.stage_store.telemetry()
+        assert telemetry["simulate"]["hits"] > 0
+        probes = (
+            telemetry["simulate"]["hits"] + telemetry["simulate"]["misses"]
+        )
+        assert probes == telemetry["schedule"]["misses"]  # one per cell
+
+    def test_figure_panel_identical_with_store_off(self):
+        on = run_scenario("fig6-smoke", cache=False)
+        off = run_scenario("fig6-smoke", cache=False, stage_store=False)
+        assert off.grid.stage_store is None
+        assert on.figure.bars == off.figure.bars
+        assert on.figure.records == off.figure.records
+
+    def test_cross_scenario_reuse(self):
+        """A second scenario sharing kernels/machines with a cold
+        ``fig6-smoke`` run starts from a mostly-hot store."""
+        grid = ExperimentGrid(
+            locality=IncrementalCME(max_points=MAX_POINTS), cache=False
+        )
+        run_scenario("fig6-smoke", grid=grid)
+        before = grid.stage_store.telemetry()
+        second = run_scenario("fig6-steady-ablation", grid=grid)
+        after = grid.stage_store.telemetry()
+        assert after["schedule"]["hits"] > before["schedule"]["hits"]
+        assert after["simulate"]["hits"] > before["simulate"]["hits"]
+        off = run_scenario(
+            "fig6-steady-ablation", cache=False, stage_store=False
+        )
+        assert _canonical(second.results) == _canonical(off.results)
+
+    def test_parallel_fanout_merges_back_and_matches(self, tmp_path):
+        serial = run_scenario("streaming", cache=False)
+        fanned = run_scenario(
+            "streaming", cache=True, cache_dir=tmp_path, n_jobs=2
+        )
+        assert _canonical(fanned.results) == _canonical(serial.results)
+        # Worker products travelled back: the parent store can serve a
+        # follow-up serial run without recomputing a single schedule.
+        store = fanned.grid.stage_store
+        assert len(store) > 0
+        telemetry = store.telemetry()
+        assert telemetry["schedule"]["stores"] == len(fanned.results)
+        rerun_grid = ExperimentGrid(
+            locality=fanned.scenario.locality.build(), cache=False
+        )
+        rerun_grid.stage_store = store
+        rerun = run_scenario("streaming", grid=rerun_grid)
+        after = store.telemetry()
+        assert after["schedule"]["hits"] >= len(rerun.results)
+        assert after["schedule"]["stores"] == telemetry["schedule"]["stores"]
+        assert _canonical(rerun.results) == _canonical(serial.results)
+
+    def test_disk_layer_serves_fresh_store(self, tmp_path):
+        cold = run_scenario("streaming", cache_dir=tmp_path)
+        assert list((tmp_path / "stages").glob("*/*/*.pkl"))
+        fresh_grid = ExperimentGrid(
+            locality=cold.scenario.locality.build(), cache=False
+        )
+        fresh_grid.stage_store = StageStore(cache_dir=tmp_path / "stages")
+        warm = run_scenario("streaming", grid=fresh_grid)
+        telemetry = fresh_grid.stage_store.telemetry()
+        assert telemetry["schedule"]["hits"] == len(warm.results)
+        assert telemetry["schedule"]["stores"] == 0
+        assert telemetry["simulate"]["stores"] == 0
+        assert _canonical(warm.results) == _canonical(cold.results)
+
+    def test_clear_cache_wipes_stages_and_rerun_matches(self, tmp_path):
+        outcome = run_scenario("streaming", cache_dir=tmp_path)
+        grid = outcome.grid
+        assert list((tmp_path / "stages").glob("*/*/*.pkl"))
+        grid.clear_cache()
+        assert not list((tmp_path / "stages").glob("*/*/*.pkl"))
+        assert len(grid.stage_store) == 0
+        before = grid.stage_store.telemetry()
+        rerun = run_scenario("streaming", grid=grid)
+        after = grid.stage_store.telemetry()
+        # Empty store: every schedule recomputes and re-stores.
+        assert (
+            after["schedule"]["stores"] - before["schedule"]["stores"]
+            == len(rerun.results)
+        )
+        assert after["schedule"]["hits"] == before["schedule"]["hits"]
+        assert _canonical(rerun.results) == _canonical(outcome.results)
+
+    def test_exact_bypasses_simulate_store_only(self, analyzer):
+        grid = ExperimentGrid(locality=analyzer, cache=False, exact=True)
+        run_scenario("streaming", grid=grid)
+        telemetry = grid.stage_store.telemetry()
+        simulate = telemetry["simulate"]
+        assert simulate["hits"] == simulate["misses"] == simulate["stores"] == 0
+        assert telemetry["schedule"]["stores"] > 0
+
+    def test_simulate_hit_relabels_to_requesting_cell(self, analyzer):
+        """A simulate result served across thresholds carries the
+        *consuming* cell's scheduler/threshold labels."""
+        machine = two_cluster()
+        found = False
+        for kernel in spec_suite():
+            fingerprints = {
+                threshold: make_scheduler("rmca", threshold, analyzer)
+                .schedule(kernel, machine)
+                .fingerprint()
+                for threshold in (1.0, 0.75, 0.25, 0.0)
+            }
+            pairs = [
+                (a, b)
+                for a in fingerprints
+                for b in fingerprints
+                if a > b and fingerprints[a] == fingerprints[b]
+            ]
+            if not pairs:
+                continue
+            found = True
+            thr_a, thr_b = pairs[0]
+            store = StageStore()
+
+            def run_cell(threshold):
+                return execute_cell(
+                    CellRequest(
+                        kernel=kernel,
+                        machine=machine,
+                        scheduler="rmca",
+                        threshold=threshold,
+                        locality=analyzer,
+                        stage_store=store,
+                    )
+                )
+
+            run_cell(thr_a)
+            outcome = run_cell(thr_b)
+            stats = outcome.report.stage("simulate").stats
+            assert stats["store_hit"] is True
+            simulation = outcome.result.simulation
+            assert simulation.threshold == thr_b
+            assert simulation.scheduler == "rmca"
+            assert simulation.kernel == kernel.name
+            break
+        assert found, "no threshold pair with identical schedules found"
+
+    def test_stage_telemetry_reported_per_stage(self, analyzer):
+        kernel = spec_suite(["applu"])[0]
+        store = StageStore()
+        request = CellRequest(
+            kernel=kernel,
+            machine=two_cluster(),
+            scheduler="rmca",
+            locality=analyzer,
+            stage_store=store,
+        )
+        first = execute_cell(request).report
+        assert first.stage("schedule").stats["store_hit"] is False
+        assert first.stage("simulate").stats["store_hit"] is False
+        second = execute_cell(request).report
+        assert second.stage("schedule").stats["store_hit"] is True
+        assert second.stage("simulate").stats["store_hit"] is True
+
+    def test_analyze_store_serves_fresh_analyzer(self, tmp_path):
+        kernel = spec_suite(["applu"])[0]
+        store = StageStore(cache_dir=tmp_path)
+        execute_cell(
+            CellRequest(
+                kernel=kernel,
+                machine=two_cluster(),
+                scheduler="rmca",
+                locality=IncrementalCME(max_points=MAX_POINTS),
+                stage_store=store,
+            )
+        )
+        assert store.counts("analyze")["stores"] == 1
+        fresh_analyzer = IncrementalCME(max_points=MAX_POINTS)
+        fresh_store = StageStore(cache_dir=tmp_path)
+        outcome = execute_cell(
+            CellRequest(
+                kernel=kernel,
+                machine=two_cluster(),
+                scheduler="rmca",
+                locality=fresh_analyzer,
+                stage_store=fresh_store,
+            )
+        )
+        assert outcome.report.stage("analyze").stats["store_hit"] is True
+        assert fresh_analyzer.traces.peek_address_trace(
+            loop_fingerprint(kernel.loop), MAX_POINTS
+        ) is not None
+        assert fresh_analyzer.traces.address_builds == 0
+
+    def test_cli_no_stage_store_flag(self):
+        from repro.cli import _build_grid, build_parser
+
+        on = build_parser().parse_args(["run", "streaming"])
+        off = build_parser().parse_args(
+            ["run", "streaming", "--no-stage-store"]
+        )
+        grid_on = _build_grid(on, IncrementalCME(max_points=8))
+        grid_off = _build_grid(off, IncrementalCME(max_points=8))
+        assert grid_on.stage_store is not None
+        assert grid_off.stage_store is None
