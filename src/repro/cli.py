@@ -10,6 +10,9 @@ Exposes the main experiments without writing Python::
     python -m repro.cli fig6 --clusters 4 --csv fig6.csv
     python -m repro.cli scenarios
     python -m repro.cli run fig6-smoke --jobs 2
+    python -m repro.cli serve --port 8642 --cache-dir /tmp/grid-cache
+    python -m repro.cli submit fig6-smoke --url http://127.0.0.1:8642
+    python -m repro.cli export fig6-smoke --format npz
 
 Every command prints its table/chart to stdout; the figure commands can
 additionally persist the raw records (``--csv`` / ``--out`` JSON).
@@ -18,14 +21,22 @@ their cells through the experiment grid: ``--jobs N`` fans them out over
 N worker processes, repeated invocations reuse the on-disk cell cache
 under ``--cache-dir`` (or ``$REPRO_GRID_CACHE``), and per-cell progress
 is reported on stderr (suppress with ``--no-progress``).  ``scenarios``
-lists the registry; ``run <scenario>`` executes one entry end-to-end
+lists the registry (``--json`` for the machine-readable listing the
+service also serves); ``run <scenario>`` executes one entry end-to-end
 (``--exact`` disables the simulator's steady-state memoization, ``--spec``
 prints the JSON spec instead of running).
+
+The service trio: ``serve`` runs the long-lived experiment service (one
+warm process owning the grid and its stores across jobs), ``submit``
+sends a scenario to a running service and streams its progress, and
+``export`` runs a scenario locally and writes its records as an npz/csv
+artifact.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -35,9 +46,24 @@ from .harness.charts import render_figure
 from .harness.grid import CellSpec, ExperimentGrid, ProgressCallback
 from .harness.io import figure_to_csv, figure_to_json
 from .harness.report import format_table
-from .harness.scenarios import all_scenarios, get_scenario, run_scenario
+from .harness.scenarios import (
+    all_scenarios,
+    get_scenario,
+    run_scenario,
+    scenario_listing,
+)
 from .harness.sweep import figure5, figure6
 from .machine import ALL_PRESETS, preset
+from .service import (
+    BACKEND_KINDS,
+    EXPORT_FORMATS,
+    JobManager,
+    ServiceClient,
+    ServiceError,
+    export_outcome,
+    make_backend,
+    run_server,
+)
 from .simulator import DEFAULT_SIM_ENGINE, SIM_ENGINES
 from .steady import STEADY_MODES
 from .workloads import SPEC_KERNELS, kernel_by_name, suite_stats
@@ -156,7 +182,12 @@ def build_parser() -> argparse.ArgumentParser:
                 "--bus-latencies", type=int, nargs="+", default=[1, 4]
             )
 
-    sub.add_parser("scenarios", help="list the scenario registry")
+    scen_cmd = sub.add_parser("scenarios", help="list the scenario registry")
+    scen_cmd.add_argument(
+        "--json", action="store_true",
+        help="emit the machine-readable listing (the same serialization "
+             "the experiment service's GET /scenarios endpoint returns)",
+    )
 
     run_cmd = sub.add_parser(
         "run", help="execute a registered scenario on the experiment grid"
@@ -211,6 +242,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run_cmd.add_argument("--csv", help="figure scenarios: records as CSV")
     run_cmd.add_argument("--out", help="figure scenarios: figure as JSON")
+
+    serve_cmd = sub.add_parser(
+        "serve",
+        help="run the long-lived experiment service (one warm process "
+             "owning the grid and its stores across jobs)",
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument("--port", type=int, default=8642)
+    serve_cmd.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes per job's experiment grid (default: 1)",
+    )
+    serve_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="directory for the stores' disk layers (traces, warm state, "
+             "per-stage results); default: $REPRO_GRID_CACHE",
+    )
+    serve_cmd.add_argument(
+        "--backend", choices=BACKEND_KINDS, default="memory",
+        help="job-record persistence (default: memory; disk keeps records "
+             "across restarts, see --backend-dir)",
+    )
+    serve_cmd.add_argument(
+        "--backend-dir", metavar="DIR",
+        help="job-record directory (required with --backend disk)",
+    )
+    serve_cmd.add_argument(
+        "--exact", action="store_true",
+        help="run every cell with steady-state detection disabled "
+             "(results are bit-identical either way)",
+    )
+
+    submit_cmd = sub.add_parser(
+        "submit",
+        help="submit a scenario to a running service and stream progress",
+    )
+    submit_cmd.add_argument(
+        "scenario", help="scenario name (resolved by the server's registry)"
+    )
+    submit_cmd.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="service base URL (default: http://127.0.0.1:8642)",
+    )
+    submit_cmd.add_argument(
+        "--steady", choices=STEADY_MODES,
+        help="override the scenario's steady-state detector selection",
+    )
+    submit_cmd.add_argument(
+        "--sim", choices=sorted(SIM_ENGINES),
+        help="override the scenario's simulate engine",
+    )
+    submit_cmd.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="per-request timeout (the event stream waits this long "
+             "between events; default: 600)",
+    )
+    submit_cmd.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-cell progress reporting on stderr",
+    )
+
+    export_cmd = sub.add_parser(
+        "export",
+        help="run a scenario locally and export its records as npz/csv",
+    )
+    export_cmd.add_argument("scenario", help="scenario name (see `scenarios`)")
+    export_cmd.add_argument(
+        "--format", choices=EXPORT_FORMATS, default="npz",
+        help="artifact format (default: npz)",
+    )
+    export_cmd.add_argument(
+        "--out", metavar="PATH",
+        help="output path (default: <scenario>.<format>)",
+    )
+    export_cmd.add_argument(
+        "--jobs", type=_positive_int, default=1, metavar="N",
+        help="worker processes for the experiment grid (default: 1)",
+    )
+    export_cmd.add_argument(
+        "--no-cache", action="store_true",
+        help="recompute every cell (disable memory and disk caching)",
+    )
+    export_cmd.add_argument(
+        "--no-warm-store", action="store_true",
+        help="disable content-addressed warm-state reuse between cells",
+    )
+    export_cmd.add_argument(
+        "--no-stage-store", action="store_true",
+        help="disable the per-stage content-addressed result store",
+    )
+    export_cmd.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
+    )
+    export_cmd.add_argument(
+        "--no-progress", action="store_true",
+        help="suppress per-cell progress reporting on stderr",
+    )
+    export_cmd.add_argument(
+        "--steady", choices=STEADY_MODES,
+        help="override the scenario's steady-state detector selection",
+    )
+    export_cmd.add_argument(
+        "--sim", choices=sorted(SIM_ENGINES),
+        help="override the scenario's simulate engine",
+    )
     return parser
 
 
@@ -401,7 +538,10 @@ def _grid_stats_line(grid: ExperimentGrid, stream) -> None:
     )
 
 
-def _cmd_scenarios() -> int:
+def _cmd_scenarios(args: argparse.Namespace) -> int:
+    if args.json:
+        print(json.dumps(scenario_listing(), indent=1, sort_keys=True))
+        return 0
     rows = []
     for scenario in all_scenarios():
         cells = scenario.n_cells()
@@ -454,6 +594,77 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.backend == "disk" and args.backend_dir is None:
+        print("--backend disk requires --backend-dir", file=sys.stderr)
+        return 2
+    manager = JobManager(
+        cache_dir=args.cache_dir,
+        backend=make_backend(args.backend, args.backend_dir),
+        n_jobs=args.jobs,
+        exact=args.exact,
+    )
+    run_server(host=args.host, port=args.port, manager=manager)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = ServiceClient(args.url, timeout=args.timeout)
+    try:
+        job = client.submit(
+            scenario=args.scenario, steady=args.steady, sim=args.sim
+        )
+        job_id = job["id"]
+        print(f"job {job_id} submitted to {client.url}", file=sys.stderr)
+        for event in client.events(job_id):
+            if args.no_progress:
+                continue
+            if event["type"] == "cell":
+                print(
+                    f"[{event['done']}/{event['total']}] {event['kernel']}"
+                    f"@{event['machine']} {event['scheduler']} "
+                    f"thr={event['threshold']:.2f} ({event['source']})",
+                    file=sys.stderr,
+                )
+            elif event["type"] == "state":
+                print(f"job {job_id}: {event['state']}", file=sys.stderr)
+        outcome = client.result(job_id)
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    if outcome["state"] != "done":
+        print(f"job failed: {outcome['error']}", file=sys.stderr)
+        return 1
+    telemetry = outcome["telemetry"]
+    result = outcome["result"]
+    count = (
+        len(result["figure"]["records"])
+        if result["kind"] == "figure"
+        else len(result["rows"])
+    )
+    print(
+        f"job {job_id} done: {count} records, "
+        f"{telemetry['store_hits']} stage-store hits, "
+        f"{telemetry['sim_warm_hits']} warm-state hits"
+    )
+    print(json.dumps(result, indent=1, sort_keys=True))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    scenario = get_scenario(args.scenario)
+    grid = _build_grid(args, scenario.locality.build())
+    outcome = run_scenario(
+        scenario, grid=grid, steady=args.steady, sim=args.sim
+    )
+    if not args.no_progress:
+        _grid_stats_line(grid, sys.stderr)
+    out = args.out if args.out else f"{scenario.name}.{args.format}"
+    written = export_outcome(outcome, out, args.format)
+    print(f"records written to {written}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "table1":
@@ -465,9 +676,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "simulate":
         return _cmd_schedule(args, run_simulation=True)
     if args.command == "scenarios":
-        return _cmd_scenarios()
+        return _cmd_scenarios(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
+    if args.command == "export":
+        return _cmd_export(args)
     aliases = {"fig5": "figure5", "fig6": "figure6"}
     command = aliases.get(args.command, args.command)
     if command in ("figure5", "figure6"):

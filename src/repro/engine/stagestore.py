@@ -43,6 +43,7 @@ import hashlib
 import json
 import os
 import pickle
+import threading
 import uuid
 from pathlib import Path
 from typing import Dict, Optional, Tuple
@@ -130,6 +131,11 @@ class StageStore:
             stage: {"hits": 0, "misses": 0, "stores": 0}
             for stage in STAGE_STORE_STAGES
         }
+        # One store may serve several threads at once (the experiment
+        # service runs jobs off the event loop; the grid merges worker
+        # deltas while progress callbacks fire), so every mutation of
+        # the entry maps and counters happens under this lock.
+        self._lock = threading.RLock()
 
     def __getstate__(self):
         # A pickled copy (shipped to a worker) starts with clean local
@@ -138,12 +144,17 @@ class StageStore:
         # parent's own counters — shipping the parent's history would
         # double-count it.
         state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; workers get their own
         state["_fresh"] = {stage: {} for stage in STAGE_STORE_STAGES}
         state["_counters"] = {
             stage: {"hits": 0, "misses": 0, "stores": 0}
             for stage in STAGE_STORE_STAGES
         }
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Keys
@@ -218,23 +229,25 @@ class StageStore:
     # ------------------------------------------------------------------
     def lookup(self, stage: str, key: str) -> Optional[object]:
         """Return the stored value for ``key`` or ``None`` (a miss)."""
-        value = self._memory[stage].get(key)
-        if value is not None:
-            self._counters[stage]["hits"] += 1
-            return value
-        value = self._disk_load(stage, key)
-        if value is not None:
-            self._memory[stage][key] = value
-            self._counters[stage]["hits"] += 1
-            return value
-        self._counters[stage]["misses"] += 1
-        return None
+        with self._lock:
+            value = self._memory[stage].get(key)
+            if value is not None:
+                self._counters[stage]["hits"] += 1
+                return value
+            value = self._disk_load(stage, key)
+            if value is not None:
+                self._memory[stage][key] = value
+                self._counters[stage]["hits"] += 1
+                return value
+            self._counters[stage]["misses"] += 1
+            return None
 
     def store(self, stage: str, key: str, value: object) -> None:
         """Publish a freshly computed stage result."""
-        self._memory[stage][key] = value
-        self._fresh[stage][key] = value
-        self._counters[stage]["stores"] += 1
+        with self._lock:
+            self._memory[stage][key] = value
+            self._fresh[stage][key] = value
+            self._counters[stage]["stores"] += 1
         self._disk_store(stage, key, value)
 
     def publish(self, stage: str, key: str, value: object) -> bool:
@@ -244,30 +257,34 @@ class StageStore:
         (e.g. traces primed directly on the analyzer) — counted as a
         store the first time, a no-op afterwards.
         """
-        if key in self._memory[stage]:
-            return False
-        self.store(stage, key, value)
-        return True
+        with self._lock:
+            if key in self._memory[stage]:
+                return False
+            self.store(stage, key, value)
+            return True
 
     def __len__(self) -> int:
-        return sum(len(entries) for entries in self._memory.values())
+        with self._lock:
+            return sum(len(entries) for entries in self._memory.values())
 
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def counts(self, stage: str) -> Dict[str, int]:
         """Hit/miss/store counters of one stage (a copy)."""
-        return dict(self._counters[stage])
+        with self._lock:
+            return dict(self._counters[stage])
 
     def telemetry(self) -> Dict[str, Dict[str, int]]:
         """Per-stage counters plus entry counts, for reports/benchmarks."""
-        return {
-            stage: {
-                **self._counters[stage],
-                "entries": len(self._memory[stage]),
+        with self._lock:
+            return {
+                stage: {
+                    **self._counters[stage],
+                    "entries": len(self._memory[stage]),
+                }
+                for stage in STAGE_STORE_STAGES
             }
-            for stage in STAGE_STORE_STAGES
-        }
 
     # ------------------------------------------------------------------
     # Process fan-out
@@ -278,21 +295,23 @@ class StageStore:
         Called by pool workers after each cell; the returned mapping is
         merged into the parent store with :meth:`merge`.
         """
-        delta = {
-            "entries": {
-                stage: self._fresh[stage] for stage in STAGE_STORE_STAGES
-            },
-            "counters": {
-                stage: self._counters[stage]
+        with self._lock:
+            delta = {
+                "entries": {
+                    stage: self._fresh[stage]
+                    for stage in STAGE_STORE_STAGES
+                },
+                "counters": {
+                    stage: self._counters[stage]
+                    for stage in STAGE_STORE_STAGES
+                },
+            }
+            self._fresh = {stage: {} for stage in STAGE_STORE_STAGES}
+            self._counters = {
+                stage: {"hits": 0, "misses": 0, "stores": 0}
                 for stage in STAGE_STORE_STAGES
-            },
-        }
-        self._fresh = {stage: {} for stage in STAGE_STORE_STAGES}
-        self._counters = {
-            stage: {"hits": 0, "misses": 0, "stores": 0}
-            for stage in STAGE_STORE_STAGES
-        }
-        return delta
+            }
+            return delta
 
     def merge(self, delta: Dict[str, Dict[str, object]]) -> None:
         """Fold one worker's :meth:`drain` into this store.
@@ -301,14 +320,15 @@ class StageStore:
         key produce equal values — so first-wins insertion keeps the
         merge deterministic regardless of completion order.
         """
-        for stage, entries in delta.get("entries", {}).items():
-            memory = self._memory[stage]
-            for key, value in entries.items():
-                memory.setdefault(key, value)
-        for stage, counters in delta.get("counters", {}).items():
-            mine = self._counters[stage]
-            for name, value in counters.items():
-                mine[name] += value
+        with self._lock:
+            for stage, entries in delta.get("entries", {}).items():
+                memory = self._memory[stage]
+                for key, value in entries.items():
+                    memory.setdefault(key, value)
+            for stage, counters in delta.get("counters", {}).items():
+                mine = self._counters[stage]
+                for name, value in counters.items():
+                    mine[name] += value
 
     # ------------------------------------------------------------------
     # Disk layer
@@ -369,9 +389,10 @@ class StageStore:
 
     def clear(self) -> None:
         """Drop every entry: all in-memory layers and the disk layer."""
-        for stage in STAGE_STORE_STAGES:
-            self._memory[stage].clear()
-            self._fresh[stage].clear()
+        with self._lock:
+            for stage in STAGE_STORE_STAGES:
+                self._memory[stage].clear()
+                self._fresh[stage].clear()
         self.clear_disk()
 
     def clear_disk(self) -> None:

@@ -32,6 +32,7 @@ import json
 import os
 import pathlib
 import pickle
+import threading
 import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -381,6 +382,14 @@ class ExperimentGrid:
         enabled; with ``cache=False`` it still dedups *within* this
         grid, in memory.  ``False`` disables stage-level reuse; results
         are bit-identical either way.
+    cell_cache:
+        Separate control over the *whole-cell* result layer.  ``None``
+        (default) follows ``cache``.  ``False`` with ``cache=True``
+        keeps the trace/warm/stage stores (including their disk layers)
+        while disabling whole-cell memoization — the experiment service
+        runs this way, so every job's cells execute through the pipeline
+        and its per-job telemetry shows exactly which stage products the
+        persistent stores served.
     """
 
     def __init__(
@@ -394,6 +403,7 @@ class ExperimentGrid:
         exact: bool = False,
         warm: bool = True,
         stage_store: bool = True,
+        cell_cache: Optional[bool] = None,
     ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
@@ -403,6 +413,9 @@ class ExperimentGrid:
         self.n_jobs = n_jobs
         self.exact = exact
         self.cache_enabled = cache
+        self.cell_cache_enabled = (
+            cache if cell_cache is None else (cache and cell_cache)
+        )
         if cache_dir is None:
             env_dir = os.environ.get(CACHE_ENV_VAR)
             cache_dir = pathlib.Path(env_dir) if env_dir else None
@@ -410,6 +423,12 @@ class ExperimentGrid:
         self.progress = progress
         self.stats = GridStats()
         self._memory: Dict[str, RunResult] = {}
+        # Guards the in-memory cell cache, the kernel registry and the
+        # stats counters: one grid may serve several threads (the
+        # experiment service submits jobs concurrently).  Cell
+        # *computation* runs outside the lock — only the bookkeeping
+        # around it is serialized.
+        self._lock = threading.RLock()
         self._kernels: Dict[str, Kernel] = dict(kernels or {})
         self._locality_fp = locality_fingerprint(self.locality)
         warm_dir = (
@@ -434,19 +453,21 @@ class ExperimentGrid:
     # ------------------------------------------------------------------
     def register(self, kernels: Sequence[Kernel]) -> None:
         """Make non-suite kernels resolvable by the specs naming them."""
-        for kernel in kernels:
-            self._kernels[kernel.name] = kernel
+        with self._lock:
+            for kernel in kernels:
+                self._kernels[kernel.name] = kernel
 
     def _resolve_kernel(self, spec: CellSpec) -> Kernel:
-        kernel = self._kernels.get(spec.kernel)
-        if kernel is None:
-            if spec.kernel not in SPEC_KERNELS:
-                raise KeyError(
-                    f"cannot resolve kernel {spec.kernel!r}: not in the "
-                    f"suite and not registered on this grid"
-                )
-            kernel = kernel_by_name(spec.kernel)
-            self._kernels[spec.kernel] = kernel
+        with self._lock:
+            kernel = self._kernels.get(spec.kernel)
+            if kernel is None:
+                if spec.kernel not in SPEC_KERNELS:
+                    raise KeyError(
+                        f"cannot resolve kernel {spec.kernel!r}: not in "
+                        f"the suite and not registered on this grid"
+                    )
+                kernel = kernel_by_name(spec.kernel)
+                self._kernels[spec.kernel] = kernel
         actual = kernel_fingerprint(kernel)
         if actual != spec.kernel_fp:
             raise ValueError(
@@ -506,12 +527,13 @@ class ExperimentGrid:
         cache" means *all* derived state under ``cache_dir`` — cells,
         traces, warm states and per-stage results alike.
         """
-        self._memory.clear()
+        with self._lock:
+            self._memory.clear()
         if self.cache_dir is not None and self.cache_dir.exists():
             for path in self.cache_dir.glob("*/*.pkl"):
                 path.unlink(missing_ok=True)
         if self.warm_store is not None:
-            self.warm_store._memory.clear()
+            self.warm_store.clear_memory()
             self.warm_store.clear_disk()
         if self.stage_store is not None:
             self.stage_store.clear()
@@ -530,7 +552,8 @@ class ExperimentGrid:
         process pool depending on ``n_jobs``.
         """
         specs = list(specs)
-        self.stats.requested += len(specs)
+        with self._lock:
+            self.stats.requested += len(specs)
         total = len(specs)
         done = 0
         results: Dict[CellSpec, RunResult] = {}
@@ -545,22 +568,26 @@ class ExperimentGrid:
 
         for spec in specs:
             if spec in seen:
-                self.stats.deduplicated += 1
+                with self._lock:
+                    self.stats.deduplicated += 1
                 report(spec, "dedup")
                 continue
             seen[spec] = None
             key = spec.cache_key(self._locality_fp)
-            if self.cache_enabled:
-                hit = self._memory.get(key)
+            if self.cell_cache_enabled:
+                with self._lock:
+                    hit = self._memory.get(key)
+                    if hit is not None:
+                        self.stats.memory_hits += 1
                 if hit is not None:
-                    self.stats.memory_hits += 1
                     results[spec] = hit
                     report(spec, "memory")
                     continue
                 hit = self._disk_load(key)
                 if hit is not None:
-                    self.stats.disk_hits += 1
-                    self._memory[key] = hit
+                    with self._lock:
+                        self.stats.disk_hits += 1
+                        self._memory[key] = hit
                     results[spec] = hit
                     report(spec, "disk")
                     continue
@@ -570,11 +597,13 @@ class ExperimentGrid:
             computed = self._compute(pending, report)
             for (spec, key), result in zip(pending, computed):
                 results[spec] = result
-                if self.cache_enabled:
-                    self._memory[key] = result
+                if self.cell_cache_enabled:
+                    with self._lock:
+                        self._memory[key] = result
                     self._disk_store(key, result)
 
-        self.stats.computed += len(pending)
+        with self._lock:
+            self.stats.computed += len(pending)
         return [results[spec] for spec in specs]
 
     def _compute(
@@ -590,7 +619,10 @@ class ExperimentGrid:
                     spec, kernel, self.locality, self.exact,
                     self.warm_store, self.stage_store,
                 )
-                self.stats.add_stage_seconds(outcome.report.stage_seconds)
+                with self._lock:
+                    self.stats.add_stage_seconds(
+                        outcome.report.stage_seconds
+                    )
                 out.append(outcome.result)
                 report(spec, "computed")
             return out
@@ -630,7 +662,8 @@ class ExperimentGrid:
                     index = futures[future]
                     result, stage_seconds, delta = future.result()
                     results[index] = result
-                    self.stats.add_stage_seconds(stage_seconds)
+                    with self._lock:
+                        self.stats.add_stage_seconds(stage_seconds)
                     if delta is not None and self.stage_store is not None:
                         # Content-addressed entries: first-wins merge is
                         # deterministic regardless of completion order.

@@ -19,6 +19,7 @@ __all__ = [
     "records_to_csv",
     "records_to_json",
     "figure_to_csv",
+    "figure_payload",
     "figure_to_json",
     "load_records",
 ]
@@ -62,10 +63,14 @@ def figure_to_csv(figure: FigureData, path: PathLike) -> pathlib.Path:
     return records_to_csv(figure.records, path)
 
 
-def figure_to_json(figure: FigureData, path: PathLike) -> pathlib.Path:
-    """Persist a figure (title, bars and records) as JSON."""
-    path = pathlib.Path(path)
-    payload = {
+def figure_payload(figure: FigureData) -> Dict[str, object]:
+    """A figure (title, bars and records) as a JSON-serializable dict.
+
+    The single serialization both :func:`figure_to_json` and the
+    experiment service's result payloads use — byte-identical figure
+    JSON whichever path produced it.
+    """
+    return {
         "title": figure.title,
         "bars": [
             {
@@ -80,7 +85,14 @@ def figure_to_json(figure: FigureData, path: PathLike) -> pathlib.Path:
         ],
         "records": figure.records,
     }
-    path.write_text(json.dumps(payload, indent=1, sort_keys=True))
+
+
+def figure_to_json(figure: FigureData, path: PathLike) -> pathlib.Path:
+    """Persist a figure (title, bars and records) as JSON."""
+    path = pathlib.Path(path)
+    path.write_text(
+        json.dumps(figure_payload(figure), indent=1, sort_keys=True)
+    )
     return path
 
 

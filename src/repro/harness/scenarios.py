@@ -28,6 +28,7 @@ live in JSON files or CLI pipelines.
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
@@ -60,6 +61,7 @@ __all__ = [
     "get_scenario",
     "scenario_names",
     "all_scenarios",
+    "scenario_listing",
     "run_scenario",
 ]
 
@@ -76,8 +78,105 @@ def _bus_to_json(bus: Optional[Tuple[Optional[int], int]]):
     return None if bus is None else list(bus)
 
 
-def _bus_from_json(data) -> Optional[Tuple[Optional[int], int]]:
-    return None if data is None else (data[0], data[1])
+# ----------------------------------------------------------------------
+# from_dict validation helpers
+# ----------------------------------------------------------------------
+# The specs accept untrusted JSON (the experiment service's POST /jobs
+# body goes straight through ``ScenarioSpec.from_dict``), so malformed
+# input must fail with a ``ValueError`` that names the offending key —
+# never an incidental ``TypeError``/``AttributeError`` from deeper in
+# the constructor.
+
+
+def _expect_object(data: object, context: str) -> Mapping:
+    if not isinstance(data, Mapping):
+        raise ValueError(
+            f"{context} must be a JSON object, got {type(data).__name__}"
+        )
+    return data
+
+
+def _reject_unknown_keys(data: Mapping, allowed: frozenset, context: str):
+    unknown = sorted(str(key) for key in data if key not in allowed)
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in {context}; "
+            f"allowed: {sorted(allowed)}"
+        )
+
+
+def _typed(
+    data: Mapping,
+    key: str,
+    types,
+    type_name: str,
+    context: str,
+    required: bool = False,
+    default=None,
+):
+    """Fetch ``data[key]`` with a type check that names the key.
+
+    ``None`` values follow the optional-field convention: absent and
+    ``null`` both mean "use the default" unless the field is required.
+    ``bool`` is rejected wherever a number is expected — it *is* an
+    ``int`` to ``isinstance``, but a spec saying ``"threshold": true``
+    is a mistake, not a threshold.
+    """
+    value = data.get(key)
+    if value is None:
+        if required:
+            raise ValueError(f"{context} is missing required key {key!r}")
+        return default
+    if not isinstance(value, types) or isinstance(value, bool):
+        raise ValueError(
+            f"key {key!r} in {context} must be {type_name}, "
+            f"got {type(value).__name__}"
+        )
+    return value
+
+
+def _typed_list(
+    data: Mapping,
+    key: str,
+    item_types,
+    item_name: str,
+    context: str,
+    default=None,
+):
+    """Fetch a homogeneous-list field, naming the key on any mismatch."""
+    value = data.get(key)
+    if value is None:
+        return default
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(
+            f"key {key!r} in {context} must be a list of {item_name}, "
+            f"got {type(value).__name__}"
+        )
+    for item in value:
+        if not isinstance(item, item_types) or isinstance(item, bool):
+            raise ValueError(
+                f"key {key!r} in {context} must be a list of {item_name}; "
+                f"item {item!r} is a {type(item).__name__}"
+            )
+    return list(value)
+
+
+def _bus_from_json(data, key: str = "bus", context: str = "machine spec"):
+    if data is None:
+        return None
+    if (
+        not isinstance(data, (list, tuple))
+        or len(data) != 2
+        or not (data[0] is None or isinstance(data[0], int))
+        or not isinstance(data[1], int)
+        or isinstance(data[0], bool)
+        or isinstance(data[1], bool)
+    ):
+        raise ValueError(
+            f"key {key!r} in {context} must be a [count, latency] pair "
+            f"(count may be null for an unbounded pool), got {data!r}"
+        )
+    return (data[0], data[1])
 
 
 @dataclass(frozen=True)
@@ -114,12 +213,23 @@ class MachineSpec:
             "memory_bus": _bus_to_json(self.memory_bus),
         }
 
+    _KEYS = frozenset({"preset", "register_bus", "memory_bus"})
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "MachineSpec":
+        context = "machine spec"
+        data = _expect_object(data, context)
+        _reject_unknown_keys(data, cls._KEYS, context)
         return cls(
-            preset=data["preset"],
-            register_bus=_bus_from_json(data.get("register_bus")),
-            memory_bus=_bus_from_json(data.get("memory_bus")),
+            preset=_typed(
+                data, "preset", str, "a preset name", context, required=True
+            ),
+            register_bus=_bus_from_json(
+                data.get("register_bus"), "register_bus", context
+            ),
+            memory_bus=_bus_from_json(
+                data.get("memory_bus"), "memory_bus", context
+            ),
         )
 
 
@@ -155,9 +265,21 @@ class LocalitySpec:
     def to_dict(self) -> Dict[str, object]:
         return {"kind": self.kind, "max_points": self.max_points}
 
+    _KEYS = frozenset({"kind", "max_points"})
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "LocalitySpec":
-        return cls(kind=data["kind"], max_points=data.get("max_points"))
+        context = "locality spec"
+        data = _expect_object(data, context)
+        _reject_unknown_keys(data, cls._KEYS, context)
+        return cls(
+            kind=_typed(
+                data, "kind", str, "an analyzer name", context, required=True
+            ),
+            max_points=_typed(
+                data, "max_points", int, "an integer", context
+            ),
+        )
 
 
 @dataclass(frozen=True)
@@ -191,13 +313,28 @@ class GroupSpec:
             "steady": self.steady,
         }
 
+    _KEYS = frozenset({"label", "machine", "scheduler", "steady"})
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "GroupSpec":
+        context = "group spec"
+        data = _expect_object(data, context)
+        _reject_unknown_keys(data, cls._KEYS, context)
+        label = _typed(
+            data, "label", str, "a string", context, required=True
+        )
+        context = f"group spec {label!r}"
+        machine = data.get("machine")
+        if machine is None:
+            raise ValueError(f"{context} is missing required key 'machine'")
         return cls(
-            label=data["label"],
-            machine=MachineSpec.from_dict(data["machine"]),
-            scheduler=data["scheduler"],
-            steady=data.get("steady"),
+            label=label,
+            machine=MachineSpec.from_dict(machine),
+            scheduler=_typed(
+                data, "scheduler", str, "a scheduler name", context,
+                required=True,
+            ),
+            steady=_typed(data, "steady", str, "a steady mode", context),
         )
 
 
@@ -325,36 +462,95 @@ class ScenarioSpec:
             "figure_args": {key: value for key, value in self.figure_args},
         }
 
+    _KEYS = frozenset(
+        {
+            "name",
+            "description",
+            "groups",
+            "thresholds",
+            "suite",
+            "kernels",
+            "locality",
+            "n_iterations",
+            "n_times",
+            "steady",
+            "sim",
+            "figure",
+            "figure_args",
+        }
+    )
+
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "ScenarioSpec":
         def _tupled(value):
             return tuple(value) if isinstance(value, list) else value
 
+        context = "scenario spec"
+        data = _expect_object(data, context)
+        _reject_unknown_keys(data, cls._KEYS, context)
+        name = _typed(data, "name", str, "a string", context, required=True)
+        context = f"scenario spec {name!r}"
+        groups = data.get("groups")
+        if groups is None:
+            groups = []
+        elif not isinstance(groups, (list, tuple)):
+            raise ValueError(
+                f"key 'groups' in {context} must be a list of group "
+                f"specs, got {type(groups).__name__}"
+            )
+        figure_args = data.get("figure_args")
+        if figure_args is None:
+            figure_args = {}
+        else:
+            figure_args = _expect_object(
+                figure_args, f"key 'figure_args' in {context}"
+            )
+        locality = data.get("locality")
         return cls(
-            name=data["name"],
-            description=data["description"],
-            groups=tuple(
-                GroupSpec.from_dict(group) for group in data.get("groups", [])
+            name=name,
+            description=_typed(
+                data, "description", str, "a string", context, required=True
             ),
-            thresholds=tuple(data.get("thresholds", [1.0])),
-            suite=data.get("suite", "spec"),
+            groups=tuple(GroupSpec.from_dict(group) for group in groups),
+            thresholds=tuple(
+                _typed_list(
+                    data, "thresholds", (int, float), "numbers", context,
+                    default=[1.0],
+                )
+            ),
+            suite=_typed(
+                data, "suite", str, "a suite name", context, default="spec"
+            ),
             kernels=(
                 None
                 if data.get("kernels") is None
-                else tuple(data["kernels"])
+                else tuple(
+                    _typed_list(
+                        data, "kernels", str, "kernel names", context
+                    )
+                )
             ),
             locality=LocalitySpec.from_dict(
-                data.get("locality", {"kind": "sampling", "max_points": 512})
+                locality
+                if locality is not None
+                else {"kind": "sampling", "max_points": 512}
             ),
-            n_iterations=data.get("n_iterations"),
-            n_times=data.get("n_times"),
-            steady=data.get("steady", "auto"),
-            sim=data.get("sim", DEFAULT_SIM_ENGINE),
-            figure=data.get("figure"),
+            n_iterations=_typed(
+                data, "n_iterations", int, "an integer", context
+            ),
+            n_times=_typed(data, "n_times", int, "an integer", context),
+            steady=_typed(
+                data, "steady", str, "a steady mode", context, default="auto"
+            ),
+            sim=_typed(
+                data, "sim", str, "a simulate engine", context,
+                default=DEFAULT_SIM_ENGINE,
+            ),
+            figure=_typed(data, "figure", str, "a figure name", context),
             figure_args=tuple(
                 sorted(
-                    (key, _tupled(value))
-                    for key, value in data.get("figure_args", {}).items()
+                    (str(key), _tupled(value))
+                    for key, value in figure_args.items()
                 )
             ),
         )
@@ -448,6 +644,26 @@ def scenario_names() -> List[str]:
 
 def all_scenarios() -> List[ScenarioSpec]:
     return [_REGISTRY[name] for name in scenario_names()]
+
+
+def scenario_listing() -> List[Dict[str, object]]:
+    """Machine-readable registry listing, in name order.
+
+    The single serializer behind both ``repro scenarios --json`` and the
+    experiment service's ``GET /scenarios`` endpoint, so the two can
+    never drift apart.  Each entry carries the summary columns of the
+    human-readable table plus the full round-trippable spec.
+    """
+    return [
+        {
+            "name": scenario.name,
+            "kind": "figure" if scenario.is_figure else "grid",
+            "cells": scenario.n_cells(),
+            "description": scenario.description,
+            "spec": scenario.to_dict(),
+        }
+        for scenario in all_scenarios()
+    ]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,62 @@
+"""The long-running experiment service.
+
+``repro serve`` turns the experiment stack into a persistent asyncio
+HTTP service: one warm process owns the
+:class:`~repro.harness.grid.ExperimentGrid` and its content-addressed
+stores (trace, warm-state, per-stage results) across every job it runs,
+so the second submission of a scenario — or the first submission of a
+*neighbouring* one — reuses analyze/schedule/simulate products instead
+of recomputing them the way a fresh CLI process would.
+
+Layering (each module usable on its own):
+
+* :mod:`repro.service.http` — a minimal zero-dependency HTTP/1.1 layer
+  over ``asyncio`` streams (request parsing, JSON responses, NDJSON
+  streaming);
+* :mod:`repro.service.backend` — the pluggable :class:`ResultBackend`
+  protocol for job-record persistence (in-proc dict → disk directory);
+* :mod:`repro.service.jobs` — the :class:`JobManager` that owns the
+  persistent grid, runs jobs off the event loop and publishes per-cell
+  progress events;
+* :mod:`repro.service.server` — the endpoint routing and the asyncio
+  server (:class:`ExperimentServer`, plus the test-friendly
+  :class:`ServerThread`);
+* :mod:`repro.service.export` — npz/csv quick-look artifacts from any
+  result set;
+* :mod:`repro.service.client` — the stdlib ``urllib`` client behind
+  ``repro submit`` and the end-to-end tests.
+"""
+
+from .backend import BACKEND_KINDS, DiskBackend, MemoryBackend, ResultBackend, make_backend
+from .client import ServiceClient, ServiceError
+from .export import (
+    EXPORT_FORMATS,
+    export_outcome,
+    export_records,
+    load_npz,
+    outcome_records,
+    records_to_npz,
+)
+from .jobs import Job, JobManager
+from .server import ExperimentServer, ServerThread, run_server
+
+__all__ = [
+    "BACKEND_KINDS",
+    "DiskBackend",
+    "EXPORT_FORMATS",
+    "ExperimentServer",
+    "Job",
+    "JobManager",
+    "MemoryBackend",
+    "ResultBackend",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceError",
+    "export_outcome",
+    "export_records",
+    "load_npz",
+    "make_backend",
+    "outcome_records",
+    "records_to_npz",
+    "run_server",
+]

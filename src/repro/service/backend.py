@@ -1,0 +1,144 @@
+"""Pluggable job-record persistence.
+
+The service stores one JSON-serializable record per job (spec, state,
+telemetry, result payload, export records).  :class:`ResultBackend` is
+the seam that keeps laptop runs zero-dependency while allowing a real
+deployment to swap in a shared store: the in-proc :class:`MemoryBackend`
+is the default, :class:`DiskBackend` persists records as JSON files so
+jobs survive a restart, and an external store only has to implement the
+same four methods.
+
+Records are plain dicts of JSON types — by construction (the
+:class:`~repro.service.jobs.JobManager` serializes results through
+``RunResult.canonical()`` / the figure payload before they get here), so
+every backend can persist them without pickling live objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = [
+    "BACKEND_KINDS",
+    "ResultBackend",
+    "MemoryBackend",
+    "DiskBackend",
+    "make_backend",
+]
+
+
+class ResultBackend:
+    """What the service needs from a job store (the protocol).
+
+    Implementations must tolerate concurrent calls from the job worker
+    threads and the event loop; both built-ins rely on single dict/file
+    operations being atomic.
+    """
+
+    def save(self, record: Dict[str, object]) -> None:
+        """Insert or replace the record (keyed by ``record['id']``)."""
+        raise NotImplementedError
+
+    def load(self, job_id: str) -> Optional[Dict[str, object]]:
+        """The record for ``job_id``, or ``None``."""
+        raise NotImplementedError
+
+    def job_ids(self) -> List[str]:
+        """Every known job id, in insertion (creation) order."""
+        raise NotImplementedError
+
+    def delete(self, job_id: str) -> bool:
+        """Remove one record; ``True`` if it existed."""
+        raise NotImplementedError
+
+
+class MemoryBackend(ResultBackend):
+    """The default in-proc store: a dict, nothing survives the process."""
+
+    def __init__(self) -> None:
+        self._records: Dict[str, Dict[str, object]] = {}
+
+    def save(self, record: Dict[str, object]) -> None:
+        self._records[str(record["id"])] = record
+
+    def load(self, job_id: str) -> Optional[Dict[str, object]]:
+        return self._records.get(job_id)
+
+    def job_ids(self) -> List[str]:
+        return list(self._records)
+
+    def delete(self, job_id: str) -> bool:
+        return self._records.pop(job_id, None) is not None
+
+
+class DiskBackend(ResultBackend):
+    """JSON-file-per-job persistence under one directory.
+
+    Writes are atomic (unique temp name + rename, the repo-wide cache
+    convention) and corrupt or foreign files are skipped as missing,
+    never raised — disk rot must not take the service down.
+    """
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, job_id: str) -> Path:
+        return self.directory / f"{job_id}.json"
+
+    def save(self, record: Dict[str, object]) -> None:
+        path = self._path(str(record["id"]))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}.{uuid.uuid4().hex[:8]}")
+        tmp.write_text(json.dumps(record, sort_keys=True))
+        tmp.replace(path)
+
+    def load(self, job_id: str) -> Optional[Dict[str, object]]:
+        path = self._path(job_id)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+            if not isinstance(record, dict) or record.get("id") != job_id:
+                raise ValueError("foreign job record")
+            return record
+        except Exception:
+            return None
+
+    def job_ids(self) -> List[str]:
+        records = []
+        for path in sorted(self.directory.glob("*.json")):
+            record = self.load(path.stem)
+            if record is not None:
+                records.append(record)
+        records.sort(key=lambda record: record.get("sequence", 0))
+        return [str(record["id"]) for record in records]
+
+    def delete(self, job_id: str) -> bool:
+        path = self._path(job_id)
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False
+
+
+BACKEND_KINDS = ("memory", "disk")
+
+
+def make_backend(
+    kind: str, directory: Optional[os.PathLike] = None
+) -> ResultBackend:
+    """Build a backend by name (the ``repro serve --backend`` choices)."""
+    if kind == "memory":
+        return MemoryBackend()
+    if kind == "disk":
+        if directory is None:
+            raise ValueError("the disk backend needs a directory")
+        return DiskBackend(directory)
+    raise ValueError(
+        f"unknown backend {kind!r}; choose from {BACKEND_KINDS}"
+    )

@@ -38,6 +38,7 @@ from __future__ import annotations
 import hashlib
 import os
 import pickle
+import threading
 import uuid
 from dataclasses import dataclass
 from pathlib import Path
@@ -85,6 +86,18 @@ class WarmStateStore:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # The experiment service shares one store across job threads;
+        # entry-map and counter mutation happens under this lock.
+        self._lock = threading.RLock()
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        del state["_lock"]  # locks don't pickle; workers get their own
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -114,21 +127,23 @@ class WarmStateStore:
     # ------------------------------------------------------------------
     def lookup(self, key: str) -> Optional[WarmRecord]:
         """Return the record for ``key`` or ``None`` (counting a miss)."""
-        record = self._memory.get(key)
-        if record is not None:
-            self.hits += 1
-            return record
-        record = self._disk_load(key)
-        if record is not None:
-            self._memory[key] = record
-            self.hits += 1
-            return record
-        self.misses += 1
-        return None
+        with self._lock:
+            record = self._memory.get(key)
+            if record is not None:
+                self.hits += 1
+                return record
+            record = self._disk_load(key)
+            if record is not None:
+                self._memory[key] = record
+                self.hits += 1
+                return record
+            self.misses += 1
+            return None
 
     def store(self, key: str, record: WarmRecord) -> None:
-        self._memory[key] = record
-        self.stores += 1
+        with self._lock:
+            self._memory[key] = record
+            self.stores += 1
         self._disk_store(key, record)
 
     # ------------------------------------------------------------------
@@ -170,6 +185,11 @@ class WarmStateStore:
                 tmp.unlink()
             except OSError:
                 pass
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory layer (the disk layer is untouched)."""
+        with self._lock:
+            self._memory.clear()
 
     def clear_disk(self) -> None:
         """Remove every on-disk entry (the in-memory map is untouched)."""

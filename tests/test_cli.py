@@ -143,3 +143,69 @@ class TestCommands:
     def test_jobs_must_be_positive(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig5", "--jobs", "0"])
+
+
+class TestServiceCommands:
+    def test_scenarios_json_matches_listing(self, capsys):
+        from repro.harness.scenarios import scenario_listing
+
+        assert main(["scenarios", "--json"]) == 0
+        out = capsys.readouterr().out
+        assert json.loads(out) == json.loads(json.dumps(scenario_listing()))
+
+    def test_export_csv(self, capsys, tmp_path):
+        out_path = tmp_path / "smoke.csv"
+        assert main(
+            ["export", "fig6-smoke", "--format", "csv",
+             "--out", str(out_path), "--no-progress"]
+        ) == 0
+        assert "records written" in capsys.readouterr().out
+        header = out_path.read_text().splitlines()[0]
+        assert "total_cycles" in header and "norm_total" in header
+
+    def test_export_npz_round_trips(self, capsys, tmp_path):
+        from repro.harness.scenarios import run_scenario
+        from repro.service import load_npz, outcome_records
+
+        out_path = tmp_path / "smoke.npz"
+        assert main(
+            ["export", "fig6-smoke", "--out", str(out_path),
+             "--no-progress"]
+        ) == 0
+        assert load_npz(out_path) == outcome_records(
+            run_scenario("fig6-smoke")
+        )
+
+    def test_export_unknown_scenario_fails(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            main(["export", "fig7", "--no-progress"])
+
+    def test_serve_disk_backend_needs_directory(self, capsys):
+        assert main(["serve", "--backend", "disk"]) == 2
+        assert "--backend-dir" in capsys.readouterr().err
+
+    def test_submit_streams_and_prints_result(self, capsys):
+        from repro.service import ServerThread
+
+        with ServerThread() as srv:
+            assert main(
+                ["submit", "fig6-smoke", "--url", srv.url]
+            ) == 0
+        captured = capsys.readouterr()
+        assert "stage-store hits" in captured.out
+        assert json.loads(captured.out.split("\n", 1)[1])["kind"] == "figure"
+        assert "done" in captured.err
+
+    def test_submit_unreachable_service_fails(self, capsys):
+        assert main(
+            ["submit", "fig6-smoke", "--url", "http://127.0.0.1:9",
+             "--timeout", "2"]
+        ) == 1
+        assert "service error" in capsys.readouterr().err
+
+    def test_submit_unknown_scenario_fails(self, capsys):
+        from repro.service import ServerThread
+
+        with ServerThread() as srv:
+            assert main(["submit", "fig7", "--url", srv.url]) == 1
+        assert "unknown scenario" in capsys.readouterr().err

@@ -17,6 +17,7 @@ from repro.harness.scenarios import (
     get_scenario,
     register_scenario,
     run_scenario,
+    scenario_listing,
     scenario_names,
 )
 
@@ -111,6 +112,110 @@ class TestSpecValidation:
     def test_unknown_figure(self):
         with pytest.raises(KeyError, match="unknown figure"):
             ScenarioSpec(name="f7", description="x", figure="figure7")
+
+
+class TestFromDictValidation:
+    """``from_dict`` hardening: untrusted JSON (the service's POST body)
+    must fail with a ``ValueError`` naming the offending key."""
+
+    def _data(self, **overrides):
+        data = _tiny_scenario().to_dict()
+        data.update(overrides)
+        return data
+
+    def test_non_object_rejected_at_every_level(self):
+        for cls in (ScenarioSpec, MachineSpec, LocalitySpec, GroupSpec):
+            with pytest.raises(ValueError, match="must be a JSON object"):
+                cls.from_dict(["not", "an", "object"])
+
+    def test_unknown_scenario_key_named(self):
+        with pytest.raises(ValueError, match="'schedulers'"):
+            ScenarioSpec.from_dict(self._data(schedulers=["rmca"]))
+
+    def test_unknown_machine_key_named(self):
+        with pytest.raises(ValueError, match="'presett'.*machine spec"):
+            MachineSpec.from_dict({"preset": "unified", "presett": "x"})
+
+    def test_unknown_locality_key_named(self):
+        with pytest.raises(ValueError, match="'points'"):
+            LocalitySpec.from_dict({"kind": "sampling", "points": 4})
+
+    def test_unknown_group_key_named(self):
+        group = _tiny_scenario().groups[0].to_dict()
+        group["threshold"] = 0.5
+        with pytest.raises(ValueError, match="'threshold'.*group spec"):
+            GroupSpec.from_dict(group)
+
+    def test_missing_required_key_named(self):
+        data = self._data()
+        del data["name"]
+        with pytest.raises(ValueError, match="missing required key 'name'"):
+            ScenarioSpec.from_dict(data)
+
+    def test_group_missing_machine_named(self):
+        with pytest.raises(ValueError, match="missing required key 'machine'"):
+            GroupSpec.from_dict({"label": "g", "scheduler": "rmca"})
+
+    def test_wrong_typed_field_names_key(self):
+        with pytest.raises(ValueError, match="'n_iterations'.*integer"):
+            ScenarioSpec.from_dict(self._data(n_iterations="many"))
+        with pytest.raises(ValueError, match="'suite'"):
+            ScenarioSpec.from_dict(self._data(suite=7))
+
+    def test_bool_is_not_an_integer(self):
+        # bool passes isinstance(int) — the validator must still reject
+        # it wherever a number is expected.
+        with pytest.raises(ValueError, match="'n_times'"):
+            ScenarioSpec.from_dict(self._data(n_times=True))
+        with pytest.raises(ValueError, match="'thresholds'"):
+            ScenarioSpec.from_dict(self._data(thresholds=[True]))
+
+    def test_bad_threshold_list_names_key(self):
+        with pytest.raises(ValueError, match="'thresholds'"):
+            ScenarioSpec.from_dict(self._data(thresholds="1.0"))
+        with pytest.raises(ValueError, match="'thresholds'"):
+            ScenarioSpec.from_dict(self._data(thresholds=[1.0, "x"]))
+
+    def test_bad_groups_shape_named(self):
+        with pytest.raises(ValueError, match="'groups'"):
+            ScenarioSpec.from_dict(self._data(groups={"label": "g"}))
+
+    def test_bad_bus_spec_named(self):
+        for bad in ([1], [1, 2, 3], ["one", 2], [True, 2], 7):
+            with pytest.raises(ValueError, match="'memory_bus'"):
+                MachineSpec.from_dict(
+                    {"preset": "unified", "memory_bus": bad}
+                )
+        # null count (unbounded pool) stays legal
+        spec = MachineSpec.from_dict(
+            {"preset": "unified", "memory_bus": [None, 1]}
+        )
+        assert spec.memory_bus == (None, 1)
+
+    def test_bad_figure_args_shape_named(self):
+        with pytest.raises(ValueError, match="'figure_args'"):
+            ScenarioSpec.from_dict(
+                self._data(groups=[], figure="figure6", figure_args=[1, 2])
+            )
+
+
+class TestScenarioListing:
+    def test_listing_matches_registry(self):
+        listing = scenario_listing()
+        assert [entry["name"] for entry in listing] == scenario_names()
+        for entry in listing:
+            assert set(entry) == {
+                "name", "kind", "cells", "description", "spec"
+            }
+            spec = ScenarioSpec.from_dict(entry["spec"])
+            assert spec.to_dict() == entry["spec"]
+            if entry["kind"] == "figure":
+                assert entry["cells"] is None
+            else:
+                assert entry["cells"] == spec.n_cells()
+
+    def test_listing_is_json_serializable(self):
+        assert json.loads(json.dumps(scenario_listing()))
 
 
 class TestExpansion:

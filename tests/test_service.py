@@ -1,0 +1,451 @@
+"""End-to-end and unit tests for the experiment service (repro.service).
+
+The expensive part — three ``fig6-smoke`` submissions against one live
+server plus the in-process reference run — happens once in a
+module-scoped fixture; the tests then assert the ISSUE's acceptance
+criteria against it: results bit-identical to ``run_scenario``, the
+second identical job answered from the persistent stage stores, and an
+engine-override job answered from the engine-agnostic warm-state store.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.harness.grid import ExperimentGrid
+from repro.harness.io import figure_payload
+from repro.harness.scenarios import (
+    GroupSpec,
+    MachineSpec,
+    ScenarioSpec,
+    get_scenario,
+    run_scenario,
+    scenario_listing,
+)
+from repro.service import (
+    DiskBackend,
+    JobManager,
+    MemoryBackend,
+    ServerThread,
+    ServiceClient,
+    ServiceError,
+    export_records,
+    load_npz,
+    make_backend,
+    outcome_records,
+)
+from repro.service.jobs import Job
+
+
+def _tiny_spec_dict(name="svc-tiny", kernels=("tomcatv",)):
+    return ScenarioSpec(
+        name=name,
+        description="service test scenario",
+        groups=(
+            GroupSpec(
+                label="unified",
+                machine=MachineSpec(preset="unified"),
+                scheduler="baseline",
+            ),
+        ),
+        thresholds=(1.0,),
+        kernels=tuple(kernels),
+        n_iterations=8,
+        n_times=2,
+    ).to_dict()
+
+
+@pytest.fixture(scope="module")
+def service():
+    with ServerThread() as srv:
+        yield srv, ServiceClient(srv.url, timeout=120.0)
+
+
+@pytest.fixture(scope="module")
+def smoke_run(service):
+    """The acceptance flow: three fig6-smoke jobs against one server."""
+    _srv, client = service
+    local = run_scenario("fig6-smoke")
+
+    job1 = client.submit(scenario="fig6-smoke")
+    events1 = list(client.events(job1["id"]))
+    result1 = client.result(job1["id"])
+
+    job2 = client.submit(scenario="fig6-smoke")
+    result2 = client.wait(job2["id"])
+
+    job3 = client.submit(scenario="fig6-smoke", sim="scalar")
+    result3 = client.wait(job3["id"])
+
+    return {
+        "local": local,
+        "jobs": (job1, job2, job3),
+        "events1": events1,
+        "results": (result1, result2, result3),
+    }
+
+
+class TestEndToEnd:
+    def test_health_and_scenarios(self, service):
+        _srv, client = service
+        assert client.health() == {"ok": True}
+        # The endpoint and the CLI share one serializer.
+        assert client.scenarios() == json.loads(
+            json.dumps(scenario_listing())
+        )
+
+    def test_event_stream_shape(self, smoke_run):
+        events = smoke_run["events1"]
+        assert [e["seq"] for e in events] == list(range(len(events)))
+        states = [e["state"] for e in events if e["type"] == "state"]
+        assert states == ["queued", "running", "done"]
+        cells = [e for e in events if e["type"] == "cell"]
+        assert cells, "per-cell progress events must stream"
+        assert [c["done"] for c in cells] == list(range(1, len(cells) + 1))
+        assert cells[-1]["done"] == cells[-1]["total"]
+        assert {c["source"] for c in cells} <= {
+            "computed", "memory", "disk", "dedup"
+        }
+
+    def test_result_bit_identical_to_in_process(self, smoke_run):
+        remote = smoke_run["results"][0]["result"]
+        assert remote["kind"] == "figure"
+        local_payload = json.loads(
+            json.dumps(figure_payload(smoke_run["local"].figure))
+        )
+        assert remote["figure"] == local_payload
+
+    def test_jobs_report_identical_results(self, smoke_run):
+        result1, result2, result3 = smoke_run["results"]
+        assert result1["result"] == result2["result"]
+        # The scalar engine is bit-identical to the vectorized default.
+        assert result1["result"] == result3["result"]
+
+    def test_second_job_served_by_stage_stores(self, smoke_run):
+        telemetry = smoke_run["results"][1]["telemetry"]
+        assert telemetry["store_hits"] > 0
+        assert telemetry["stages"]["schedule"]["hits"] > 0
+        assert telemetry["stages"]["simulate"]["hits"] > 0
+        assert telemetry["stages"]["schedule"]["misses"] == 0
+        assert telemetry["stages"]["simulate"]["misses"] == 0
+
+    def test_engine_override_served_by_warm_store(self, smoke_run):
+        # The warm-state key excludes the sim engine, the simulate-store
+        # key includes it: a scalar re-run re-simulates, but adopts the
+        # vectorized run's schedules and warm-up prefixes.
+        telemetry = smoke_run["results"][2]["telemetry"]
+        assert telemetry["stages"]["schedule"]["hits"] > 0
+        assert telemetry["sim_warm_hits"] > 0
+
+    def test_event_cursor_resume_and_replay(self, service, smoke_run):
+        _srv, client = service
+        job_id = smoke_run["jobs"][0]["id"]
+        all_events = list(client.events(job_id, follow=False))
+        assert all_events == smoke_run["events1"]
+        tail = list(client.events(job_id, cursor=len(all_events) - 1))
+        assert tail == all_events[-1:]
+
+    def test_job_listing_and_describe(self, service, smoke_run):
+        _srv, client = service
+        ids = [job["id"] for job in client.jobs()]
+        submitted = [job["id"] for job in smoke_run["jobs"]]
+        assert [i for i in ids if i in submitted] == submitted
+        description = client.job(submitted[0])
+        assert description["state"] == "done"
+        assert description["scenario"] == "fig6-smoke"
+        assert description["finished"] >= description["started"]
+
+    def test_export_matches_in_process_records(
+        self, service, smoke_run, tmp_path
+    ):
+        _srv, client = service
+        job_id = smoke_run["jobs"][0]["id"]
+        records = outcome_records(smoke_run["local"])
+
+        npz_path = tmp_path / "remote.npz"
+        npz_path.write_bytes(client.export(job_id, "npz"))
+        assert load_npz(npz_path) == records
+
+        local_csv = export_records(records, tmp_path / "local.csv", "csv")
+        assert client.export(job_id, "csv") == local_csv.read_bytes()
+
+    def test_stats_shape(self, service, smoke_run):
+        _srv, client = service
+        stats = client.stats()
+        assert stats["jobs"]["done"] >= 3
+        assert stats["jobs"]["failed"] == 0
+        assert stats["scenarios"] == len(scenario_listing())
+        grid_stats = list(stats["grids"].values())
+        assert grid_stats, "the persistent grid must be reported"
+        assert grid_stats[0]["stages"]["schedule"]["hits"] > 0
+
+
+class TestValidationOverHttp:
+    def test_unknown_scenario_is_400(self, service):
+        _srv, client = service
+        with pytest.raises(ServiceError, match="unknown scenario") as info:
+            client.submit(scenario="fig7")
+        assert info.value.status == 400
+
+    def test_unknown_submit_key_is_400_and_named(self, service):
+        srv, _client = service
+        body = json.dumps({"scenario": "fig6-smoke", "prio": 3}).encode()
+        request = urllib.request.Request(
+            srv.url + "/jobs", data=body, method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+        assert "'prio'" in json.loads(info.value.read())["error"]
+
+    def test_scenario_and_spec_together_is_400(self, service):
+        _srv, client = service
+        with pytest.raises(ServiceError, match="exactly one") as info:
+            client.submit(scenario="fig6-smoke", spec=_tiny_spec_dict())
+        assert info.value.status == 400
+
+    def test_bad_inline_spec_is_400_and_named(self, service):
+        _srv, client = service
+        spec = _tiny_spec_dict()
+        spec["n_iterations"] = "many"
+        with pytest.raises(ServiceError, match="'n_iterations'") as info:
+            client.submit(spec=spec)
+        assert info.value.status == 400
+
+    def test_bad_override_is_400(self, service):
+        _srv, client = service
+        with pytest.raises(ServiceError, match="'sim'") as info:
+            client.submit(scenario="fig6-smoke", sim="quantum")
+        assert info.value.status == 400
+
+    def test_malformed_json_body_is_400(self, service):
+        srv, _client = service
+        request = urllib.request.Request(
+            srv.url + "/jobs", data=b"{not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as info:
+            urllib.request.urlopen(request, timeout=10)
+        assert info.value.code == 400
+
+    def test_unknown_job_is_404(self, service):
+        _srv, client = service
+        with pytest.raises(ServiceError, match="unknown job") as info:
+            client.job("deadbeef")
+        assert info.value.status == 404
+
+    def test_unknown_route_is_404(self, service):
+        _srv, client = service
+        with pytest.raises(ServiceError, match="no route") as info:
+            client._get_json("/teapots")
+        assert info.value.status == 404
+
+    def test_result_before_terminal_is_409(self, service):
+        srv, client = service
+        # White-box: a job parked in 'queued' (never handed to the
+        # worker), so the race-free way to observe the 409.
+        job = Job("stalled0409", 9_999, get_scenario("fig6-smoke"), {})
+        srv.manager._jobs[job.id] = job
+        try:
+            with pytest.raises(ServiceError, match="queued") as info:
+                client.result(job.id)
+            assert info.value.status == 409
+            with pytest.raises(ServiceError) as info:
+                client.export(job.id)
+            assert info.value.status == 409
+            events = list(client.events(job.id, follow=False))
+            assert [e["state"] for e in events] == ["queued"]
+        finally:
+            del srv.manager._jobs[job.id]
+
+    def test_bad_export_format_is_400(self, service, smoke_run):
+        _srv, client = service
+        job_id = smoke_run["jobs"][0]["id"]
+        with pytest.raises(ServiceError, match="parquet") as info:
+            client.export(job_id, "parquet")
+        assert info.value.status == 400
+
+    def test_bad_event_cursor_is_400(self, service, smoke_run):
+        _srv, client = service
+        job_id = smoke_run["jobs"][0]["id"]
+        with pytest.raises(ServiceError, match="cursor") as info:
+            client._get_json(f"/jobs/{job_id}/events?cursor=later")
+        assert info.value.status == 400
+
+
+class TestFailedJob:
+    def test_failure_is_observable_not_fatal(self, monkeypatch):
+        def _boom(*_args, **_kwargs):
+            raise RuntimeError("scheduler exploded")
+
+        monkeypatch.setattr("repro.service.jobs.run_scenario", _boom)
+        with ServerThread() as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(spec=_tiny_spec_dict())
+            events = list(client.events(job["id"]))
+            assert events[-1]["state"] == "failed"
+            assert "scheduler exploded" in events[-1]["error"]
+            result = client.result(job["id"])
+            assert result["state"] == "failed"
+            assert "RuntimeError" in result["error"]
+            assert result["result"] is None
+            with pytest.raises(ServiceError) as info:
+                client.export(job["id"])
+            assert info.value.status == 409
+            # The service stays alive and healthy after a failed job.
+            assert client.health() == {"ok": True}
+
+
+class TestConcurrency:
+    def test_one_grid_survives_two_concurrent_scenarios(self):
+        """Two threads drive one grid at once (the service's sharing
+        pattern, minus the serializing executor): no exceptions, and
+        both results bit-identical to serial reference runs."""
+        spec_a = ScenarioSpec.from_dict(_tiny_spec_dict("conc-a", ("tomcatv",)))
+        spec_b = ScenarioSpec.from_dict(
+            _tiny_spec_dict("conc-b", ("swim", "tomcatv"))
+        )
+        reference = {
+            spec.name: [r.canonical() for r in run_scenario(spec).results]
+            for spec in (spec_a, spec_b)
+        }
+        grid = ExperimentGrid(
+            locality=spec_a.locality.build(), cell_cache=False
+        )
+        outcomes = {}
+        errors = []
+
+        def _run(spec):
+            try:
+                outcomes[spec.name] = run_scenario(spec, grid=grid)
+            except Exception as exc:  # pragma: no cover - the assertion
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=_run, args=(spec,))
+            for spec in (spec_a, spec_b)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60)
+        assert not errors
+        for spec in (spec_a, spec_b):
+            got = [r.canonical() for r in outcomes[spec.name].results]
+            assert got == reference[spec.name]
+        assert grid.stats.requested == 3
+
+    def test_concurrent_submissions_both_complete(self, service):
+        _srv, client = service
+        results = {}
+
+        def _submit(name, kernels):
+            job = client.submit(spec=_tiny_spec_dict(name, kernels))
+            results[name] = client.wait(job["id"])
+
+        threads = [
+            threading.Thread(target=_submit, args=(f"conc-sub-{i}", ("swim",)))
+            for i in range(2)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert len(results) == 2
+        first, second = results.values()
+        assert first["state"] == second["state"] == "done"
+        assert first["result"] == second["result"]
+
+
+class TestBackends:
+    def test_memory_backend_round_trip(self):
+        backend = MemoryBackend()
+        backend.save({"id": "a", "sequence": 1, "state": "done"})
+        backend.save({"id": "b", "sequence": 2, "state": "queued"})
+        assert backend.load("a")["state"] == "done"
+        assert backend.load("missing") is None
+        assert backend.job_ids() == ["a", "b"]
+        assert backend.delete("a") and not backend.delete("a")
+        assert backend.job_ids() == ["b"]
+
+    def test_disk_backend_round_trip(self, tmp_path):
+        backend = DiskBackend(tmp_path / "jobs")
+        backend.save({"id": "b", "sequence": 2, "state": "done"})
+        backend.save({"id": "a", "sequence": 1, "state": "done"})
+        assert backend.load("a")["sequence"] == 1
+        assert backend.job_ids() == ["a", "b"]  # creation order, not name
+        assert backend.delete("b") and not backend.delete("b")
+        assert backend.job_ids() == ["a"]
+
+    def test_disk_backend_tolerates_rot(self, tmp_path):
+        backend = DiskBackend(tmp_path)
+        (tmp_path / "corrupt.json").write_text("{truncated")
+        (tmp_path / "foreign.json").write_text(json.dumps({"id": "other"}))
+        assert backend.load("corrupt") is None
+        assert backend.load("foreign") is None
+        assert backend.job_ids() == []
+
+    def test_make_backend(self, tmp_path):
+        assert isinstance(make_backend("memory"), MemoryBackend)
+        assert isinstance(make_backend("disk", tmp_path), DiskBackend)
+        with pytest.raises(ValueError, match="needs a directory"):
+            make_backend("disk")
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("redis")
+
+    def test_served_jobs_persist_through_disk_backend(self, tmp_path):
+        manager = JobManager(backend=DiskBackend(tmp_path / "jobs"))
+        with ServerThread(manager=manager) as srv:
+            client = ServiceClient(srv.url)
+            job = client.submit(spec=_tiny_spec_dict("persist"))
+            client.wait(job["id"])
+        record = DiskBackend(tmp_path / "jobs").load(job["id"])
+        assert record["state"] == "done"
+        assert record["result"]["kind"] == "grid"
+        assert record["telemetry"]["grid"]["computed"] == 1
+        assert record["export_records"]
+
+
+class TestParsePayload:
+    def test_non_object_rejected(self):
+        manager = JobManager()
+        with pytest.raises(ValueError, match="JSON object"):
+            manager.parse_payload(["fig6-smoke"])
+
+    def test_unknown_keys_named(self):
+        manager = JobManager()
+        with pytest.raises(ValueError, match="'priority'"):
+            manager.parse_payload(
+                {"scenario": "fig6-smoke", "priority": "high"}
+            )
+
+    def test_exactly_one_of_scenario_or_spec(self):
+        manager = JobManager()
+        with pytest.raises(ValueError, match="exactly one"):
+            manager.parse_payload({})
+        with pytest.raises(ValueError, match="exactly one"):
+            manager.parse_payload(
+                {"scenario": "fig6-smoke", "spec": _tiny_spec_dict()}
+            )
+
+    def test_overrides_validated_and_named(self):
+        manager = JobManager()
+        with pytest.raises(ValueError, match="'steady'"):
+            manager.parse_payload(
+                {"scenario": "fig6-smoke", "steady": "sometimes"}
+            )
+        with pytest.raises(ValueError, match="'sim'"):
+            manager.parse_payload({"scenario": "fig6-smoke", "sim": 3})
+
+    def test_valid_payloads_resolve(self):
+        manager = JobManager()
+        spec, overrides = manager.parse_payload(
+            {"scenario": "fig6-smoke", "sim": "scalar"}
+        )
+        assert spec.name == "fig6-smoke"
+        assert overrides == {"sim": "scalar"}
+        spec, overrides = manager.parse_payload({"spec": _tiny_spec_dict()})
+        assert spec.kernels == ("tomcatv",)
+        assert overrides == {}
