@@ -1,26 +1,26 @@
-"""Record the PR 7 stage-store win: wall-clock and per-stage hit rates
-for a no-store pass (per-stage dedup disabled), a cold pass (fresh
-stage store — in-run dedup only) and a warm pass (store primed by the
-cold pass) on the fig6, streaming and fig6-steady-ablation scenarios,
-on both simulate engines.
+"""Record the PR 10 plan-execution numbers: wall-clock, per-stage hit
+rates and plan counters for cold and warm passes on the fig6, streaming
+and fig6-steady-ablation scenarios, with the stage-task plan on (the
+new default) and off (the per-cell reference walk, ``--no-plan``).
 
-Each trial builds a fresh in-memory ``StageStore``, runs the scenario
-with the store disabled (the pre-PR baseline), then cold against the
-empty store — threshold sweeps frequently produce byte-identical
-schedules, so duplicate cells skip the simulate stage *within* the
-run — and finally warm against the primed store, the repeat-sweep /
-cross-scenario case where every schedule and simulation is adopted
-instead of recomputed.  Results must be identical across engines,
-passes and store settings (bars for figure scenarios, per-cell
+Each trial builds one fresh in-memory ``StageStore`` per mode and runs
+the scenario cold against it (every unique analyze/schedule/simulate
+key executes exactly once under the plan; the reference path discovers
+the same dedup reactively) and then warm (every unique key hits at
+plan time — the plan has zero tasks left to execute).  Results must be
+identical across modes and passes (bars for figure scenarios, per-cell
 cycle/stall/memory digests for grid scenarios); timings, per-stage
-second splits and per-stage hit/miss/store counters go to
-``benchmarks/BENCH_pr7.json``.
+second splits, stage-store counters and the plan counters
+(planned/executed task counts, batch count, max co-batch width) go to
+``benchmarks/BENCH_pr10.json``.
 
-The acceptance bar of PR 7: on fig6 the cold pass shows non-zero
-simulate-store hits (duplicate schedules skip simulate entirely) and
-the warm pass reuses every schedule, with bit-identical figures and a
-measurable warm-vs-nostore wall-clock win.  The PR 6 recording
-(``benchmarks/BENCH_pr6.json``, same container/protocol) is quoted
+The acceptance bar of PR 10: on the cold fig6 pass the planned task
+counts equal the unique store keys (``schedule_tasks ==
+schedule stores``, same for simulate — nothing executes twice), the
+simulate batches are wider than one cell (``batch_width_max > 1``),
+the warm pass plans zero tasks, and every digest matches the no-plan
+reference bit for bit.  The PR 7 recording
+(``benchmarks/BENCH_pr7.json``, same container/protocol) is quoted
 alongside.
 
 Usage::
@@ -28,8 +28,8 @@ Usage::
     PYTHONPATH=src python benchmarks/record_perf.py [--out PATH]
         [--skip-fig6] [--repeats N]
 
-Single-job on purpose: the point is the per-cell dedup, not process
-fan-out (which composes with it).
+Single-job on purpose: the point is the up-front dedup and the
+co-batched simulate, not process fan-out (which composes with both).
 """
 
 from __future__ import annotations
@@ -45,18 +45,18 @@ from repro.engine import StageStore
 from repro.harness.grid import ExperimentGrid
 from repro.harness.scenarios import get_scenario, run_scenario
 
-DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_pr7.json"
-PR6_RECORDING = pathlib.Path(__file__).parent / "BENCH_pr6.json"
+DEFAULT_OUT = pathlib.Path(__file__).parent / "BENCH_pr10.json"
+PR7_RECORDING = pathlib.Path(__file__).parent / "BENCH_pr7.json"
 
-#: The engines under comparison; both are bit-identical lockstep models.
-SIM_ENGINES = ("scalar", "vectorized")
-#: Store passes: "nostore" disables per-stage dedup (the pre-PR
-#: baseline), "cold" primes a fresh store, "warm" replays from it.
-PASSES = ("nostore", "cold", "warm")
+#: Execution modes under comparison; results are bit-identical.
+MODES = ("noplan", "plan")
+#: Store passes per mode: "cold" primes a fresh store (in-run dedup
+#: only), "warm" replays from it.
+PASSES = ("cold", "warm")
 
 
 def _digest(outcome):
-    """Engine- and store-independent fingerprint of a scenario's results."""
+    """Mode- and store-independent fingerprint of a scenario's results."""
     if outcome.figure is not None:
         return [
             (bar.group, bar.scheduler, bar.threshold,
@@ -71,18 +71,18 @@ def _digest(outcome):
     ]
 
 
-def _run_pass(scenario, sim: str, store: StageStore | None) -> dict:
+def _run_pass(scenario, mode: str, store: StageStore) -> dict:
     grid = ExperimentGrid(
         locality=scenario.locality.build(),
         cache=False,
-        stage_store=store is not None,
+        plan=mode == "plan",
     )
-    if store is not None:
-        grid.stage_store = store
-        before = store.telemetry()
+    grid.stage_store = store
+    before = store.telemetry()
     start = time.perf_counter()
-    outcome = run_scenario(scenario, grid=grid, steady="auto", sim=sim)
+    outcome = run_scenario(scenario, grid=grid, steady="auto")
     seconds = time.perf_counter() - start
+    after = store.telemetry()
     sample = {
         "seconds": round(seconds, 3),
         "cells_requested": grid.stats.requested,
@@ -91,51 +91,57 @@ def _run_pass(scenario, sim: str, store: StageStore | None) -> dict:
             stage: round(value, 3)
             for stage, value in grid.stats.stage_seconds.items()
         },
-        "digest": _digest(outcome),
-    }
-    if store is not None:
-        after = store.telemetry()
-        sample["stage_store"] = {
+        "stage_store": {
             stage: {
                 counter: after[stage][counter] - before[stage][counter]
                 for counter in ("hits", "misses", "stores")
             }
             for stage in after
-        }
-        sample["stage_hit_analyze"] = sample["stage_store"]["analyze"]["hits"]
-        sample["stage_hit_schedule"] = (
-            sample["stage_store"]["schedule"]["hits"]
+        },
+        "digest": _digest(outcome),
+    }
+    if mode == "plan":
+        plan = dict(grid.stats.plan)
+        plan["planned"] = (
+            plan.get("analyze_tasks", 0)
+            + plan.get("schedule_unique", 0)
+            + plan.get("simulate_unique", 0)
         )
-        sample["stage_hit_simulate"] = (
-            sample["stage_store"]["simulate"]["hits"]
+        plan["executed"] = (
+            plan.get("analyze_tasks", 0)
+            + plan.get("schedule_tasks", 0)
+            + plan.get("simulate_tasks", 0)
         )
+        sample["plan"] = plan
     return sample
 
 
-def _measure(scenario_name: str, sim: str, repeats: int) -> dict:
-    """Best nostore/cold/warm triple over ``repeats`` trials (fresh
-    store each)."""
+def _measure(scenario_name: str, repeats: int) -> dict:
+    """Best cold/warm pair per mode over ``repeats`` trials (fresh
+    store per mode per trial)."""
     scenario = get_scenario(scenario_name)
     best = None
     for _ in range(repeats):
-        store = StageStore()  # in-memory only: no disk layer
-        trial = {
-            "nostore": _run_pass(scenario, sim, None),
-            "cold": _run_pass(scenario, sim, store),
-            "warm": _run_pass(scenario, sim, store),
-        }
+        trial = {}
+        for mode in MODES:
+            store = StageStore()  # in-memory only: no disk layer
+            trial[mode] = {
+                "cold": _run_pass(scenario, mode, store),
+                "warm": _run_pass(scenario, mode, store),
+            }
         if best is None or (
-            trial["warm"]["seconds"] < best["warm"]["seconds"]
+            trial["plan"]["cold"]["seconds"]
+            < best["plan"]["cold"]["seconds"]
         ):
             best = trial
     return best
 
 
-def _pr6_baseline() -> dict:
-    """Quote the PR 6 recording (same protocol) when it is available."""
-    if not PR6_RECORDING.exists():
-        return {"note": "BENCH_pr6.json not found"}
-    data = json.loads(PR6_RECORDING.read_text())
+def _pr7_baseline() -> dict:
+    """Quote the PR 7 recording (same protocol) when it is available."""
+    if not PR7_RECORDING.exists():
+        return {"note": "BENCH_pr7.json not found"}
+    data = json.loads(PR7_RECORDING.read_text())
     quoted = {}
     for name, entry in data.get("scenarios", {}).items():
         runs = entry.get("sims", {}).get("vectorized", {})
@@ -159,77 +165,86 @@ def _speedup(before, after):
 
 
 def record(scenarios, out: pathlib.Path, repeats: int) -> dict:
-    pr6 = _pr6_baseline()
+    pr7 = _pr7_baseline()
     results = {}
     for name in scenarios:
-        runs = {}
-        for sim in SIM_ENGINES:
-            print(f"[{name}] sim={sim} ...", flush=True)
-            runs[sim] = _measure(name, sim, repeats)
+        print(f"[{name}] ...", flush=True)
+        modes = _measure(name, repeats)
+        for mode in MODES:
             for pass_name in PASSES:
-                sample = runs[sim][pass_name]
-                hits = sample.get("stage_store", {})
+                sample = modes[mode][pass_name]
+                hits = sample["stage_store"]
                 line = (
-                    f"[{name}]   {pass_name}: {sample['seconds']}s"
+                    f"[{name}]   {mode}/{pass_name}: {sample['seconds']}s"
+                    f", stage hits sched "
+                    f"{hits['schedule']['hits']}/"
+                    f"{hits['schedule']['hits'] + hits['schedule']['misses']}"
+                    f" sim {hits['simulate']['hits']}/"
+                    f"{hits['simulate']['hits'] + hits['simulate']['misses']}"
                 )
-                if hits:
+                plan = sample.get("plan")
+                if plan:
                     line += (
-                        f", stage hits sched "
-                        f"{hits['schedule']['hits']}/"
-                        f"{hits['schedule']['hits'] + hits['schedule']['misses']}"
-                        f" sim {hits['simulate']['hits']}/"
-                        f"{hits['simulate']['hits'] + hits['simulate']['misses']}"
+                        f", planned {plan['planned']} executed "
+                        f"{plan['executed']}, {plan.get('batches', 0)} "
+                        f"batches (max width "
+                        f"{plan.get('batch_width_max', 0)})"
                     )
                 print(line, flush=True)
-        reference = runs["scalar"]["nostore"]["digest"]
-        for sim, trial in runs.items():
-            for pass_name, sample in trial.items():
+        reference = modes["noplan"]["cold"]["digest"]
+        for mode in MODES:
+            for pass_name, sample in modes[mode].items():
                 if sample["digest"] != reference:
                     raise AssertionError(
-                        f"{name}: sim={sim} {pass_name} pass diverges "
-                        f"from the no-store scalar reference"
+                        f"{name}: {mode} {pass_name} pass diverges from "
+                        f"the no-plan cold reference"
                     )
                 del sample["digest"]
-        vec = runs["vectorized"]
-        pr6_entry = pr6.get(name) or {}
+        pr7_entry = pr7.get(name) or {}
         results[name] = {
-            "sims": runs,
-            #: The PR's headline numbers: per-stage dedup within one run
-            #: (cold vs the disabled-store baseline) and across runs
-            #: (warm, the repeat-sweep / cross-scenario case).
-            "speedup_cold_vs_nostore": _speedup(
-                vec["nostore"]["seconds"], vec["cold"]["seconds"]
+            "modes": modes,
+            #: The PR's headline numbers: plan vs the per-cell reference
+            #: walk on the same (cold/warm) store state.
+            "speedup_cold_plan_vs_noplan": _speedup(
+                modes["noplan"]["cold"]["seconds"],
+                modes["plan"]["cold"]["seconds"],
             ),
-            "speedup_warm_vs_nostore": _speedup(
-                vec["nostore"]["seconds"], vec["warm"]["seconds"]
+            "speedup_warm_plan_vs_noplan": _speedup(
+                modes["noplan"]["warm"]["seconds"],
+                modes["plan"]["warm"]["seconds"],
             ),
-            "speedup_warm_vs_cold": _speedup(
-                vec["cold"]["seconds"], vec["warm"]["seconds"]
+            "speedup_warm_vs_cold_plan": _speedup(
+                modes["plan"]["cold"]["seconds"],
+                modes["plan"]["warm"]["seconds"],
             ),
-            #: Cross-PR: PR 6's warm pass (warm-state reuse only) vs
-            #: this PR's warm pass (schedules and simulations adopted).
-            "speedup_warm_vs_pr6_warm": _speedup(
-                (pr6_entry.get("warm") or {}).get("seconds"),
-                vec["warm"]["seconds"],
+            #: Cross-PR: PR 7's passes (reactive store, per-cell walk)
+            #: vs this PR's plan passes (same store, planned DAG).
+            "speedup_cold_vs_pr7_cold": _speedup(
+                (pr7_entry.get("cold") or {}).get("seconds"),
+                modes["plan"]["cold"]["seconds"],
+            ),
+            "speedup_warm_vs_pr7_warm": _speedup(
+                (pr7_entry.get("warm") or {}).get("seconds"),
+                modes["plan"]["warm"]["seconds"],
             ),
         }
     payload = {
-        "pr": 7,
+        "pr": 10,
         "protocol": (
             "single-job ExperimentGrid, cell cache disabled, steady=auto, "
-            "incremental CME analyzer, fresh in-memory StageStore per "
-            "trial; each trial runs the scenario with the store disabled "
-            "(baseline), cold (priming the store, in-run dedup active) "
-            "and warm (replaying from it); best warm pass of "
-            f"{repeats} trials per engine, identical results asserted "
-            "across engines, passes and store settings"
+            "vectorized engine, incremental CME analyzer, fresh in-memory "
+            "StageStore per mode per trial; each mode runs the scenario "
+            "cold (priming the store) then warm (replaying from it), with "
+            "the stage-task plan on (default) and off (per-cell reference "
+            f"walk); best cold plan pass of {repeats} trials, identical "
+            "results asserted across modes and passes"
         ),
         "platform": {
             "python": platform.python_version(),
             "machine": platform.machine(),
             "system": platform.system(),
         },
-        "pr6_baseline": pr6,
+        "pr7_baseline": pr7,
         "scenarios": results,
     }
     out.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
@@ -246,8 +261,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--repeats", type=int, default=3,
-        help="nostore+cold+warm trials per engine; the best warm pass "
-             "is recorded (default: 3)",
+        help="cold+warm trials per mode; the best cold plan pass is "
+             "recorded (default: 3)",
     )
     args = parser.parse_args(argv)
     scenarios = ["streaming", "fig6-steady-ablation"]
@@ -256,31 +271,50 @@ def main(argv=None) -> int:
     payload = record(scenarios, args.out, args.repeats)
     failed = False
     for name, entry in payload["scenarios"].items():
-        vec = entry["sims"]["vectorized"]
+        plan_cold = entry["modes"]["plan"]["cold"]
+        plan_warm = entry["modes"]["plan"]["warm"]
         print(
-            f"{name}: warm {entry['speedup_warm_vs_nostore']}x vs no-store "
-            f"(cold {entry['speedup_cold_vs_nostore']}x, "
-            f"warm-vs-cold {entry['speedup_warm_vs_cold']}x)"
+            f"{name}: cold plan {entry['speedup_cold_plan_vs_noplan']}x "
+            f"vs no-plan (warm {entry['speedup_warm_plan_vs_noplan']}x, "
+            f"warm-vs-cold {entry['speedup_warm_vs_cold_plan']}x)"
         )
-        warm_schedule = vec["warm"]["stage_store"]["schedule"]
-        if warm_schedule["misses"] != 0 or warm_schedule["hits"] == 0:
+        counters = plan_cold["plan"]
+        store = plan_cold["stage_store"]
+        # Cold acceptance: every unique key executed exactly once.
+        if counters["schedule_tasks"] != store["schedule"]["stores"]:
             print(
-                f"WARNING: {name} warm pass recomputed "
-                f"{warm_schedule['misses']} schedules"
+                f"WARNING: {name} cold plan executed "
+                f"{counters['schedule_tasks']} schedule tasks but stored "
+                f"{store['schedule']['stores']} entries"
+            )
+            failed = True
+        if counters["simulate_tasks"] != store["simulate"]["stores"]:
+            print(
+                f"WARNING: {name} cold plan executed "
+                f"{counters['simulate_tasks']} simulate tasks but stored "
+                f"{store['simulate']['stores']} entries"
+            )
+            failed = True
+        # Warm acceptance: every unique key hits at plan time.
+        if plan_warm["plan"]["executed"] != plan_warm["plan"].get(
+            "analyze_tasks", 0
+        ):
+            print(
+                f"WARNING: {name} warm plan still executed "
+                f"{plan_warm['plan']['executed']} tasks"
             )
             failed = True
         if name == "fig6-2cluster":
-            cold_sim = vec["cold"]["stage_store"]["simulate"]
-            if cold_sim["hits"] == 0:
+            if counters.get("batch_width_max", 0) <= 1:
                 print(
-                    f"WARNING: {name} cold pass had zero simulate-store "
-                    f"hits (threshold sweep should dedup schedules)"
+                    f"WARNING: {name} cold plan never co-batched simulate "
+                    f"(max width {counters.get('batch_width_max', 0)})"
                 )
                 failed = True
-            if (entry["speedup_warm_vs_nostore"] or 0) < 1.2:
+            if counters["simulate_unique"] >= counters["cells"]:
                 print(
-                    f"WARNING: {name} warm-vs-nostore speedup is "
-                    f"{entry['speedup_warm_vs_nostore']}x (< 1.2x)"
+                    f"WARNING: {name} threshold sweep deduplicated no "
+                    f"simulate work"
                 )
                 failed = True
     return 1 if failed else 0

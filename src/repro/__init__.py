@@ -20,7 +20,17 @@ The package implements the complete system the paper describes:
   motivating example, a random kernel generator,
 * :mod:`repro.analysis` — the closed-form cycle model and schedule
   metrics,
-* :mod:`repro.harness` — the Figure 5 / Figure 6 experiment sweeps.
+* :mod:`repro.engine` — the staged cell pipeline
+  (:class:`~repro.engine.stages.CellRequest` /
+  :func:`~repro.engine.pipeline.execute_cell`) and the plan-based
+  execution layer that dedups and batches stage work across cells,
+* :mod:`repro.harness` — the Figure 5 / Figure 6 experiment sweeps and
+  the :class:`~repro.harness.grid.ExperimentGrid` cell engine.
+
+Note: the re-exported :func:`run_cell` is the historical single-cell
+shim, kept for backcompat only — new call sites should build a
+:class:`~repro.engine.stages.CellRequest` (or a
+:class:`~repro.harness.grid.CellSpec` run through the grid) instead.
 
 Quickstart::
 

@@ -153,6 +153,12 @@ def build_parser() -> argparse.ArgumentParser:
                  "bit-identical either way)",
         )
         cmd.add_argument(
+            "--no-plan", action="store_true",
+            help="execute cells one by one instead of through the "
+                 "up-front stage-task plan (the bit-identical reference "
+                 "path)",
+        )
+        cmd.add_argument(
             "--cache-dir", metavar="DIR",
             help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
         )
@@ -214,6 +220,11 @@ def build_parser() -> argparse.ArgumentParser:
              "bit-identical either way)",
     )
     run_cmd.add_argument(
+        "--no-plan", action="store_true",
+        help="execute cells one by one instead of through the up-front "
+             "stage-task plan (the bit-identical reference path)",
+    )
+    run_cmd.add_argument(
         "--cache-dir", metavar="DIR",
         help="on-disk cell cache directory (default: $REPRO_GRID_CACHE)",
     )
@@ -273,6 +284,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run every cell with steady-state detection disabled "
              "(results are bit-identical either way)",
     )
+    serve_cmd.add_argument(
+        "--no-plan", action="store_true",
+        help="execute every job's cells one by one instead of through "
+             "the up-front stage-task plan",
+    )
 
     submit_cmd = sub.add_parser(
         "submit",
@@ -331,6 +347,11 @@ def build_parser() -> argparse.ArgumentParser:
     export_cmd.add_argument(
         "--no-stage-store", action="store_true",
         help="disable the per-stage content-addressed result store",
+    )
+    export_cmd.add_argument(
+        "--no-plan", action="store_true",
+        help="execute cells one by one instead of through the up-front "
+             "stage-task plan (the bit-identical reference path)",
     )
     export_cmd.add_argument(
         "--cache-dir", metavar="DIR",
@@ -455,6 +476,7 @@ def _build_grid(args: argparse.Namespace, locality) -> ExperimentGrid:
         exact=getattr(args, "exact", False),
         warm=not args.no_warm_store,
         stage_store=not args.no_stage_store,
+        plan=not getattr(args, "no_plan", False),
     )
 
 
@@ -527,13 +549,26 @@ def _grid_stats_line(grid: ExperimentGrid, stream) -> None:
             f"\nstage store: " + ", ".join(parts)
             + f", {sum(c['stores'] for c in grid.stage_store.telemetry().values())} stored"
         )
+    plan = ""
+    if stats.plan.get("runs"):
+        p = stats.plan
+        plan = (
+            f"\nplan: {p.get('cells', 0)} cells -> "
+            f"{p.get('analyze_tasks', 0)} analyze + "
+            f"{p.get('schedule_tasks', 0)}/{p.get('schedule_unique', 0)} "
+            f"schedule + "
+            f"{p.get('simulate_tasks', 0)}/{p.get('simulate_unique', 0)} "
+            f"simulate tasks, {p.get('batches', 0)} batches "
+            f"(max width {p.get('batch_width_max', 0)})"
+        )
     print(
         f"cells: {stats.requested} requested, {stats.computed} computed, "
         f"{stats.memory_hits + stats.disk_hits} cached, "
         f"{stats.deduplicated} deduplicated"
         + (f"\nstage seconds: {stages}" if stages else "")
         + warm
-        + stage,
+        + stage
+        + plan,
         file=stream,
     )
 
@@ -603,6 +638,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         backend=make_backend(args.backend, args.backend_dir),
         n_jobs=args.jobs,
         exact=args.exact,
+        plan=not args.no_plan,
     )
     run_server(host=args.host, port=args.port, manager=manager)
     return 0

@@ -5,6 +5,14 @@ scheduler/threshold, simulate it, measure it — used to be a monolithic
 function; this package decomposes it into an explicit pipeline of five
 small stages with typed inputs/outputs and per-stage timing records.
 The grid, the sweeps, the scenario runner and the CLI all consume it.
+
+:mod:`~repro.engine.plan` adds the plan-based execution layer on top:
+an :class:`ExecutionPlanner` that dedups a whole grid's stage work *up
+front* by the :class:`StageStore` key families and emits a
+:class:`StagePlan` of unique, content-keyed tasks (with same-kernel
+simulations co-batched through the vectorized engine) — the grid's
+default execution strategy since the per-cell pipeline discovers the
+same dedup only reactively, one cell at a time.
 """
 
 from .pipeline import (
@@ -14,6 +22,13 @@ from .pipeline import (
     StageRecord,
     default_stages,
     execute_cell,
+)
+from .plan import (
+    AssemblyNode,
+    ExecutionPlanner,
+    PlanTask,
+    SimulateBatch,
+    StagePlan,
 )
 from .result import CELL_EXECUTIONS, ExecutionCounter, RunResult
 from .stagestore import (
@@ -36,6 +51,7 @@ from .stages import (
 
 __all__ = [
     "AnalyzeStage",
+    "AssemblyNode",
     "BuildStage",
     "CELL_EXECUTIONS",
     "CellContext",
@@ -43,15 +59,19 @@ __all__ = [
     "CellPipeline",
     "CellRequest",
     "ExecutionCounter",
+    "ExecutionPlanner",
     "MeasureStage",
     "PipelineReport",
+    "PlanTask",
     "RunResult",
     "SCHEDULER_NAMES",
     "STAGE_STORE_STAGES",
     "STAGE_STORE_VERSION",
     "ScheduleStage",
+    "SimulateBatch",
     "SimulateStage",
     "Stage",
+    "StagePlan",
     "StageRecord",
     "StageStore",
     "default_stages",

@@ -7,6 +7,12 @@ through an ordered list of stages, timing each one into a
 historical ``run_cell`` monolith did; custom pipelines can drop, replace
 or wrap stages (e.g. a tracing simulate stage) without touching the grid
 or the sweeps, which only consume :class:`CellOutcome`.
+
+This per-cell walk is the grid's *reference* execution path
+(``--no-plan``): by default :class:`~repro.harness.grid.ExperimentGrid`
+executes whole grids through :mod:`repro.engine.plan`, which dedups the
+same stage work up front instead of discovering store hits one cell at
+a time.  Results are bit-identical either way.
 """
 
 from __future__ import annotations

@@ -1,0 +1,505 @@
+"""Plan-based execution: an explicit stage-task DAG over cell grids.
+
+The :class:`~repro.engine.stagestore.StageStore` (PR 7) deduplicates
+stage products *reactively*: every cell still walks the full
+build→analyze→schedule→simulate pipeline and discovers hits one at a
+time.  This module inverts that shape.  :class:`ExecutionPlanner` takes
+a list of cell specs and emits a :class:`StagePlan` — a small DAG of
+content-keyed tasks deduplicated *up front* by the store's own key
+families:
+
+* one **analyze** task per unique ``loop_fingerprint`` × analyzer
+  configuration,
+* one **schedule** task per kernel × machine × scheduler × threshold ×
+  analyzer,
+* one **simulate** task per ``Schedule.fingerprint()`` × engine ×
+  steady mode × iteration overrides,
+
+plus one :class:`AssemblyNode` per cell that relabels the shared
+products into that cell's :class:`~repro.engine.result.RunResult`.
+
+Unique simulate tasks targeting the same kernel and geometry are
+co-scheduled into :class:`SimulateBatch`\\ es, which
+:meth:`~repro.simulator.vectorized.VectorizedSimulator.run_batch`
+executes by stacking the members' per-entry numpy address tables into
+one wide batch — amortizing per-entry Python overhead across cells the
+way the vectorized engine amortizes it across accesses.
+
+Tasks carry only JSON-serializable payloads (:meth:`PlanTask.to_dict`),
+so a plan's unique tasks are the natural work-queue unit for multi-host
+sharding: a remote worker needs nothing but the task payload and the
+shared kernel/analyzer registry to produce the store entry.
+
+Execution lives in :meth:`repro.harness.grid.ExperimentGrid._compute_plan`;
+the helpers here (:func:`run_analyze_task`, :func:`run_schedule_task`,
+:func:`run_simulate_batch`) replicate the corresponding pipeline stages
+(:mod:`repro.engine.stages`) exactly, so plan execution is bit-identical
+to the per-cell path it replaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..cme.locality import LocalityAnalyzer, locality_fingerprint
+from ..cme.trace import loop_fingerprint
+from ..ir.builder import Kernel
+from ..machine.config import MachineConfig
+from ..scheduler.result import Schedule
+from ..simulator import SIM_ENGINES, WarmStateStore
+from ..simulator.stats import SimulationResult
+from ..simulator.vectorized import VectorizedSimulator
+from ..steady import resolve_steady_mode
+from .result import RunResult
+from .stages import make_scheduler
+from .stagestore import StageStore
+
+__all__ = [
+    "PlanTask",
+    "AssemblyNode",
+    "SimulateBatch",
+    "StagePlan",
+    "ExecutionPlanner",
+    "run_analyze_task",
+    "run_schedule_task",
+    "run_simulate_batch",
+]
+
+
+# ----------------------------------------------------------------------
+# Plan nodes
+# ----------------------------------------------------------------------
+@dataclass
+class PlanTask:
+    """One unique unit of stage work, content-keyed by the store.
+
+    ``payload`` holds everything a worker needs beyond the shared
+    kernel/analyzer registry, as JSON-serializable primitives — a task
+    can be shipped to another process (or, eventually, another host)
+    as nothing but its :meth:`to_dict`.
+    """
+
+    task_id: str
+    stage: str  # "analyze" | "schedule" | "simulate"
+    key: str  # the StageStore key this task produces
+    payload: Dict[str, object] = field(default_factory=dict)
+    deps: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "task_id": self.task_id,
+            "stage": self.stage,
+            "key": self.key,
+            "payload": dict(self.payload),
+            "deps": list(self.deps),
+        }
+
+
+@dataclass
+class AssemblyNode:
+    """Per-cell sink: relabels shared products into a ``RunResult``.
+
+    ``schedule_owner``/``simulate_owner`` mark the first cell to claim
+    each product key; duplicate cells adopt the product through a
+    counted store lookup at assembly time, mirroring the per-cell
+    path's hit accounting exactly.
+    """
+
+    spec: object  # CellSpec (duck-typed; harness owns the class)
+    schedule_key: str
+    schedule_owner: bool
+    simulate_key: Optional[str] = None
+    simulate_owner: bool = False
+    deps: List[str] = field(default_factory=list)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "spec": self.spec.to_json(),
+            "schedule_key": self.schedule_key,
+            "schedule_owner": self.schedule_owner,
+            "simulate_key": self.simulate_key,
+            "simulate_owner": self.simulate_owner,
+            "deps": list(self.deps),
+        }
+
+
+@dataclass
+class SimulateBatch:
+    """Unique simulate tasks sharing a kernel and geometry.
+
+    Members simulate different schedules of the same kernel under the
+    same engine and iteration overrides, so their per-entry address
+    tables have identical outer-point structure and can be stacked into
+    one wide vectorized batch (see
+    :meth:`~repro.simulator.vectorized.VectorizedSimulator.run_batch`).
+    """
+
+    batch_id: str
+    kernel_fp: str
+    sim: str
+    n_iterations: Optional[int]
+    n_times: Optional[int]
+    tasks: List[PlanTask] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return len(self.tasks)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "batch_id": self.batch_id,
+            "kernel_fp": self.kernel_fp,
+            "sim": self.sim,
+            "n_iterations": self.n_iterations,
+            "n_times": self.n_times,
+            "tasks": [task.to_dict() for task in self.tasks],
+        }
+
+
+@dataclass
+class StagePlan:
+    """The full DAG for one grid call: unique tasks + per-cell sinks.
+
+    ``schedules``/``simulations`` accumulate the materialized products
+    (store hits at plan time, then task results during execution);
+    assembly reads them by key.  ``counters`` summarizes the plan for
+    telemetry (``planned`` vs ``executed`` task counts).
+    """
+
+    locality_fp: str
+    analyze_tasks: List[PlanTask] = field(default_factory=list)
+    schedule_tasks: List[PlanTask] = field(default_factory=list)
+    simulate_tasks: List[PlanTask] = field(default_factory=list)
+    batches: List[SimulateBatch] = field(default_factory=list)
+    assembly: List[AssemblyNode] = field(default_factory=list)
+    schedules: Dict[str, Schedule] = field(default_factory=dict)
+    simulations: Dict[str, SimulationResult] = field(default_factory=dict)
+    counters: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serializable plan description (tasks only, no products)."""
+        return {
+            "locality_fp": self.locality_fp,
+            "analyze_tasks": [t.to_dict() for t in self.analyze_tasks],
+            "schedule_tasks": [t.to_dict() for t in self.schedule_tasks],
+            "simulate_tasks": [t.to_dict() for t in self.simulate_tasks],
+            "batches": [b.to_dict() for b in self.batches],
+            "assembly": [a.to_dict() for a in self.assembly],
+            "counters": dict(self.counters),
+        }
+
+
+# ----------------------------------------------------------------------
+# Planner
+# ----------------------------------------------------------------------
+class ExecutionPlanner:
+    """Builds :class:`StagePlan`\\ s from cell specs.
+
+    Planning happens in two passes because simulate keys depend on
+    *materialized* schedules (``Schedule.fingerprint()``): :meth:`plan`
+    dedups analyze and schedule work up front, and once every schedule
+    exists — from store hits or executed tasks — :meth:`plan_simulate`
+    dedups and batches the simulate work.
+    """
+
+    def __init__(
+        self, locality: LocalityAnalyzer, store: StageStore
+    ) -> None:
+        self.locality = locality
+        self.store = store
+        self.locality_fp = locality_fingerprint(locality)
+
+    # -- pass 1: analyze + schedule ------------------------------------
+    def plan(
+        self,
+        specs: Sequence[object],
+        kernels: Mapping[str, Kernel],
+    ) -> StagePlan:
+        """Dedup analyze/schedule work for ``specs`` against the store.
+
+        ``kernels`` maps each spec's kernel name to its resolved object.
+        One counted store lookup happens per *unique* schedule key —
+        hits are planned away as pre-materialized products, misses
+        become tasks.  Duplicate cells incur their (counted) lookups at
+        assembly time instead, so the store telemetry matches the
+        per-cell path probe for probe.
+        """
+        plan = StagePlan(locality_fp=self.locality_fp)
+        counters = plan.counters
+        counters["runs"] = 1
+        counters["cells"] = len(specs)
+
+        # Analyze: one task per unique loop × analyzer configuration.
+        # Only analyzers with a content-addressed trace store carry a
+        # shareable analyze product (mirrors AnalyzeStage).
+        traces = getattr(self.locality, "traces", None)
+        max_points = getattr(self.locality, "max_points", None)
+        if traces is not None and max_points is not None:
+            seen_analyze: Dict[str, None] = {}
+            for spec in specs:
+                kernel = kernels[spec.kernel]
+                loop_fp = loop_fingerprint(kernel.loop)
+                key = StageStore.analyze_key(loop_fp, self.locality_fp)
+                if key in seen_analyze:
+                    continue
+                seen_analyze[key] = None
+                plan.analyze_tasks.append(
+                    PlanTask(
+                        task_id=f"analyze:{len(plan.analyze_tasks)}",
+                        stage="analyze",
+                        key=key,
+                        payload={
+                            "kernel": spec.kernel,
+                            "loop_fp": loop_fp,
+                            "locality_fp": self.locality_fp,
+                        },
+                    )
+                )
+        counters["analyze_tasks"] = len(plan.analyze_tasks)
+
+        # Schedule: one task per unique store key; first spec owns it.
+        schedule_owner: Dict[str, None] = {}
+        schedule_task_by_key: Dict[str, str] = {}
+        for spec in specs:
+            key = StageStore.schedule_key(
+                kernel_name=spec.kernel,
+                kernel_fp=spec.kernel_fp,
+                machine=spec.machine,
+                scheduler=spec.scheduler,
+                threshold=spec.threshold,
+                locality_fp=self.locality_fp,
+            )
+            owner = key not in schedule_owner
+            if owner:
+                schedule_owner[key] = None
+                hit = self.store.lookup("schedule", key)
+                if hit is not None:
+                    plan.schedules[key] = hit
+                else:
+                    task = PlanTask(
+                        task_id=f"schedule:{len(plan.schedule_tasks)}",
+                        stage="schedule",
+                        key=key,
+                        payload={
+                            "kernel": spec.kernel,
+                            "kernel_fp": spec.kernel_fp,
+                            "machine": spec.machine,
+                            "scheduler": spec.scheduler,
+                            "threshold": spec.threshold,
+                            "locality_fp": self.locality_fp,
+                        },
+                    )
+                    plan.schedule_tasks.append(task)
+                    schedule_task_by_key[key] = task.task_id
+            plan.assembly.append(
+                AssemblyNode(
+                    spec=spec,
+                    schedule_key=key,
+                    schedule_owner=owner,
+                    deps=(
+                        [schedule_task_by_key[key]]
+                        if key in schedule_task_by_key
+                        else []
+                    ),
+                )
+            )
+        counters["schedule_unique"] = len(schedule_owner)
+        counters["schedule_tasks"] = len(plan.schedule_tasks)
+        return plan
+
+    # -- pass 2: simulate + batching -----------------------------------
+    def plan_simulate(self, plan: StagePlan) -> None:
+        """Dedup and batch simulate work once every schedule exists.
+
+        Keys come from the materialized schedules' fingerprints; one
+        counted lookup per unique key, misses become tasks.  Unique
+        tasks sharing ``(kernel_fp, sim, n_iterations, n_times)`` are
+        grouped into :class:`SimulateBatch`\\ es in first-seen order —
+        their per-entry address tables stack into one wide batch.
+        """
+        counters = plan.counters
+        simulate_owner: Dict[str, None] = {}
+        task_by_key: Dict[str, PlanTask] = {}
+        batch_by_group: Dict[tuple, SimulateBatch] = {}
+        for node in plan.assembly:
+            spec = node.spec
+            schedule = plan.schedules[node.schedule_key]
+            key = StageStore.simulate_key(
+                schedule_fp=schedule.fingerprint(),
+                sim=spec.sim,
+                steady=resolve_steady_mode(spec.steady, False),
+                n_iterations=spec.n_iterations,
+                n_times=spec.n_times,
+            )
+            node.simulate_key = key
+            if key in simulate_owner:
+                continue
+            simulate_owner[key] = None
+            node.simulate_owner = True
+            hit = self.store.lookup("simulate", key)
+            if hit is not None:
+                plan.simulations[key] = hit
+                continue
+            task = PlanTask(
+                task_id=f"simulate:{len(plan.simulate_tasks)}",
+                stage="simulate",
+                key=key,
+                payload={
+                    "schedule_key": node.schedule_key,
+                    "sim": spec.sim,
+                    "steady": spec.steady,
+                    "n_iterations": spec.n_iterations,
+                    "n_times": spec.n_times,
+                },
+                deps=list(node.deps),
+            )
+            plan.simulate_tasks.append(task)
+            task_by_key[key] = task
+            node.deps = node.deps + [task.task_id]
+            group = (
+                spec.kernel_fp, spec.sim, spec.n_iterations, spec.n_times
+            )
+            batch = batch_by_group.get(group)
+            if batch is None:
+                batch = SimulateBatch(
+                    batch_id=f"batch:{len(plan.batches)}",
+                    kernel_fp=spec.kernel_fp,
+                    sim=spec.sim,
+                    n_iterations=spec.n_iterations,
+                    n_times=spec.n_times,
+                )
+                batch_by_group[group] = batch
+                plan.batches.append(batch)
+            batch.tasks.append(task)
+        counters["simulate_unique"] = len(simulate_owner)
+        counters["simulate_tasks"] = len(plan.simulate_tasks)
+        counters["batches"] = len(plan.batches)
+        counters["batched_tasks"] = sum(
+            batch.width for batch in plan.batches if batch.width > 1
+        )
+        counters["batch_width_max"] = max(
+            (batch.width for batch in plan.batches), default=0
+        )
+
+    # -- assembly ------------------------------------------------------
+    def assemble(self, node: AssemblyNode, plan: StagePlan) -> RunResult:
+        """Relabel this cell's shared products into its ``RunResult``.
+
+        Owners read the product straight from the plan; duplicate cells
+        do the counted store lookup the per-cell path would have done.
+        The simulation is always relabeled with the cell's own
+        kernel/machine/scheduler/threshold (a shared simulate product
+        may have been produced under a different label set).
+        """
+        spec = node.spec
+        if node.schedule_owner:
+            schedule = plan.schedules[node.schedule_key]
+        else:
+            schedule = self.store.lookup("schedule", node.schedule_key)
+            if schedule is None:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"plan assembly missing schedule {node.schedule_key}"
+                )
+        if node.simulate_owner:
+            simulation = plan.simulations[node.simulate_key]
+        else:
+            simulation = self.store.lookup("simulate", node.simulate_key)
+            if simulation is None:  # pragma: no cover - defensive
+                raise RuntimeError(
+                    f"plan assembly missing simulation {node.simulate_key}"
+                )
+        simulation = replace(
+            simulation,
+            kernel=spec.kernel,
+            machine=spec.machine_name,
+            scheduler=spec.scheduler,
+            threshold=spec.threshold,
+        )
+        return RunResult(
+            kernel=spec.kernel,
+            machine=spec.machine_name,
+            scheduler=spec.scheduler,
+            threshold=spec.threshold,
+            schedule=schedule,
+            simulation=simulation,
+        )
+
+
+# ----------------------------------------------------------------------
+# Task execution helpers
+# ----------------------------------------------------------------------
+def run_analyze_task(
+    task: PlanTask,
+    kernel: Kernel,
+    locality: LocalityAnalyzer,
+    store: StageStore,
+) -> None:
+    """Produce one analyze product, mirroring ``AnalyzeStage`` exactly.
+
+    The analyzer's trace store ends up holding the address trace either
+    way: walked locally (and published), adopted from the stage store,
+    or computed and stored.
+    """
+    traces = getattr(locality, "traces", None)
+    max_points = getattr(locality, "max_points", None)
+    if traces is None or max_points is None:  # pragma: no cover
+        return
+    loop_fp = task.payload["loop_fp"]
+    local = traces.peek_address_trace(loop_fp, max_points)
+    if local is not None:
+        store.publish("analyze", task.key, local)
+        return
+    hit = store.lookup("analyze", task.key)
+    if hit is not None:
+        traces.install_address_trace(hit)
+        return
+    store.store(
+        "analyze", task.key, traces.address_trace(kernel.loop, max_points)
+    )
+
+
+def run_schedule_task(
+    task: PlanTask,
+    kernel: Kernel,
+    machine: MachineConfig,
+    locality: LocalityAnalyzer,
+) -> Schedule:
+    """Produce one schedule, mirroring ``ScheduleStage``'s cold path."""
+    engine = make_scheduler(
+        str(task.payload["scheduler"]),
+        float(task.payload["threshold"]),  # type: ignore[arg-type]
+        locality,
+    )
+    return engine.schedule(kernel, machine)
+
+
+def run_simulate_batch(
+    batch: SimulateBatch,
+    schedules: Mapping[str, Schedule],
+    warm_store: Optional[WarmStateStore] = None,
+) -> List[SimulationResult]:
+    """Produce one batch's simulations, co-batched where possible.
+
+    Builds each member's simulator exactly the way ``SimulateStage``
+    does (raw ``steady`` mode, ``exact=False`` — the plan path is gated
+    off under exact runs) and hands them to
+    :meth:`VectorizedSimulator.run_batch`, which stacks the vectorized
+    members' address tables and runs the rest solo.  Results align with
+    ``batch.tasks`` by index.
+    """
+    sims = []
+    for task in batch.tasks:
+        payload = task.payload
+        schedule = schedules[payload["schedule_key"]]
+        sims.append(
+            SIM_ENGINES[str(payload["sim"])](
+                schedule,
+                n_iterations=payload["n_iterations"],
+                n_times=payload["n_times"],
+                exact=False,
+                steady=payload["steady"],
+                warm_store=warm_store,
+            )
+        )
+    return VectorizedSimulator.run_batch(sims)

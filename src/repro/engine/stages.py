@@ -17,6 +17,14 @@ measure    everything above            the final ``RunResult``
 Every stage returns a statistics mapping; the pipeline wraps it with
 wall-clock timing into a :class:`~repro.engine.pipeline.StageRecord`, so
 any cell execution can report where its time went.
+
+The analyze/schedule/simulate stage semantics defined here are the
+contract for plan-based execution too: the task helpers in
+:mod:`repro.engine.plan` (``run_analyze_task``/``run_schedule_task``/
+``run_simulate_batch``) replicate each stage's store protocol and
+simulator construction exactly, which is what makes the planned path
+bit-identical to this per-cell reference.  Change a stage here and the
+corresponding helper must follow.
 """
 
 from __future__ import annotations

@@ -32,6 +32,12 @@ and each worker's newly computed entries travel back with its results
 (:meth:`drain` / :meth:`merge`); values are content-addressed, so the
 merge is deterministic regardless of completion order.
 
+The same key families drive plan-based execution
+(:mod:`repro.engine.plan`): the planner consumes them *up front* —
+one task per unique analyze/schedule/simulate key across the whole
+grid — so hits are planned away before anything runs instead of being
+discovered cell by cell.
+
 This module is also the canonical home of the grid's content
 fingerprints (:func:`kernel_fingerprint`, :func:`machine_key`), which
 the stages need without importing the harness layer.

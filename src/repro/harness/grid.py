@@ -33,6 +33,7 @@ import os
 import pathlib
 import pickle
 import threading
+import time
 import uuid
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
@@ -53,6 +54,14 @@ from ..cme.locality import (
     locality_fingerprint,
 )
 from ..engine.pipeline import CellOutcome, CellPipeline
+from ..engine.plan import (
+    ExecutionPlanner,
+    PlanTask,
+    SimulateBatch,
+    run_analyze_task,
+    run_schedule_task,
+    run_simulate_batch,
+)
 from ..engine.result import RunResult
 from ..engine.stages import CellRequest
 from ..engine.stagestore import StageStore, kernel_fingerprint, machine_key
@@ -238,12 +247,24 @@ class GridStats:
     #: Wall-clock seconds per pipeline stage, summed over computed cells
     #: (workers report their stage timings back with each result).
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    #: Planner counters accumulated over plan-executed ``run`` calls:
+    #: cells planned, unique/executed task counts per stage, batch
+    #: shapes (see :meth:`ExecutionPlanner.plan`).  Empty when every
+    #: call used the per-cell path.
+    plan: Dict[str, int] = field(default_factory=dict)
 
     def add_stage_seconds(self, seconds: Mapping[str, float]) -> None:
         for stage, value in seconds.items():
             self.stage_seconds[stage] = (
                 self.stage_seconds.get(stage, 0.0) + value
             )
+
+    def add_plan_counters(self, counters: Mapping[str, int]) -> None:
+        for key, value in counters.items():
+            if key.endswith("_max"):
+                self.plan[key] = max(self.plan.get(key, 0), value)
+            else:
+                self.plan[key] = self.plan.get(key, 0) + value
 
     def reset(self) -> None:
         self.requested = 0
@@ -252,6 +273,7 @@ class GridStats:
         self.disk_hits = 0
         self.deduplicated = 0
         self.stage_seconds = {}
+        self.plan = {}
 
 
 def _execute_cell(
@@ -328,6 +350,32 @@ def _execute_cell_pooled(
     return outcome.result, outcome.report.stage_seconds, delta
 
 
+def _plan_schedule_pooled(
+    task: PlanTask, kernel: Kernel, machine: MachineConfig
+) -> Tuple[object, float]:
+    """Pool entry point for one unique schedule task.
+
+    Workers only *compute* — the parent stores every product into the
+    stage store itself, in plan order, so the store's counters match
+    the per-cell path exactly (one miss at plan time, one store here).
+    """
+    if _WORKER_LOCALITY is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker process missing its locality analyzer")
+    start = time.perf_counter()
+    schedule = run_schedule_task(task, kernel, machine, _WORKER_LOCALITY)
+    return schedule, time.perf_counter() - start
+
+
+def _plan_simulate_batch_pooled(
+    batch: SimulateBatch, schedules: Dict[str, object]
+) -> Tuple[List[object], float]:
+    """Pool entry point for one simulate batch (compute-only; the
+    parent stores the products — see :func:`_plan_schedule_pooled`)."""
+    start = time.perf_counter()
+    results = run_simulate_batch(batch, schedules, _WORKER_WARM)
+    return results, time.perf_counter() - start
+
+
 class ExperimentGrid:
     """Executes :class:`CellSpec` grids, in parallel, with caching.
 
@@ -390,6 +438,18 @@ class ExperimentGrid:
         runs this way, so every job's cells execute through the pipeline
         and its per-job telemetry shows exactly which stage products the
         persistent stores served.
+    plan:
+        ``True`` (default) executes non-cached cells through an explicit
+        :class:`~repro.engine.plan.StagePlan`: the planner dedups
+        analyze/schedule/simulate work *up front* by the stage store's
+        key families, dispatches only the unique tasks (co-batching
+        same-kernel simulations through the vectorized engine) and
+        assembles every cell's result from the shared products.
+        Requires the stage store; ``exact`` runs and store-less grids
+        fall back to the per-cell path automatically.  ``False``
+        (``--no-plan``) always uses the per-cell path.  Results —
+        values, ordering and store telemetry — are bit-identical either
+        way.
     """
 
     def __init__(
@@ -404,9 +464,11 @@ class ExperimentGrid:
         warm: bool = True,
         stage_store: bool = True,
         cell_cache: Optional[bool] = None,
+        plan: bool = True,
     ):
         if n_jobs < 1:
             raise ValueError("n_jobs must be >= 1")
+        self.plan_enabled = plan
         self.locality = (
             locality if locality is not None else default_analyzer()
         )
@@ -611,6 +673,12 @@ class ExperimentGrid:
         pending: Sequence[Tuple[CellSpec, str]],
         report: Callable[[CellSpec, str], None],
     ) -> List[RunResult]:
+        if (
+            self.plan_enabled
+            and self.stage_store is not None
+            and not self.exact
+        ):
+            return self._compute_plan(pending, report)
         kernels = [self._resolve_kernel(spec) for spec, _key in pending]
         if self.n_jobs == 1 or len(pending) == 1:
             out = []
@@ -670,3 +738,172 @@ class ExperimentGrid:
                         self.stage_store.merge(delta)
                     report(pending[index][0], "computed")
         return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Plan-based execution
+    # ------------------------------------------------------------------
+    def _compute_plan(
+        self,
+        pending: Sequence[Tuple[CellSpec, str]],
+        report: Callable[[CellSpec, str], None],
+    ) -> List[RunResult]:
+        """Execute the pending cells through an explicit stage plan.
+
+        The planner dedups work up front by the stage store's key
+        families; only the *unique* tasks run (serially or on the
+        pool), the parent stores each product once, and every cell's
+        result is assembled from the shared products — value- and
+        telemetry-identical to the per-cell path.
+        """
+        specs = [spec for spec, _key in pending]
+        kernels: Dict[str, Kernel] = {}
+        for spec in specs:
+            kernels[spec.kernel] = self._resolve_kernel(spec)
+        assert self.stage_store is not None
+        store = self.stage_store
+        planner = ExecutionPlanner(self.locality, store)
+        plan = planner.plan(specs, kernels)
+
+        pool: Optional[ProcessPoolExecutor] = None
+
+        def ensure_pool() -> ProcessPoolExecutor:
+            nonlocal pool
+            if pool is None:
+                # Trace-prime the analyzer before it is pickled into
+                # the workers (idempotent after the analyze wave).
+                prime = getattr(self.locality, "prime", None)
+                if prime is not None:
+                    for kernel in kernels.values():
+                        prime(kernel.loop)
+                pool = ProcessPoolExecutor(
+                    max_workers=self.n_jobs,
+                    initializer=_init_worker,
+                    initargs=(
+                        self.locality,
+                        self.exact,
+                        self.warm_store,
+                        self.stage_store,
+                    ),
+                )
+            return pool
+
+        try:
+            # Analyze wave: cheap, shared, and the pickled-to-workers
+            # analyzer must carry the traces — run it in the parent.
+            for task in plan.analyze_tasks:
+                start = time.perf_counter()
+                run_analyze_task(
+                    task,
+                    kernels[str(task.payload["kernel"])],
+                    self.locality,
+                    store,
+                )
+                with self._lock:
+                    self.stats.add_stage_seconds(
+                        {"analyze": time.perf_counter() - start}
+                    )
+
+            # Schedule wave: unique tasks only; the parent stores every
+            # product in plan order (deterministic store contents).
+            produced: List[Optional[object]] = [None] * len(
+                plan.schedule_tasks
+            )
+            if self.n_jobs > 1 and len(plan.schedule_tasks) > 1:
+                sched_pool = ensure_pool()
+                futures = {
+                    sched_pool.submit(
+                        _plan_schedule_pooled,
+                        task,
+                        kernels[str(task.payload["kernel"])],
+                        machine_from_key(str(task.payload["machine"])),
+                    ): index
+                    for index, task in enumerate(plan.schedule_tasks)
+                }
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        schedule, seconds = future.result()
+                        produced[futures[future]] = schedule
+                        with self._lock:
+                            self.stats.add_stage_seconds(
+                                {"schedule": seconds}
+                            )
+            else:
+                for index, task in enumerate(plan.schedule_tasks):
+                    start = time.perf_counter()
+                    produced[index] = run_schedule_task(
+                        task,
+                        kernels[str(task.payload["kernel"])],
+                        machine_from_key(str(task.payload["machine"])),
+                        self.locality,
+                    )
+                    with self._lock:
+                        self.stats.add_stage_seconds(
+                            {"schedule": time.perf_counter() - start}
+                        )
+            for task, schedule in zip(plan.schedule_tasks, produced):
+                store.store("schedule", task.key, schedule)
+                plan.schedules[task.key] = schedule
+
+            # Simulate wave: keys need the materialized schedules'
+            # fingerprints, so this pass plans, dedups and batches now.
+            planner.plan_simulate(plan)
+            batch_results: Dict[str, List[object]] = {}
+            if self.n_jobs > 1 and len(plan.simulate_tasks) > 1:
+                sim_pool = ensure_pool()
+                futures = {}
+                for batch in plan.batches:
+                    needed = {
+                        str(task.payload["schedule_key"]): plan.schedules[
+                            str(task.payload["schedule_key"])
+                        ]
+                        for task in batch.tasks
+                    }
+                    futures[
+                        sim_pool.submit(
+                            _plan_simulate_batch_pooled, batch, needed
+                        )
+                    ] = batch.batch_id
+                not_done = set(futures)
+                while not_done:
+                    finished, not_done = wait(
+                        not_done, return_when=FIRST_COMPLETED
+                    )
+                    for future in finished:
+                        results_list, seconds = future.result()
+                        batch_results[futures[future]] = results_list
+                        with self._lock:
+                            self.stats.add_stage_seconds(
+                                {"simulate": seconds}
+                            )
+            else:
+                for batch in plan.batches:
+                    start = time.perf_counter()
+                    batch_results[batch.batch_id] = run_simulate_batch(
+                        batch, plan.schedules, self.warm_store
+                    )
+                    with self._lock:
+                        self.stats.add_stage_seconds(
+                            {"simulate": time.perf_counter() - start}
+                        )
+            for batch in plan.batches:
+                for task, result in zip(
+                    batch.tasks, batch_results[batch.batch_id]
+                ):
+                    store.store("simulate", task.key, result)
+                    plan.simulations[task.key] = result
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        # Assembly: submission order, one result per pending cell.
+        out: List[RunResult] = []
+        for node in plan.assembly:
+            out.append(planner.assemble(node, plan))
+            report(node.spec, "computed")
+        with self._lock:
+            self.stats.add_plan_counters(plan.counters)
+        return out

@@ -681,6 +681,7 @@ def run_scenario(
     sim: Optional[str] = None,
     warm: bool = True,
     stage_store: bool = True,
+    plan: bool = True,
 ) -> ScenarioOutcome:
     """Execute a scenario (by spec or registry name) on a grid.
 
@@ -693,7 +694,9 @@ def run_scenario(
     overrides the simulate-engine selection the same way.  ``warm``
     and ``stage_store`` control content-addressed warm-state and
     per-stage-result reuse on the grid this call builds (ignored for an
-    explicit ``grid``, which owns its stores).
+    explicit ``grid``, which owns its stores); ``plan`` controls
+    whether that grid executes through the up-front stage-task plan
+    (results are bit-identical either way).
     """
     if isinstance(scenario, str):
         scenario = get_scenario(scenario)
@@ -711,6 +714,7 @@ def run_scenario(
             exact=exact,
             warm=warm,
             stage_store=stage_store,
+            plan=plan,
         )
     else:
         wanted = locality_fingerprint(scenario.locality.build())
@@ -835,10 +839,42 @@ def _steady_ablation_scenario() -> ScenarioSpec:
     )
 
 
+def _bus_design_space_scenario() -> ScenarioSpec:
+    """The seeded form of ``examples/bus_design_space.py``: both
+    schedulers across the 4-cluster NMB x LMB bus grid on a trimmed
+    kernel set — many cells sharing few kernels, so the execution
+    planner's cross-cell simulate batching has real work to do."""
+    return ScenarioSpec(
+        name="bus-design-space-smoke",
+        description=(
+            "Memory-bus design-space smoke (4-cluster, NMB in {1,2} x "
+            "LMB in {1,4}, Baseline vs RMCA): the examples/ bus sweep "
+            "as a registered scenario"
+        ),
+        groups=tuple(
+            GroupSpec(
+                label=f"NMB={nmb},LMB={lmb} {scheduler}",
+                machine=MachineSpec(
+                    preset="4-cluster",
+                    register_bus=(2, 1),
+                    memory_bus=(nmb, lmb),
+                ),
+                scheduler=scheduler,
+            )
+            for nmb in (1, 2)
+            for lmb in (1, 4)
+            for scheduler in ("baseline", "rmca")
+        ),
+        thresholds=(1.0, 0.0),
+        kernels=("tomcatv", "hydro2d", "turb3d"),
+    )
+
+
 _BUILTIN_SCENARIOS = (
     _streaming_scenario(),
     _streaming_long_scenario(),
     _steady_ablation_scenario(),
+    _bus_design_space_scenario(),
     ScenarioSpec(
         name="fig5-2cluster",
         description="Figure 5, 2-cluster: unbounded buses, LRB x LMB sweep",

@@ -221,11 +221,13 @@ class JobManager:
         backend: Optional[ResultBackend] = None,
         n_jobs: int = 1,
         exact: bool = False,
+        plan: bool = True,
     ):
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         self.backend = backend if backend is not None else MemoryBackend()
         self.n_jobs = n_jobs
         self.exact = exact
+        self.plan = plan
         self.started = time.time()
         # Grids keyed by locality fingerprint: a grid's caches embed the
         # analyzer configuration, so scenarios declaring different
@@ -359,6 +361,7 @@ class JobManager:
                     # memoization, full trace/warm/stage reuse — see the
                     # module docstring.
                     cell_cache=False,
+                    plan=self.plan,
                 )
                 self._grids[fingerprint] = grid
             return grid
@@ -383,6 +386,7 @@ class JobManager:
                 "computed": grid.stats.computed,
                 "deduplicated": grid.stats.deduplicated,
             },
+            "plan": dict(grid.stats.plan),
         }
 
     @staticmethod
@@ -405,6 +409,26 @@ class JobManager:
             name: after["grid"][name] - before["grid"][name]
             for name in after["grid"]
         }
+        plan = {
+            key: (
+                value  # high-water mark, not additive
+                if key.endswith("_max")
+                else value - before["plan"].get(key, 0)
+            )
+            for key, value in after["plan"].items()
+        }
+        # Planned = unique tasks the planner identified up front;
+        # executed = the subset that actually ran (store misses).
+        plan["planned"] = (
+            plan.get("analyze_tasks", 0)
+            + plan.get("schedule_unique", 0)
+            + plan.get("simulate_unique", 0)
+        )
+        plan["executed"] = (
+            plan.get("analyze_tasks", 0)
+            + plan.get("schedule_tasks", 0)
+            + plan.get("simulate_tasks", 0)
+        )
         return {
             "stages": stages,
             "store_hits": sum(c["hits"] for c in stages.values()),
@@ -412,6 +436,7 @@ class JobManager:
             "sim_warm_misses": warm["misses"],
             "sim_warm_stores": warm["stores"],
             "grid": grid,
+            "plan": plan,
         }
 
     # ------------------------------------------------------------------
@@ -476,6 +501,7 @@ class JobManager:
                     "computed": grid.stats.computed,
                     "deduplicated": grid.stats.deduplicated,
                     "stage_seconds": dict(grid.stats.stage_seconds),
+                    "plan": dict(grid.stats.plan),
                     "stages": (
                         grid.stage_store.telemetry()
                         if grid.stage_store is not None

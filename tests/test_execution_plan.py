@@ -1,0 +1,278 @@
+"""Plan-based grid execution: equivalence, dedup accounting, batching.
+
+The load-bearing contract of the execution plan (PR 10): running a grid
+through the :class:`~repro.engine.plan.ExecutionPlanner` stage-task DAG
+produces **byte-identical** results — and byte-identical stage-store
+telemetry — compared to the per-cell reference walk (``--no-plan``),
+for every registered grid scenario, across ``n_jobs`` ∈ {1, 2}, and for
+a golden figure panel.  On a cold run each unique
+analyze/schedule/simulate key executes exactly once (planned task count
+== unique store keys), and co-batched simulate is raw-state-equal to
+solo runs.
+"""
+
+import json
+
+import pytest
+
+from repro.cme import IncrementalCME, SamplingCME
+from repro.engine import ExecutionPlanner, StageStore
+from repro.engine.plan import run_schedule_task
+from repro.engine.stages import make_scheduler
+from repro.harness.grid import CellSpec, ExperimentGrid, machine_from_key
+from repro.harness.scenarios import all_scenarios, run_scenario
+from repro.machine import four_cluster, two_cluster
+from repro.simulator import LockstepSimulator, VectorizedSimulator
+from repro.workloads import spec_suite
+
+MAX_POINTS = 512
+
+GRID_SCENARIOS = [s.name for s in all_scenarios() if not s.is_figure]
+
+
+def _canonical(results):
+    return [result.canonical() for result in results]
+
+
+# ----------------------------------------------------------------------
+# Plan vs per-cell reference path
+# ----------------------------------------------------------------------
+class TestPlanReferenceEquivalence:
+    @pytest.mark.parametrize("name", GRID_SCENARIOS)
+    def test_every_grid_scenario(self, name):
+        planned = run_scenario(name, cache=False)
+        reference = run_scenario(name, cache=False, plan=False)
+        assert _canonical(planned.results) == _canonical(reference.results)
+        # The plan path ran (and reported itself); the reference didn't.
+        assert planned.grid.stats.plan["runs"] == 1
+        assert planned.grid.stats.plan["cells"] == len(planned.results)
+        assert reference.grid.stats.plan == {}
+
+    def test_store_telemetry_matches_reference_probe_for_probe(self):
+        """Owner cells probe at plan time, duplicates at assembly —
+        the net store telemetry equals the per-cell path's exactly."""
+        planned = run_scenario("fig6-smoke", cache=False)
+        reference = run_scenario("fig6-smoke", cache=False, plan=False)
+        assert (
+            planned.grid.stage_store.telemetry()
+            == reference.grid.stage_store.telemetry()
+        )
+
+    def test_parallel_plan_matches_serial_reference(self):
+        reference = run_scenario("streaming", cache=False, plan=False)
+        fanned = run_scenario("streaming", cache=False, n_jobs=2)
+        assert _canonical(fanned.results) == _canonical(reference.results)
+        assert fanned.grid.stats.plan["runs"] == 1
+
+    def test_golden_figure_panel(self):
+        planned = run_scenario("fig6-smoke", cache=False)
+        reference = run_scenario("fig6-smoke", cache=False, plan=False)
+        assert planned.figure.bars == reference.figure.bars
+        assert planned.figure.records == reference.figure.records
+
+
+# ----------------------------------------------------------------------
+# Cold-run task accounting (the dedup acceptance criterion)
+# ----------------------------------------------------------------------
+class TestColdRunTaskAccounting:
+    def test_fig6_unique_keys_execute_exactly_once(self):
+        outcome = run_scenario("fig6-smoke", cache=False)
+        plan = outcome.grid.stats.plan
+        telemetry = outcome.grid.stage_store.telemetry()
+        # Cold store: every unique key misses once, becomes exactly one
+        # task, and stores exactly one entry.
+        assert plan["schedule_tasks"] == plan["schedule_unique"]
+        assert (
+            plan["schedule_tasks"]
+            == telemetry["schedule"]["stores"]
+            == telemetry["schedule"]["entries"]
+        )
+        assert plan["simulate_tasks"] == plan["simulate_unique"]
+        assert (
+            plan["simulate_tasks"]
+            == telemetry["simulate"]["stores"]
+            == telemetry["simulate"]["entries"]
+        )
+        assert plan["analyze_tasks"] == telemetry["analyze"]["entries"]
+        # Every cell probed the schedule family exactly once (owners at
+        # plan time, duplicates at assembly).
+        schedule = telemetry["schedule"]
+        assert schedule["hits"] + schedule["misses"] == plan["cells"]
+        assert schedule["hits"] == plan["cells"] - plan["schedule_unique"]
+        # The threshold sweep collapses simulate work below cell count.
+        assert plan["simulate_unique"] < plan["cells"]
+        assert plan["batch_width_max"] > 1
+
+    def test_analyze_tasks_planned_for_trace_backed_analyzer(self):
+        grid = ExperimentGrid(
+            locality=IncrementalCME(max_points=MAX_POINTS), cache=False
+        )
+        outcome = run_scenario("streaming", grid=grid)
+        plan = grid.stats.plan
+        telemetry = grid.stage_store.telemetry()
+        assert plan["analyze_tasks"] > 0
+        assert plan["analyze_tasks"] == telemetry["analyze"]["entries"]
+        # One analyze task per unique loop, not per cell.
+        assert plan["analyze_tasks"] < len(outcome.results)
+
+    def test_sampling_analyzer_plans_no_analyze_tasks(self):
+        grid = ExperimentGrid(
+            locality=SamplingCME(max_points=MAX_POINTS), cache=False
+        )
+        run_scenario("streaming", grid=grid)
+        assert grid.stats.plan["analyze_tasks"] == 0
+
+    def test_warm_store_plans_zero_tasks(self, tmp_path):
+        cold = run_scenario("streaming", cache_dir=tmp_path)
+        fresh_grid = ExperimentGrid(
+            locality=cold.scenario.locality.build(), cache=False
+        )
+        fresh_grid.stage_store = StageStore(cache_dir=tmp_path / "stages")
+        warm = run_scenario("streaming", grid=fresh_grid)
+        plan = fresh_grid.stats.plan
+        # Every unique key hits at plan time: nothing left to execute.
+        assert plan["schedule_tasks"] == 0
+        assert plan["simulate_tasks"] == 0
+        assert plan["batches"] == 0
+        assert plan["schedule_unique"] > 0
+        assert _canonical(warm.results) == _canonical(cold.results)
+
+
+# ----------------------------------------------------------------------
+# Planner unit contracts
+# ----------------------------------------------------------------------
+class TestPlannerUnit:
+    def _specs(self):
+        machine = two_cluster()
+        suite = spec_suite(["tomcatv", "hydro2d"])
+        specs = [
+            CellSpec.of(kernel, machine, scheduler, threshold)
+            for kernel in suite
+            for scheduler in ("baseline", "rmca")
+            for threshold in (1.0, 0.0)
+        ]
+        return specs, {kernel.name: kernel for kernel in suite}
+
+    def _build_plan(self, locality):
+        specs, kernels = self._specs()
+        planner = ExecutionPlanner(locality, StageStore())
+        plan = planner.plan(specs, kernels)
+        for task in plan.schedule_tasks:
+            schedule = run_schedule_task(
+                task,
+                kernels[str(task.payload["kernel"])],
+                machine_from_key(str(task.payload["machine"])),
+                locality,
+            )
+            plan.schedules[task.key] = schedule
+        planner.plan_simulate(plan)
+        return plan
+
+    def test_planner_is_deterministic(self):
+        first = self._build_plan(SamplingCME(max_points=MAX_POINTS))
+        second = self._build_plan(SamplingCME(max_points=MAX_POINTS))
+        for stage in ("analyze_tasks", "schedule_tasks", "simulate_tasks"):
+            assert [t.to_dict() for t in getattr(first, stage)] == [
+                t.to_dict() for t in getattr(second, stage)
+            ], stage
+        assert [b.to_dict() for b in first.batches] == [
+            b.to_dict() for b in second.batches
+        ]
+        assert [a.to_dict() for a in first.assembly] == [
+            a.to_dict() for a in second.assembly
+        ]
+        assert first.counters == second.counters
+
+    def test_plan_to_dict_is_json_serializable(self):
+        plan = self._build_plan(SamplingCME(max_points=MAX_POINTS))
+        dumped = json.loads(json.dumps(plan.to_dict()))
+        assert dumped["counters"] == plan.counters
+        assert len(dumped["assembly"]) == plan.counters["cells"]
+
+    def test_schedule_tasks_unique_and_owned(self):
+        plan = self._build_plan(SamplingCME(max_points=MAX_POINTS))
+        keys = [task.key for task in plan.schedule_tasks]
+        assert len(keys) == len(set(keys))
+        owners = [n for n in plan.assembly if n.schedule_owner]
+        assert len(owners) == plan.counters["schedule_unique"]
+        # Every assembly node resolves to a materialized product key.
+        for node in plan.assembly:
+            assert node.schedule_key in plan.schedules
+            assert node.simulate_key is not None
+
+    def test_batches_group_by_kernel_and_geometry(self):
+        plan = self._build_plan(SamplingCME(max_points=MAX_POINTS))
+        seen_tasks = []
+        for batch in plan.batches:
+            for task in batch.tasks:
+                assert task.stage == "simulate"
+                seen_tasks.append(task.task_id)
+            assert batch.width >= 1
+        assert sorted(seen_tasks) == sorted(
+            t.task_id for t in plan.simulate_tasks
+        )
+        assert plan.counters["batch_width_max"] == max(
+            batch.width for batch in plan.batches
+        )
+
+
+# ----------------------------------------------------------------------
+# Co-batched simulate vs solo runs (raw-state equality)
+# ----------------------------------------------------------------------
+class TestRunBatchEquivalence:
+    @pytest.fixture(scope="class")
+    def schedules(self):
+        analyzer = IncrementalCME(max_points=MAX_POINTS)
+        kernel = spec_suite(["tomcatv"])[0]
+        return [
+            make_scheduler(scheduler, threshold, analyzer).schedule(
+                kernel, machine
+            )
+            for scheduler, threshold, machine in (
+                ("baseline", 1.0, two_cluster()),
+                ("rmca", 0.0, two_cluster()),
+                ("baseline", 0.0, four_cluster()),
+            )
+        ]
+
+    def test_batch_is_raw_state_equal_to_solo(self, schedules):
+        solo_sims = [VectorizedSimulator(s) for s in schedules]
+        solo = [sim.run() for sim in solo_sims]
+        batch_sims = [VectorizedSimulator(s) for s in schedules]
+        batched = VectorizedSimulator.run_batch(batch_sims)
+        for want_sim, got_sim, want, got in zip(
+            solo_sims, batch_sims, solo, batched
+        ):
+            assert got.as_dict() == want.as_dict()
+            assert got_sim.memory.counters() == want_sim.memory.counters()
+            assert (
+                got_sim.memory.state_signature(0)
+                == want_sim.memory.state_signature(0)
+            )
+            assert got_sim.steady_report == want_sim.steady_report
+            assert got_sim.vector_stats["co_batch_width"] == len(schedules)
+            # The provider is uninstalled after the batch completes.
+            assert got_sim._batch_addresses is None
+
+    def test_mixed_batch_keeps_input_order(self, schedules):
+        reference = [VectorizedSimulator(s).run() for s in schedules]
+        scalar_want = LockstepSimulator(schedules[1]).run()
+        sims = [
+            VectorizedSimulator(schedules[0]),
+            LockstepSimulator(schedules[1]),
+            VectorizedSimulator(schedules[2]),
+        ]
+        results = VectorizedSimulator.run_batch(sims)
+        assert results[0].as_dict() == reference[0].as_dict()
+        assert results[1].as_dict() == scalar_want.as_dict()
+        assert results[2].as_dict() == reference[2].as_dict()
+        # Only the two vectorized members co-batched.
+        assert sims[0].vector_stats["co_batch_width"] == 2
+        assert sims[2].vector_stats["co_batch_width"] == 2
+
+    def test_single_member_batch_runs_solo(self, schedules):
+        want = VectorizedSimulator(schedules[0]).run()
+        sim = VectorizedSimulator(schedules[0])
+        (got,) = VectorizedSimulator.run_batch([sim])
+        assert got.as_dict() == want.as_dict()
+        assert "co_batch_width" not in sim.vector_stats

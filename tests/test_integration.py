@@ -1,12 +1,17 @@
-"""Cross-module integration tests: the paper's headline claims, end to end."""
+"""Cross-module integration tests: the paper's headline claims, end to end.
+
+Cells run through :class:`~repro.harness.grid.ExperimentGrid` /
+:class:`~repro.harness.grid.CellSpec` — the engine-pipeline entry the
+ROADMAP points new call sites at (the historical
+``analysis.compare.run_cell`` shim remains only for backcompat).
+"""
 
 import pytest
 
-from repro.analysis.compare import run_cell
 from repro.cme import SamplingCME
+from repro.harness.grid import CellSpec, ExperimentGrid
 from repro.machine import BusConfig, four_cluster, two_cluster, unified
 from repro.scheduler import BaselineScheduler, RMCAScheduler, SchedulerConfig
-from repro.simulator import simulate
 from repro.workloads import kernel_by_name, spec_suite
 
 
@@ -15,23 +20,35 @@ def locality():
     return SamplingCME(max_points=512)
 
 
+@pytest.fixture(scope="module")
+def grid(locality):
+    # In-memory cell cache only: cells shared between tests (the same
+    # kernel × machine × threshold shows up in several claims) compute
+    # once for the module.
+    return ExperimentGrid(locality=locality)
+
+
+def run_cell(grid, kernel, machine, scheduler, threshold):
+    return grid.run_one(CellSpec.of(kernel, machine, scheduler, threshold))
+
+
 class TestThresholdTradeoff:
     """Lower threshold -> compute grows, stall shrinks (Section 5.2)."""
 
     @pytest.mark.parametrize("name", ["tomcatv", "hydro2d", "mgrid"])
-    def test_stall_decreases_with_threshold(self, name, locality):
+    def test_stall_decreases_with_threshold(self, name, grid):
         kernel = kernel_by_name(name)
         machine = unified(memory_bus=BusConfig(count=None, latency=1))
         stalls = []
         computes = []
         for threshold in (1.0, 0.25, 0.0):
-            result = run_cell(kernel, machine, "baseline", threshold, locality)
+            result = run_cell(grid, kernel, machine, "baseline", threshold)
             stalls.append(result.stall_cycles)
             computes.append(result.compute_cycles)
         assert stalls[0] >= stalls[1] >= stalls[2]
         assert computes[-1] >= computes[0]
 
-    def test_threshold_zero_stall_near_zero_clustered(self, locality):
+    def test_threshold_zero_stall_near_zero_clustered(self, grid):
         """With unbounded buses and threshold 0.00, the multiVLIWprocessor
         stall time is almost zero (the Figure 5 observation)."""
         machine = two_cluster(
@@ -40,23 +57,23 @@ class TestThresholdTradeoff:
         )
         for name in ("tomcatv", "swim", "hydro2d", "mgrid", "applu", "apsi"):
             kernel = kernel_by_name(name)
-            result = run_cell(kernel, machine, "rmca", 0.0, locality)
+            result = run_cell(grid, kernel, machine, "rmca", 0.0)
             assert result.stall_cycles <= 0.05 * result.total_cycles, name
 
 
 class TestRmcaVsBaseline:
-    def test_rmca_wins_on_average_realistic_buses(self, locality):
+    def test_rmca_wins_on_average_realistic_buses(self, grid):
         """Figure 6's headline: RMCA < Baseline with limited buses."""
         machine = four_cluster()  # 1 memory bus @ 1 cycle
         ratio_sum = 0.0
         kernels = spec_suite(["tomcatv", "su2cor", "hydro2d", "turb3d"])
         for kernel in kernels:
-            base = run_cell(kernel, machine, "baseline", 0.0, locality)
-            rmca = run_cell(kernel, machine, "rmca", 0.0, locality)
+            base = run_cell(grid, kernel, machine, "baseline", 0.0)
+            rmca = run_cell(grid, kernel, machine, "rmca", 0.0)
             ratio_sum += rmca.total_cycles / base.total_cycles
         assert ratio_sum / len(kernels) < 1.0
 
-    def test_gap_larger_with_four_clusters(self, locality):
+    def test_gap_larger_with_four_clusters(self, grid):
         """The paper reports ~5% (2 clusters) vs ~20% (4 clusters)."""
         kernels = spec_suite(["tomcatv", "su2cor", "hydro2d", "turb3d"])
         gaps = {}
@@ -64,10 +81,10 @@ class TestRmcaVsBaseline:
             base_total = rmca_total = 0
             for kernel in kernels:
                 base_total += run_cell(
-                    kernel, machine, "baseline", 0.0, locality
+                    grid, kernel, machine, "baseline", 0.0
                 ).total_cycles
                 rmca_total += run_cell(
-                    kernel, machine, "rmca", 0.0, locality
+                    grid, kernel, machine, "rmca", 0.0
                 ).total_cycles
             gaps[machine.name] = 1.0 - rmca_total / base_total
         assert gaps["4-cluster"] > 0
@@ -78,7 +95,7 @@ class TestRmcaVsBaseline:
 
 
 class TestClusteredVsUnified:
-    def test_clustered_close_to_unified_at_threshold_zero(self, locality):
+    def test_clustered_close_to_unified_at_threshold_zero(self, grid):
         """Figure 5: at threshold 0.00 the clustered machines approach the
         unified one (unbounded buses hide the communication cost)."""
         reference_machine = unified(memory_bus=BusConfig(count=None, latency=1))
@@ -88,13 +105,13 @@ class TestClusteredVsUnified:
         )
         for name in ("tomcatv", "hydro2d"):
             kernel = kernel_by_name(name)
-            uni = run_cell(kernel, reference_machine, "baseline", 0.0, locality)
-            clu = run_cell(kernel, clustered, "rmca", 0.0, locality)
+            uni = run_cell(grid, kernel, reference_machine, "baseline", 0.0)
+            clu = run_cell(grid, kernel, clustered, "rmca", 0.0)
             assert clu.total_cycles <= 1.25 * uni.total_cycles, name
 
 
 class TestBusLatencySensitivity:
-    def test_slower_register_buses_cost_cycles(self, locality):
+    def test_slower_register_buses_cost_cycles(self, grid):
         kernel = kernel_by_name("tomcatv")
         totals = []
         for lrb in (1, 4):
@@ -103,17 +120,17 @@ class TestBusLatencySensitivity:
                 memory_bus=BusConfig(count=None, latency=1),
             )
             totals.append(
-                run_cell(kernel, machine, "rmca", 0.0, locality).total_cycles
+                run_cell(grid, kernel, machine, "rmca", 0.0).total_cycles
             )
         assert totals[1] >= totals[0]
 
-    def test_slower_memory_buses_cost_stall(self, locality):
+    def test_slower_memory_buses_cost_stall(self, grid):
         kernel = kernel_by_name("turb3d")  # miss-heavy
         totals = []
         for lmb in (1, 4):
             machine = two_cluster(memory_bus=BusConfig(count=1, latency=lmb))
             totals.append(
-                run_cell(kernel, machine, "baseline", 1.0, locality).stall_cycles
+                run_cell(grid, kernel, machine, "baseline", 1.0).stall_cycles
             )
         assert totals[1] > totals[0]
 
